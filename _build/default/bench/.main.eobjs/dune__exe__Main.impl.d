@@ -1,0 +1,1 @@
+bench/main.ml: Ablations Arg Bech Cmd Cmdliner Experiments List Printexc Printf Term Unix

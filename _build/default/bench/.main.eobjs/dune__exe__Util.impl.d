@@ -1,0 +1,1 @@
+bench/util.ml: Array Buffer Float Hashtbl Printf Scalana Scalana_apps

@@ -1,0 +1,61 @@
+(* Benchmark driver: regenerates every table and figure of the paper's
+   evaluation plus the ablation benches, then runs the Bechamel
+   micro-benchmarks.
+
+     dune exec bench/main.exe                 # everything (4..128 procs)
+     dune exec bench/main.exe -- --fast       # cap sweeps at 32 procs
+     dune exec bench/main.exe -- --only fig12 --only table2
+     dune exec bench/main.exe -- --list                          *)
+
+open Cmdliner
+
+let experiments = Experiments.all @ Ablations.all
+
+let run only fast no_bech list_only =
+  if list_only then begin
+    List.iter (fun (name, _) -> print_endline name) experiments;
+    print_endline "bechamel"
+  end
+  else begin
+    Experiments.max_np := (if fast then 32 else 128);
+    let wanted name = only = [] || List.mem name only in
+    let t0 = Unix.gettimeofday () in
+    List.iter
+      (fun (name, fn) ->
+        if wanted name then begin
+          try fn ()
+          with e ->
+            Printf.printf "  !! %s failed: %s\n%!" name (Printexc.to_string e)
+        end)
+      experiments;
+    if (not no_bech) && wanted "bechamel" then begin
+      try Bech.run ()
+      with e ->
+        Printf.printf "  !! bechamel failed: %s\n%!" (Printexc.to_string e)
+    end;
+    Printf.printf "\nTotal bench wall time: %.1fs\n"
+      (Unix.gettimeofday () -. t0)
+  end
+
+let only_arg =
+  Arg.(
+    value & opt_all string []
+    & info [ "only" ] ~docv:"ID"
+        ~doc:"Run only the given experiment (repeatable). See --list.")
+
+let fast_arg =
+  Arg.(value & flag & info [ "fast" ] ~doc:"Cap process sweeps at 32 ranks.")
+
+let no_bech_arg =
+  Arg.(value & flag & info [ "no-bechamel" ] ~doc:"Skip micro-benchmarks.")
+
+let list_arg =
+  Arg.(value & flag & info [ "list" ] ~doc:"List experiment ids and exit.")
+
+let cmd =
+  Cmd.v
+    (Cmd.info "scalana-bench"
+       ~doc:"Regenerate every table and figure of the ScalAna paper")
+    Term.(const run $ only_arg $ fast_arg $ no_bech_arg $ list_arg)
+
+let () = exit (Cmd.eval cmd)

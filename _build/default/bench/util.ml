@@ -1,0 +1,63 @@
+(* Shared helpers for the experiment harness. *)
+
+let section title =
+  Printf.printf "\n==================================================\n";
+  Printf.printf "%s\n" title;
+  Printf.printf "==================================================\n%!"
+
+let paper fmt = Printf.printf ("  paper:    " ^^ fmt ^^ "\n%!")
+let note fmt = Printf.printf ("  note:     " ^^ fmt ^^ "\n%!")
+
+let human_bytes b =
+  let f = float_of_int b in
+  if f >= 1e9 then Printf.sprintf "%.2f GB" (f /. 1e9)
+  else if f >= 1e6 then Printf.sprintf "%.2f MB" (f /. 1e6)
+  else if f >= 1e3 then Printf.sprintf "%.2f KB" (f /. 1e3)
+  else Printf.sprintf "%d B" b
+
+let spread a =
+  let mx = Array.fold_left Float.max 0.0 a in
+  let mn = Array.fold_left Float.min infinity a in
+  if mn > 0.0 then mx /. mn else infinity
+
+(* Sparkline-style rendering of a per-rank array, for the Fig. 15/16
+   plots in a terminal. *)
+let bars ?(width = 64) a =
+  let n = Array.length a in
+  let mx = Array.fold_left Float.max 1e-12 a in
+  let glyphs = [| ' '; '.'; ':'; '-'; '='; '+'; '*'; '#'; '@' |] in
+  let buf = Buffer.create width in
+  let step = max 1 (n / width) in
+  let i = ref 0 in
+  while !i < n do
+    let stop = min n (!i + step) in
+    let chunk = ref 0.0 in
+    for j = !i to stop - 1 do
+      chunk := Float.max !chunk a.(j)
+    done;
+    let level =
+      int_of_float (!chunk /. mx *. float_of_int (Array.length glyphs - 1))
+    in
+    Buffer.add_char buf glyphs.(max 0 (min (Array.length glyphs - 1) level));
+    i := stop
+  done;
+  Buffer.contents buf
+
+let scales_for (entry : Scalana_apps.Registry.entry) ~max_np =
+  Scalana_apps.Registry.scales entry ~min_np:4 ~max_np
+
+(* One profiled pipeline per program is expensive; cache per (name, scales). *)
+let pipeline_cache : (string, Scalana.Pipeline.t) Hashtbl.t = Hashtbl.create 8
+
+let pipeline ?(max_np = 32) name =
+  let key = Printf.sprintf "%s@%d" name max_np in
+  match Hashtbl.find_opt pipeline_cache key with
+  | Some p -> p
+  | None ->
+      let entry = Scalana_apps.Registry.find name in
+      let scales = scales_for entry ~max_np in
+      let p =
+        Scalana.Pipeline.run ~cost:entry.cost ~scales (entry.make ())
+      in
+      Hashtbl.replace pipeline_cache key p;
+      p

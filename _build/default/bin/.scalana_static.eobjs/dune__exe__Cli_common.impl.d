@@ -1,0 +1,1 @@
+bin/cli_common.ml: Arg Cmd Cmdliner Filename Fun Parser Printf Scalana Scalana_apps Scalana_mlang Scalana_runtime String Validate

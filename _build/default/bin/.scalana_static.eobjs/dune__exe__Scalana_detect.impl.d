@@ -1,0 +1,1 @@
+bin/scalana_detect.ml: Cli_common Cmd Cmdliner Printf Scalana Term

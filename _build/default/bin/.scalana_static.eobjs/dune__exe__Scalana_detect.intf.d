@@ -1,0 +1,1 @@
+bin/scalana_detect.mli:

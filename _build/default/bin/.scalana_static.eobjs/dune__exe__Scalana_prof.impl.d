@@ -1,0 +1,1 @@
+bin/scalana_prof.ml: Arg Cli_common Cmd Cmdliner List Printf Scalana Scalana_apps Scalana_profile Scalana_runtime String Term

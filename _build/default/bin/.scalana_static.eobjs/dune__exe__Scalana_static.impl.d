@@ -1,0 +1,1 @@
+bin/scalana_static.ml: Arg Cli_common Cmd Cmdliner Fmt Printf Scalana Scalana_psg Term

@@ -1,0 +1,1 @@
+bin/scalana_viewer.ml: Arg Cli_common Cmd Cmdliner Printf Scalana Term

@@ -1,0 +1,60 @@
+(* Shared cmdliner fragments for the scalana-* executables. *)
+
+open Cmdliner
+open Scalana_mlang
+
+let load_program ~program_name ~file =
+  match (program_name, file) with
+  | Some name, None ->
+      let entry = Scalana_apps.Registry.find name in
+      (entry.make (), entry.cost)
+  | None, Some path ->
+      let ic = open_in path in
+      let src =
+        Fun.protect
+          ~finally:(fun () -> close_in ic)
+          (fun () -> really_input_string ic (in_channel_length ic))
+      in
+      let prog = Parser.parse ~file:(Filename.basename path) src in
+      Validate.run_exn prog;
+      (prog, Scalana_runtime.Costmodel.default)
+  | Some _, Some _ -> failwith "give either --program or --file, not both"
+  | None, None -> failwith "one of --program or --file is required"
+
+let program_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "p"; "program" ] ~docv:"NAME"
+        ~doc:
+          (Printf.sprintf "Built-in workload to analyze (one of: %s)."
+             (String.concat ", " Scalana_apps.Registry.names)))
+
+let file_arg =
+  Arg.(
+    value
+    & opt (some file) None
+    & info [ "f"; "file" ] ~docv:"SRC.mmp" ~doc:"MiniMPI source file to analyze.")
+
+let session_arg =
+  Arg.(
+    value
+    & opt string "scalana-session"
+    & info [ "s"; "session" ] ~docv:"DIR"
+        ~doc:"Session directory carrying artifacts between steps.")
+
+let max_loop_depth_arg =
+  Arg.(
+    value
+    & opt int Scalana.Config.default.max_loop_depth
+    & info [ "max-loop-depth" ] ~docv:"N"
+        ~doc:"PSG contraction bound on nested loop depth (MaxLoopDepth).")
+
+let abnorm_thd_arg =
+  Arg.(
+    value
+    & opt float Scalana.Config.default.abnorm_thd
+    & info [ "abnorm-thd" ] ~docv:"X"
+        ~doc:"Abnormal-vertex deviation threshold (AbnormThd).")
+
+let exits = Cmd.Exit.defaults

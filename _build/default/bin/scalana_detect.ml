@@ -1,0 +1,21 @@
+(* scalana-detect: offline step — build PPGs from the session's profiles,
+   detect problematic vertices and backtrack to root causes. *)
+
+open Cmdliner
+
+let run session abnorm_thd =
+  let s = Scalana.Artifact.load_session session in
+  if s.runs = [] then failwith "session has no profiles; run scalana-prof first";
+  let config = { Scalana.Config.default with abnorm_thd } in
+  let pipeline = Scalana.Pipeline.detect ~config s.static s.runs in
+  print_string pipeline.report;
+  Printf.printf "\npost-mortem detection cost: %.3fs\n"
+    pipeline.detect_seconds
+
+let cmd =
+  Cmd.v
+    (Cmd.info "scalana-detect"
+       ~doc:"Scaling-loss detection and root-cause backtracking (offline)")
+    Term.(const run $ Cli_common.session_arg $ Cli_common.abnorm_thd_arg)
+
+let () = exit (Cmd.eval cmd)

@@ -1,0 +1,58 @@
+(* scalana-prof: runtime step — execute the (simulated) program at one
+   job scale with the ScalAna profiler attached and add the profile to
+   the session. *)
+
+open Cmdliner
+
+let run session nprocs freq measure_overhead =
+  let static = Scalana.Artifact.load_static session in
+  let entry_cost =
+    (* built-in workloads carry their preferred machine model *)
+    match
+      List.find_opt
+        (fun (e : Scalana_apps.Registry.entry) ->
+          String.equal e.name static.Scalana.Static.program.pname
+          || String.equal ("npb-" ^ e.name) static.Scalana.Static.program.pname)
+        Scalana_apps.Registry.all
+    with
+    | Some e -> e.cost
+    | None -> Scalana_runtime.Costmodel.default
+  in
+  let config = { Scalana.Config.default with sampling_freq = freq } in
+  let run =
+    Scalana.Prof.run ~config ~cost:entry_cost ~measure_overhead static ~nprocs ()
+  in
+  Scalana.Artifact.save_run session run;
+  (* re-save the static artifact: indirect-call refinement mutates it *)
+  Scalana.Artifact.save_static session static;
+  Printf.printf "np=%d elapsed=%.4fs samples=%d mpi_calls=%d storage=%dB\n"
+    nprocs run.result.elapsed run.data.total_samples run.data.mpi_calls_seen
+    (Scalana_profile.Profdata.storage_bytes run.data);
+  match Scalana.Prof.overhead_percent run with
+  | Some pct -> Printf.printf "runtime overhead: %.2f%%\n" pct
+  | None -> ()
+
+let np_arg =
+  Arg.(
+    value & opt int 8
+    & info [ "n"; "np" ] ~docv:"N" ~doc:"Number of simulated MPI processes.")
+
+let freq_arg =
+  Arg.(
+    value
+    & opt float Scalana.Config.default.sampling_freq
+    & info [ "freq" ] ~docv:"HZ" ~doc:"Sampling frequency.")
+
+let overhead_arg =
+  Arg.(
+    value & flag
+    & info [ "measure-overhead" ]
+        ~doc:"Also run uninstrumented and report the overhead percentage.")
+
+let cmd =
+  Cmd.v
+    (Cmd.info "scalana-prof" ~doc:"Sampling-based profiling run (runtime)")
+    Term.(
+      const run $ Cli_common.session_arg $ np_arg $ freq_arg $ overhead_arg)
+
+let () = exit (Cmd.eval cmd)

@@ -1,0 +1,30 @@
+(* scalana-static: compile-time step — build and contract the PSG, store
+   it in the session directory, print Table II-style statistics. *)
+
+open Cmdliner
+
+let run program_name file session max_loop_depth dump =
+  let program, _cost = Cli_common.load_program ~program_name ~file in
+  let static = Scalana.Static.analyze ~max_loop_depth program in
+  Scalana.Artifact.save_static session static;
+  print_endline Scalana_psg.Stats.header;
+  print_endline (Scalana_psg.Stats.row static.stats);
+  Printf.printf "contraction removed %.0f%% of vertices\n"
+    (100.0 *. Scalana_psg.Stats.contraction_ratio static.stats);
+  Printf.printf "session written to %s\n" session;
+  if dump then begin
+    print_endline "-- contracted PSG --";
+    Fmt.pr "%a@." Scalana_psg.Psg.pp (Scalana.Static.psg static)
+  end
+
+let dump_arg =
+  Arg.(value & flag & info [ "dump-psg" ] ~doc:"Print the contracted PSG.")
+
+let cmd =
+  Cmd.v
+    (Cmd.info "scalana-static" ~doc:"Static PSG construction (compile time)")
+    Term.(
+      const run $ Cli_common.program_arg $ Cli_common.file_arg
+      $ Cli_common.session_arg $ Cli_common.max_loop_depth_arg $ dump_arg)
+
+let () = exit (Cmd.eval cmd)

@@ -1,0 +1,33 @@
+(* scalana-viewer: render the detection result with source snippets (the
+   text rendering of the Fig. 9 GUI). *)
+
+open Cmdliner
+
+let run session context html =
+  let s = Scalana.Artifact.load_session session in
+  if s.runs = [] then failwith "session has no profiles; run scalana-prof first";
+  let pipeline = Scalana.Pipeline.detect s.static s.runs in
+  match html with
+  | Some path ->
+      Scalana.Htmlreport.write pipeline ~path;
+      Printf.printf "HTML report written to %s\n" path
+  | None -> print_string (Scalana.Viewer.show ~snippet_context:context pipeline)
+
+let context_arg =
+  Arg.(
+    value & opt int 2
+    & info [ "context" ] ~docv:"N" ~doc:"Source snippet context lines.")
+
+let html_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "html" ] ~docv:"FILE"
+        ~doc:"Write a standalone HTML report instead of text output.")
+
+let cmd =
+  Cmd.v
+    (Cmd.info "scalana-viewer" ~doc:"Root-cause source viewer")
+    Term.(const run $ Cli_common.session_arg $ context_arg $ html_arg)
+
+let () = exit (Cmd.eval cmd)

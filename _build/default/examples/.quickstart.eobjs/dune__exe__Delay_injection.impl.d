@@ -1,0 +1,1 @@
+examples/delay_injection.ml: Array Ast Exec Fmt Inject List Loc Printf Scalana Scalana_apps Scalana_detect Scalana_mlang Scalana_runtime String

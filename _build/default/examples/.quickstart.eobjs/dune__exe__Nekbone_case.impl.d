@@ -1,0 +1,1 @@
+examples/nekbone_case.ml: Array List Pmu Printf Scalana Scalana_apps Scalana_profile Scalana_psg Scalana_runtime

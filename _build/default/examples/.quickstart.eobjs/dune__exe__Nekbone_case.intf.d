@@ -1,0 +1,1 @@
+examples/nekbone_case.mli:

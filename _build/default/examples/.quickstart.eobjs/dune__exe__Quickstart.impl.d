@@ -1,0 +1,1 @@
+examples/quickstart.ml: List Printf Scalana Scalana_mlang

@@ -1,0 +1,1 @@
+examples/sst_case.ml: Array Float List Pmu Printf Scalana Scalana_apps Scalana_profile Scalana_psg Scalana_runtime

@@ -1,0 +1,1 @@
+examples/sst_case.mli:

@@ -1,0 +1,1 @@
+examples/zeusmp_case.ml: List Printf Scalana Scalana_apps String

@@ -1,0 +1,1 @@
+examples/zeusmp_case.mli:

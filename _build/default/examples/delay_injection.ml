@@ -1,0 +1,54 @@
+(* The paper's motivating example (Fig. 2): inject a delay into one
+   process of NPB-CG and watch it surface at other processes' waits —
+   then let backtracking find the true origin.
+
+     dune exec examples/delay_injection.exe                            *)
+
+open Scalana_mlang
+open Scalana_runtime
+
+let () =
+  let entry = Scalana_apps.Registry.find "cg" in
+  let prog = entry.make () in
+  (* target the spmv computation on rank 4, as in Fig. 2 *)
+  let spmv_loc = ref Loc.none in
+  Ast.iter_program
+    (fun s ->
+      match s.Ast.node with
+      | Ast.Comp { label = Some "spmv"; _ } -> spmv_loc := s.Ast.loc
+      | _ -> ())
+    prog;
+  Printf.printf "injecting +1s per iteration on rank 4 at %s\n\n"
+    (Loc.to_string !spmv_loc);
+  let inject = Inject.create [ Inject.delay ~ranks:[ 4 ] ~loc:!spmv_loc 1.0 ] in
+
+  (* effect on raw runs: everyone else's wait time inflates *)
+  let bare cfg_inject =
+    Exec.run
+      ~cfg:(Exec.config ~nprocs:8 ~cost:entry.cost ~inject:cfg_inject ())
+      prog
+  in
+  let clean = bare Inject.empty and delayed = bare inject in
+  Printf.printf "elapsed: clean %.2fs -> delayed %.2fs\n" clean.Exec.elapsed
+    delayed.Exec.elapsed;
+  Printf.printf "rank 0 wait: %.2fs -> %.2fs (delay propagates)\n"
+    clean.Exec.wait_seconds.(0) delayed.Exec.wait_seconds.(0);
+  Printf.printf "rank 4 wait: %.2fs -> %.2fs (the culprit never waits)\n\n"
+    clean.Exec.wait_seconds.(4) delayed.Exec.wait_seconds.(4);
+
+  (* ScalAna finds the origin, not the symptoms *)
+  let pipe = Scalana.Pipeline.run ~cost:entry.cost ~inject ~scales:[ 8 ] prog in
+  (match pipe.analysis.causes with
+  | c :: _ ->
+      Printf.printf "root cause: %s @%s, culprit ranks = %s\n" c.cause_label
+        (Loc.to_string c.cause_loc)
+        (String.concat "," (List.map string_of_int c.culprit_ranks));
+      Printf.printf "backtracking path:\n  %s\n"
+        (Fmt.str "%a"
+           (Scalana_detect.Backtrack.pp_path (Scalana.Static.psg pipe.static))
+           c.example_path)
+  | [] -> print_endline "no cause found (unexpected)");
+  print_newline ();
+  print_endline
+    "paper: tracing this scenario produced >250 GB of traces; ScalAna's";
+  print_endline "PPG identifies the red vertex of process 4 directly"

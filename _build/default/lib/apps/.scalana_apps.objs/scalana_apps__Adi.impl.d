@@ -1,0 +1,1 @@
+lib/apps/adi.ml: Builder Common Expr Scalana_mlang

@@ -1,0 +1,1 @@
+lib/apps/adi.mli: Scalana_mlang

@@ -1,0 +1,1 @@
+lib/apps/common.ml: Builder Expr Scalana_mlang Stdlib

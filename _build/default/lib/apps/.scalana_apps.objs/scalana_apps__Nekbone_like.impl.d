@@ -1,0 +1,1 @@
+lib/apps/nekbone_like.ml: Builder Common Expr Scalana_mlang

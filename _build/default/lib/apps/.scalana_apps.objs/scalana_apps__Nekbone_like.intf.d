@@ -1,0 +1,1 @@
+lib/apps/nekbone_like.mli: Scalana_mlang

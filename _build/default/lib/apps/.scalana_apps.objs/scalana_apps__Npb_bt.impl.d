@@ -1,0 +1,1 @@
+lib/apps/npb_bt.ml: Adi

@@ -1,0 +1,1 @@
+lib/apps/npb_cg.ml: Builder Common Expr Scalana_mlang

@@ -1,0 +1,1 @@
+lib/apps/npb_cg.mli: Scalana_mlang

@@ -1,0 +1,1 @@
+lib/apps/npb_ep.ml: Builder Common Expr Scalana_mlang

@@ -1,0 +1,1 @@
+lib/apps/npb_ep.mli: Scalana_mlang

@@ -1,0 +1,1 @@
+lib/apps/npb_ft.ml: Builder Common Expr Scalana_mlang

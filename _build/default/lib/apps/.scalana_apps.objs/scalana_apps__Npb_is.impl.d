@@ -1,0 +1,1 @@
+lib/apps/npb_is.ml: Builder Common Expr Scalana_mlang

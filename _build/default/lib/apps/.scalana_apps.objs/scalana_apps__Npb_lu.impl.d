@@ -1,0 +1,1 @@
+lib/apps/npb_lu.ml: Builder Common Expr Scalana_mlang

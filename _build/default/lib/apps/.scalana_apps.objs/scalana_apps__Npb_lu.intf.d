@@ -1,0 +1,1 @@
+lib/apps/npb_lu.mli: Scalana_mlang

@@ -1,0 +1,1 @@
+lib/apps/npb_mg.ml: Builder Common Expr Scalana_mlang

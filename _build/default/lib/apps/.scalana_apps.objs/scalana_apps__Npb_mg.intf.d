@@ -1,0 +1,1 @@
+lib/apps/npb_mg.mli: Scalana_mlang

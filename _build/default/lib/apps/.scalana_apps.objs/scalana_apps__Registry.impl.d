@@ -1,0 +1,1 @@
+lib/apps/registry.ml: Ast Costmodel List Nekbone_like Npb_bt Npb_cg Npb_ep Npb_ft Npb_is Npb_lu Npb_mg Npb_sp Printf Scalana_mlang Scalana_runtime Sst_like String Zeusmp_like

@@ -1,0 +1,1 @@
+lib/apps/registry.mli: Ast Costmodel Scalana_mlang Scalana_runtime

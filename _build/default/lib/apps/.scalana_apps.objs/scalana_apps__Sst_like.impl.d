@@ -1,0 +1,1 @@
+lib/apps/sst_like.ml: Builder Common Expr Scalana_mlang

@@ -1,0 +1,1 @@
+lib/apps/sst_like.mli: Scalana_mlang

@@ -1,0 +1,1 @@
+lib/apps/zeusmp_like.ml: Builder Common Expr Scalana_mlang

@@ -1,0 +1,1 @@
+lib/apps/zeusmp_like.mli: Scalana_mlang

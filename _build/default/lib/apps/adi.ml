@@ -1,0 +1,120 @@
+(* Shared generator for the BT/SP ADI solvers: a sqrt(np) x sqrt(np)
+   logical process grid with per-direction line solves and face exchanges.
+   Ranks outside the square grid (when np is not a perfect square) skip
+   the grid phases but join the collectives, mirroring how the real codes
+   restrict the process count.  BT and SP differ in their solver weight
+   and message sizes. *)
+
+open Scalana_mlang
+open Expr.Infix
+
+type flavor = {
+  name : string;
+  file : string;
+  solve_flops : int;  (* per-point flop weight of one line solve *)
+  solve_mem : int;
+  face_bytes : int;
+  niter : int;
+}
+
+let bt =
+  {
+    name = "npb-bt";
+    file = "npb_bt.mmp";
+    solve_flops = 38;
+    solve_mem = 16;
+    face_bytes = 800_000;
+    niter = 20;
+  }
+
+let sp =
+  {
+    name = "npb-sp";
+    file = "npb_sp.mmp";
+    solve_flops = 18;
+    solve_mem = 11;
+    face_bytes = 1_400_000;
+    niter = 25;
+  }
+
+(* One direction of the ADI sweep: forward elimination with a face
+   exchange, then back substitution with the reverse exchange. *)
+let solve_dir b fl ~dir ~fwd ~bwd =
+  let body () =
+    [
+      Builder.comp b
+        ~label:(dir ^ "_forward")
+        ~locality:0.88
+        ~flops:(i fl.solve_flops * p "n3" / np / i 2)
+        ~mem:(i fl.solve_mem * p "n3" / np / i 2)
+        ();
+      Builder.sendrecv b ~dest:fwd
+        ~sbytes:(i fl.face_bytes / isqrt np)
+        ~src:bwd
+        ~rbytes:(i fl.face_bytes / isqrt np)
+        ();
+      Builder.comp b
+        ~label:(dir ^ "_backsub")
+        ~locality:0.88
+        ~flops:(i fl.solve_flops * p "n3" / np / i 2)
+        ~mem:(i fl.solve_mem * p "n3" / np / i 2)
+        ();
+      Builder.sendrecv b ~dest:bwd ~stag:(i 1)
+        ~sbytes:(i fl.face_bytes / isqrt np)
+        ~src:fwd ~rtag:(i 1)
+        ~rbytes:(i fl.face_bytes / isqrt np)
+        ();
+    ]
+  in
+  body
+
+let make fl ?(optimized = false) () =
+  ignore optimized;
+  let b = Builder.create ~file:fl.file ~name:fl.name () in
+  Builder.param b "n3" 120_000_000;
+  Builder.param b "niter" fl.niter;
+  let q = isqrt np in
+  let row = v "row" and col = v "col" in
+  let x_fwd = (row * q) + ((col + i 1) % q)
+  and x_bwd = (row * q) + ((col - i 1 + q) % q)
+  and y_fwd = (((row + i 1) % q) * q) + col
+  and y_bwd = (((row - i 1 + q) % q) * q) + col in
+  Builder.func b "adi_step" (fun () ->
+      [
+        Builder.let_ b "row" (rank / q);
+        Builder.let_ b "col" (rank % q);
+        Builder.comp b ~label:"compute_rhs" ~locality:0.85
+          ~flops:(i 12 * p "n3" / np)
+          ~mem:(i 6 * p "n3" / np)
+          ();
+        Builder.loop b ~label:"x_solve" ~var:"xs" ~count:(i 1) (fun () ->
+            solve_dir b fl ~dir:"x" ~fwd:x_fwd ~bwd:x_bwd ());
+        Builder.loop b ~label:"y_solve" ~var:"ys" ~count:(i 1) (fun () ->
+            solve_dir b fl ~dir:"y" ~fwd:y_fwd ~bwd:y_bwd ());
+        Builder.comp b ~label:"z_solve" ~locality:0.86
+          ~flops:(i fl.solve_flops * p "n3" / np)
+          ~mem:(i fl.solve_mem * p "n3" / np)
+          ();
+        Builder.comp b ~label:"add" ~locality:0.92
+          ~flops:(i 3 * p "n3" / np)
+          ~mem:(i 4 * p "n3" / np)
+          ();
+      ]);
+  Builder.func b "main" (fun () ->
+      Common.setup_phase b ~name:"setup" ~work:(p "n3" / np / i 64) ()
+      @ [
+        Builder.comp b ~label:"initialize" ~locality:0.85
+          ~flops:(p "n3" / np / i 4)
+          ~mem:(p "n3" / np / i 2)
+          ();
+        Builder.bcast b ~bytes:(i 64) ();
+        Builder.loop b ~label:"adi_iter" ~var:"it" ~count:(p "niter") (fun () ->
+            [
+              Builder.branch b
+                ~cond:(rank < q * q)
+                (fun () -> [ Builder.call b "adi_step" ]);
+              Builder.allreduce b ~bytes:(i 40);
+            ]);
+        Builder.allreduce b ~bytes:(i 40);
+      ]);
+  Builder.program b

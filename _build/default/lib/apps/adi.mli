@@ -1,0 +1,15 @@
+(** Shared generator for the BT/SP ADI solvers on a sqrt(np) x sqrt(np)
+    process grid; ranks outside the grid join only the collectives. *)
+
+type flavor = {
+  name : string;
+  file : string;
+  solve_flops : int;
+  solve_mem : int;
+  face_bytes : int;
+  niter : int;
+}
+
+val bt : flavor
+val sp : flavor
+val make : flavor -> ?optimized:bool -> unit -> Scalana_mlang.Ast.program

@@ -1,0 +1,23 @@
+(** Shared communication skeletons and program phases for the MiniMPI
+    workloads. *)
+
+open Scalana_mlang
+
+(** Bidirectional sendrecv with the ring neighbours (periodic). *)
+val ring_halo : Builder.t -> bytes:Expr.t -> unit -> Ast.stmt list
+
+(** Non-blocking halo with explicit requests and a trailing waitall (the
+    Zeus-MP/Nekbone shape). [tag] disambiguates phases. *)
+val nonblocking_halo :
+  Builder.t -> ?tag:int -> bytes:Expr.t -> unit -> Ast.stmt list
+
+(** log2(np) rounds of sendrecv with partner [rank xor 2^k] (the NPB-CG
+    transpose shape). *)
+val hypercube_exchange :
+  Builder.t -> ?label:string -> bytes:Expr.t -> unit -> Ast.stmt
+
+(** A realistic allocation/initialization/diagnostics phase: adjacent
+    small computations, MPI-free branches and shallow nested loops — the
+    structure graph contraction removes in real codes. *)
+val setup_phase :
+  Builder.t -> name:string -> work:Expr.t -> unit -> Ast.stmt list

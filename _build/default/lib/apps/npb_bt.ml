@@ -1,0 +1,2 @@
+(* NPB BT analogue (block-tridiagonal ADI); see Adi. *)
+let make = Adi.make Adi.bt

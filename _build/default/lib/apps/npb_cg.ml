@@ -1,0 +1,46 @@
+(* NPB CG analogue: conjugate-gradient iterations with a sparse
+   matrix-vector product, recursive-doubling partition exchange and dot
+   product allreduces — the communication skeleton of Fig. 2. *)
+
+open Scalana_mlang
+open Expr.Infix
+
+let make ?(optimized = false) () =
+  ignore optimized;
+  let b = Builder.create ~file:"npb_cg.mmp" ~name:"npb-cg" () in
+  Builder.param b "na" 40_000_000;
+  Builder.param b "nz" 640_000_000;
+  Builder.param b "niter" 30;
+  Builder.func b "conj_grad" (fun () ->
+      [
+        Builder.comp b ~label:"spmv" ~locality:0.86
+          ~flops:(i 2 * p "nz" / np)
+          ~mem:(i 3 * p "nz" / np)
+          ();
+        Common.hypercube_exchange b ~label:"transpose_exchange"
+          ~bytes:(i 8 * p "na" / np)
+          ();
+        Builder.comp b ~label:"axpy" ~locality:0.94
+          ~flops:(i 6 * p "na" / np)
+          ~mem:(i 9 * p "na" / np)
+          ();
+        Builder.allreduce b ~bytes:(i 8);
+        Builder.comp b ~label:"p_update" ~locality:0.95
+          ~flops:(i 2 * p "na" / np)
+          ~mem:(i 3 * p "na" / np)
+          ();
+        Builder.allreduce b ~bytes:(i 8);
+      ]);
+  Builder.func b "main" (fun () ->
+      Common.setup_phase b ~name:"setup" ~work:(p "na" / np / i 4) ()
+      @ [
+        Builder.comp b ~label:"init" ~locality:0.8
+          ~flops:(p "na" / np)
+          ~mem:(i 2 * p "na" / np)
+          ();
+        Builder.bcast b ~bytes:(i 64) ();
+        Builder.loop b ~label:"cg_iter" ~var:"it" ~count:(p "niter") (fun () ->
+            [ Builder.call b "conj_grad" ]);
+        Builder.allreduce b ~bytes:(i 8);
+      ]);
+  Builder.program b

@@ -1,0 +1,31 @@
+(* NPB EP analogue: embarrassingly parallel random-number kernel; almost
+   pure computation, a handful of small reductions at the end. *)
+
+open Scalana_mlang
+open Expr.Infix
+
+let make ?(optimized = false) () =
+  ignore optimized;
+  let b = Builder.create ~file:"npb_ep.mmp" ~name:"npb-ep" () in
+  Builder.param b "m" 36_000_000_000;
+  Builder.param b "blocks" 16;
+  Builder.func b "main" (fun () ->
+      Common.setup_phase b ~name:"setup" ~work:(p "m" / np / i 4096) ()
+      @ [
+        Builder.bcast b ~bytes:(i 32) ();
+        Builder.loop b ~label:"gauss_blocks" ~var:"blk" ~count:(p "blocks")
+          (fun () ->
+            [
+              Builder.comp b ~label:"vranlc" ~locality:0.99
+                ~flops:(i 2 * p "m" / (np * p "blocks"))
+                ~mem:(p "m" / (np * p "blocks"))
+                ();
+              Builder.comp b ~label:"pairs_test" ~locality:0.97
+                ~flops:(i 3 * p "m" / (np * p "blocks"))
+                ~mem:(p "m" / (np * p "blocks"))
+                ();
+            ]);
+        Builder.allreduce b ~bytes:(i 8);
+        Builder.allreduce b ~bytes:(i 80);
+      ]);
+  Builder.program b

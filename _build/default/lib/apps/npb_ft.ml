@@ -1,0 +1,57 @@
+(* NPB FT analogue: 3-D FFT with an all-to-all transpose each iteration. *)
+
+open Scalana_mlang
+open Expr.Infix
+
+let make ?(optimized = false) () =
+  ignore optimized;
+  let b = Builder.create ~file:"npb_ft.mmp" ~name:"npb-ft" () in
+  Builder.param b "ntotal" 130_000_000;  (* grid points *)
+  Builder.param b "niter" 20;
+  Builder.func b "fft_xy" (fun () ->
+      [
+        Builder.comp b ~label:"fft_x" ~locality:0.9
+          ~flops:(i 20 * p "ntotal" / np)
+          ~mem:(i 4 * p "ntotal" / np)
+          ();
+        Builder.comp b ~label:"fft_y" ~locality:0.88
+          ~flops:(i 20 * p "ntotal" / np)
+          ~mem:(i 4 * p "ntotal" / np)
+          ();
+      ]);
+  Builder.func b "transpose" (fun () ->
+      [
+        Builder.comp b ~label:"pack" ~locality:0.7
+          ~flops:(p "ntotal" / np)
+          ~mem:(i 2 * p "ntotal" / np)
+          ();
+        Builder.alltoall b ~bytes:(i 16 * p "ntotal" / (np * np));
+        Builder.comp b ~label:"unpack" ~locality:0.7
+          ~flops:(p "ntotal" / np)
+          ~mem:(i 2 * p "ntotal" / np)
+          ();
+      ]);
+  Builder.func b "main" (fun () ->
+      Common.setup_phase b ~name:"setup" ~work:(p "ntotal" / np / i 64) ()
+      @ [
+        Builder.comp b ~label:"init_ue" ~locality:0.85
+          ~flops:(i 4 * p "ntotal" / np)
+          ~mem:(i 2 * p "ntotal" / np)
+          ();
+        Builder.bcast b ~bytes:(i 48) ();
+        Builder.loop b ~label:"ft_iter" ~var:"it" ~count:(p "niter") (fun () ->
+            [
+              Builder.call b "fft_xy";
+              Builder.call b "transpose";
+              Builder.comp b ~label:"fft_z" ~locality:0.88
+                ~flops:(i 20 * p "ntotal" / np)
+                ~mem:(i 4 * p "ntotal" / np)
+                ();
+              Builder.comp b ~label:"checksum" ~locality:0.95
+                ~flops:(p "ntotal" / np / i 16)
+                ~mem:(p "ntotal" / np / i 16)
+                ();
+              Builder.allreduce b ~bytes:(i 16);
+            ]);
+      ]);
+  Builder.program b

@@ -1,0 +1,41 @@
+(* NPB IS analogue: integer bucket sort — cache-hostile key counting, a
+   bucket-size allreduce and an all-to-all key redistribution. *)
+
+open Scalana_mlang
+open Expr.Infix
+
+let make ?(optimized = false) () =
+  ignore optimized;
+  let b = Builder.create ~file:"npb_is.mmp" ~name:"npb-is" () in
+  Builder.param b "nkeys" 540_000_000;
+  Builder.param b "nbuckets" 1024;
+  Builder.param b "niter" 10;
+  Builder.func b "rank_keys" (fun () ->
+      [
+        Builder.comp b ~label:"count_buckets" ~locality:0.55
+          ~flops:(i 2 * p "nkeys" / np)
+          ~mem:(i 3 * p "nkeys" / np)
+          ();
+        Builder.allreduce b ~bytes:(i 4 * p "nbuckets");
+        Builder.alltoall b ~bytes:(i 4 * p "nkeys" / (np * np));
+        Builder.comp b ~label:"local_rank" ~locality:0.6
+          ~flops:(i 2 * p "nkeys" / np)
+          ~mem:(i 2 * p "nkeys" / np)
+          ();
+      ]);
+  Builder.func b "main" (fun () ->
+      Common.setup_phase b ~name:"setup" ~work:(p "nkeys" / np / i 64) ()
+      @ [
+        Builder.comp b ~label:"create_seq" ~locality:0.9
+          ~flops:(i 3 * p "nkeys" / np)
+          ~mem:(p "nkeys" / np)
+          ();
+        Builder.loop b ~label:"is_iter" ~var:"it" ~count:(p "niter") (fun () ->
+            [ Builder.call b "rank_keys" ]);
+        Builder.comp b ~label:"full_verify" ~locality:0.7
+          ~flops:(p "nkeys" / np)
+          ~mem:(i 2 * p "nkeys" / np)
+          ();
+        Builder.allreduce b ~bytes:(i 8);
+      ]);
+  Builder.program b

@@ -1,0 +1,4 @@
+(** NPB IS analogue; see the implementation header for the communication
+    skeleton and any planted behaviour. *)
+
+val make : ?optimized:bool -> unit -> Scalana_mlang.Ast.program

@@ -1,0 +1,72 @@
+(* NPB LU analogue: SSOR with wavefront pipelining.
+
+   Each sweep is chunked into [nk] wavefront slabs: a rank receives the
+   slab boundary from its predecessor, relaxes its block, and forwards to
+   the successor — so rank r works on slab k while rank r+1 still works
+   on slab k-1, giving the classic pipeline fill/drain behaviour (and its
+   scaling limit as np approaches nk). *)
+
+open Scalana_mlang
+open Expr.Infix
+
+let make ?(optimized = false) () =
+  ignore optimized;
+  let b = Builder.create ~file:"npb_lu.mmp" ~name:"npb-lu" () in
+  Builder.param b "n3" 120_000_000;
+  Builder.param b "pencil" 30_000;  (* per-slab boundary bytes *)
+  Builder.param b "nk" 48;  (* wavefront slabs per sweep *)
+  Builder.param b "niter" 20;
+  let sweep ~name ~label ~from_prev ~tagbase =
+    Builder.func b name (fun () ->
+        [
+          Builder.loop b ~label:(name ^ "_wavefront") ~var:"k" ~count:(p "nk")
+            (fun () ->
+              [
+                Builder.branch b
+                  ~cond:(if from_prev then rank > i 0 else rank < np - i 1)
+                  (fun () ->
+                    [
+                      Builder.recv b
+                        ~src:(if from_prev then rank - i 1 else rank + i 1)
+                        ~tag:(i tagbase + v "k")
+                        ~bytes:(p "pencil") ();
+                    ]);
+                Builder.comp b ~label ~locality:0.87
+                  ~flops:(i 25 * p "n3" / np / (i 2 * p "nk"))
+                  ~mem:(i 12 * p "n3" / np / (i 2 * p "nk"))
+                  ();
+                Builder.branch b
+                  ~cond:(if from_prev then rank < np - i 1 else rank > i 0)
+                  (fun () ->
+                    [
+                      Builder.send b
+                        ~dest:(if from_prev then rank + i 1 else rank - i 1)
+                        ~tag:(i tagbase + v "k")
+                        ~bytes:(p "pencil") ();
+                    ]);
+              ]);
+        ])
+  in
+  sweep ~name:"lower_sweep" ~label:"jacld_blts" ~from_prev:true ~tagbase:100;
+  sweep ~name:"upper_sweep" ~label:"jacu_buts" ~from_prev:false ~tagbase:300;
+  Builder.func b "main" (fun () ->
+      Common.setup_phase b ~name:"setup" ~work:(p "n3" / np / i 64) ()
+      @ [
+        Builder.comp b ~label:"setbv" ~locality:0.85
+          ~flops:(p "n3" / np / i 8)
+          ~mem:(p "n3" / np / i 4)
+          ();
+        Builder.bcast b ~bytes:(i 56) ();
+        Builder.loop b ~label:"ssor_iter" ~var:"it" ~count:(p "niter") (fun () ->
+            [
+              Builder.call b "lower_sweep";
+              Builder.call b "upper_sweep";
+              Builder.comp b ~label:"rhs_update" ~locality:0.84
+                ~flops:(i 8 * p "n3" / np)
+                ~mem:(i 5 * p "n3" / np)
+                ();
+              Builder.allreduce b ~bytes:(i 40);
+            ]);
+        Builder.allreduce b ~bytes:(i 40);
+      ]);
+  Builder.program b

@@ -1,0 +1,70 @@
+(* NPB MG analogue: multigrid V-cycles — per-level smoothing whose work
+   shrinks 8x per level while the halo exchange shrinks only 4x, the
+   classic surface-to-volume communication shape. *)
+
+open Scalana_mlang
+open Expr.Infix
+
+let make ?(optimized = false) () =
+  ignore optimized;
+  let b = Builder.create ~file:"npb_mg.mmp" ~name:"npb-mg" () in
+  Builder.param b "n3" 360_000_000;  (* fine-grid points *)
+  Builder.param b "face" 4_000_000;  (* fine-grid face bytes *)
+  Builder.param b "nlevels" 5;
+  Builder.param b "niter" 16;
+  Builder.func b "smooth" ~params:[ "lvl" ] (fun () ->
+      [
+        Builder.comp b ~label:"psinv" ~locality:0.82
+          ~flops:((i 15 * p "n3" / np) asr (i 3 * v "lvl"))
+          ~mem:((i 8 * p "n3" / np) asr (i 3 * v "lvl"))
+          ();
+      ]
+      @ Common.ring_halo b ~bytes:(max_ (i 1024) ((p "face" / np) asr (i 2 * v "lvl"))) ());
+  Builder.func b "residual" ~params:[ "lvl" ] (fun () ->
+      [
+        Builder.comp b ~label:"resid" ~locality:0.8
+          ~flops:((i 13 * p "n3" / np) asr (i 3 * v "lvl"))
+          ~mem:((i 7 * p "n3" / np) asr (i 3 * v "lvl"))
+          ();
+      ]
+      @ Common.ring_halo b ~bytes:(max_ (i 1024) ((p "face" / np) asr (i 2 * v "lvl"))) ());
+  Builder.func b "vcycle" (fun () ->
+      [
+        Builder.loop b ~label:"down_sweep" ~var:"lvl" ~count:(p "nlevels")
+          (fun () ->
+            [
+              Builder.call b "residual" ~args:[ ("lvl", v "lvl") ];
+              Builder.comp b ~label:"rprj3" ~locality:0.78
+                ~flops:((i 4 * p "n3" / np) asr (i 3 * v "lvl"))
+                ~mem:((i 3 * p "n3" / np) asr (i 3 * v "lvl"))
+                ();
+            ]);
+        Builder.loop b ~label:"up_sweep" ~var:"ulvl" ~count:(p "nlevels")
+          (fun () ->
+            [
+              Builder.comp b ~label:"interp" ~locality:0.8
+                ~flops:
+                  ((i 5 * p "n3" / np) asr (i 3 * (p "nlevels" - i 1 - v "ulvl")))
+                ~mem:
+                  ((i 3 * p "n3" / np) asr (i 3 * (p "nlevels" - i 1 - v "ulvl")))
+                ();
+              Builder.call b "smooth"
+                ~args:[ ("lvl", p "nlevels" - i 1 - v "ulvl") ];
+            ]);
+      ]);
+  Builder.func b "main" (fun () ->
+      Common.setup_phase b ~name:"setup" ~work:(p "n3" / np / i 64) ()
+      @ [
+        Builder.comp b ~label:"zero_init" ~locality:0.9
+          ~flops:(p "n3" / np / i 4)
+          ~mem:(p "n3" / np / i 2)
+          ();
+        Builder.bcast b ~bytes:(i 40) ();
+        Builder.loop b ~label:"mg_iter" ~var:"it" ~count:(p "niter") (fun () ->
+            [
+              Builder.call b "vcycle";
+              Builder.allreduce b ~bytes:(i 8);
+            ]);
+        Builder.allreduce b ~bytes:(i 8);
+      ]);
+  Builder.program b

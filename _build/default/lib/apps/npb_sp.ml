@@ -1,0 +1,2 @@
+(* NPB SP analogue (scalar-pentadiagonal ADI); see Adi. *)
+let make = Adi.make Adi.sp

@@ -1,0 +1,59 @@
+(* Registry of all evaluated programs (the paper's Table II roster). *)
+
+open Scalana_mlang
+open Scalana_runtime
+
+type entry = {
+  name : string;
+  description : string;
+  make : ?optimized:bool -> unit -> Ast.program;
+  cost : Costmodel.t;
+  square_scales : bool;  (* BT/SP-style sqrt(np) process grids *)
+  has_optimized : bool;
+}
+
+let entry ?(cost = Costmodel.default) ?(square_scales = false)
+    ?(has_optimized = false) name description make =
+  { name; description; make; cost; square_scales; has_optimized }
+
+let all =
+  [
+    entry "bt" "NPB BT: block-tridiagonal ADI on a square process grid"
+      Npb_bt.make ~square_scales:true;
+    entry "cg" "NPB CG: conjugate gradient with hypercube exchange"
+      Npb_cg.make;
+    entry "ep" "NPB EP: embarrassingly parallel" Npb_ep.make;
+    entry "ft" "NPB FT: 3-D FFT with all-to-all transpose" Npb_ft.make;
+    entry "mg" "NPB MG: multigrid V-cycle with per-level halos" Npb_mg.make;
+    entry "sp" "NPB SP: scalar-pentadiagonal ADI on a square process grid"
+      Npb_sp.make ~square_scales:true;
+    entry "lu" "NPB LU: SSOR with wavefront pipeline" Npb_lu.make;
+    entry "is" "NPB IS: integer bucket sort" Npb_is.make;
+    entry "sst" "SST-like parallel discrete-event simulator" Sst_like.make
+      ~has_optimized:true;
+    entry "nekbone" "Nekbone-like spectral-element CG solver"
+      Nekbone_like.make
+      ~cost:(Costmodel.heterogeneous ())
+      ~has_optimized:true;
+    entry "zeusmp" "Zeus-MP-like 3-D MHD code" Zeusmp_like.make
+      ~has_optimized:true;
+  ]
+
+let names = List.map (fun e -> e.name) all
+
+let find name =
+  match List.find_opt (fun e -> String.equal e.name name) all with
+  | Some e -> e
+  | None ->
+      invalid_arg
+        (Printf.sprintf "unknown program %S (known: %s)" name
+           (String.concat ", " names))
+
+(* Job scales for an entry within [min_np, max_np]: powers of two, or
+   powers of four for square-grid programs. *)
+let scales e ~min_np ~max_np =
+  let rec go acc n =
+    if n > max_np then List.rev acc
+    else go (n :: acc) (if e.square_scales then n * 4 else n * 2)
+  in
+  go [] (max min_np (if e.square_scales then 4 else 2))

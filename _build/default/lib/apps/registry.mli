@@ -1,0 +1,23 @@
+(** Registry of the evaluated programs (the paper's Table II roster). *)
+
+open Scalana_mlang
+open Scalana_runtime
+
+type entry = {
+  name : string;
+  description : string;
+  make : ?optimized:bool -> unit -> Ast.program;
+  cost : Costmodel.t;  (** recommended machine model *)
+  square_scales : bool;  (** BT/SP-style sqrt(np) process grids *)
+  has_optimized : bool;
+}
+
+val all : entry list
+val names : string list
+
+(** Raises [Invalid_argument] for unknown names. *)
+val find : string -> entry
+
+(** Job scales within [min_np, max_np]: powers of two, or powers of four
+    for square-grid programs. *)
+val scales : entry -> min_np:int -> max_np:int -> int list

@@ -1,0 +1,1 @@
+lib/baselines/callprof.ml: Array Cct Float Instrument List Pmu Scalana_mlang Scalana_runtime

@@ -1,0 +1,1 @@
+lib/baselines/callprof.mli: Cct Instrument Scalana_mlang Scalana_runtime

@@ -1,0 +1,1 @@
+lib/baselines/cct.ml: Array Float Hashtbl List Loc Pmu Scalana_mlang Scalana_runtime String

@@ -1,0 +1,1 @@
+lib/baselines/cct.mli: Hashtbl Loc Pmu Scalana_mlang Scalana_runtime

@@ -1,0 +1,1 @@
+lib/baselines/replay.ml: Fmt Hashtbl List Loc Scalana_mlang Tracer

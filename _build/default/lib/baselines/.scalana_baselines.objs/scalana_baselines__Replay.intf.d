@@ -1,0 +1,1 @@
+lib/baselines/replay.mli: Fmt Loc Scalana_mlang Tracer

@@ -1,0 +1,1 @@
+lib/baselines/trace_io.ml: Fun List Loc Printf Scalana_mlang String Tracer

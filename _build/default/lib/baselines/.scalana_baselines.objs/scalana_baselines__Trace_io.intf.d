@@ -1,0 +1,1 @@
+lib/baselines/trace_io.mli: Tracer

@@ -1,0 +1,1 @@
+lib/baselines/tracer.ml: Ast Instrument List Loc Option Scalana_mlang Scalana_runtime

@@ -1,0 +1,1 @@
+lib/baselines/tracer.mli: Instrument Loc Scalana_mlang Scalana_runtime

@@ -1,0 +1,27 @@
+(** Call-path profiling baseline (the HPCToolkit role): timer sampling
+    with full unwinding into a CCT; reports bottleneck points (hot
+    contexts, imbalance) without dependence analysis. *)
+
+open Scalana_runtime
+
+type config = { freq : float; per_sample_cost : float }
+
+val default_config : config
+
+type t
+
+val create : ?config:config -> nprocs:int -> unit -> t
+val tool : t -> Instrument.t
+val cct : t -> Cct.t
+val storage_bytes : t -> int
+
+type hotspot = {
+  hs_loc : Scalana_mlang.Loc.t;
+  hs_time : float;
+  hs_is_mpi : bool;
+  hs_imbalance : float;  (** max/min across ranks; infinite when some
+                             ranks never execute the context *)
+}
+
+(** Top contexts by time — symptoms, deliberately without causality. *)
+val hotspots : ?top:int -> t -> hotspot list

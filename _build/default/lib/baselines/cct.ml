@@ -1,0 +1,113 @@
+(* Calling-context tree for the call-path profiling baseline.
+
+   Nodes are keyed by (call path, location); each holds inclusive sampled
+   time and counters per rank, as hpcrun's per-process measurement files
+   do.  Merging across ranks supports the top-down report. *)
+
+open Scalana_mlang
+open Scalana_runtime
+
+type node = {
+  cct_loc : Loc.t;
+  cct_callpath : Loc.t list;
+  mutable time : float;
+  mutable samples : int;
+  mutable pmu : Pmu.t;
+  mutable wait : float;
+  mutable is_mpi : bool;
+}
+
+type t = { per_rank : (string, node) Hashtbl.t array }
+
+let create ~nprocs = { per_rank = Array.init nprocs (fun _ -> Hashtbl.create 64) }
+
+let key callpath loc =
+  String.concat ">" (List.map Loc.to_string callpath) ^ "@" ^ Loc.to_string loc
+
+let find_or_add t ~rank ~callpath ~loc =
+  let tbl = t.per_rank.(rank) in
+  let k = key callpath loc in
+  match Hashtbl.find_opt tbl k with
+  | Some n -> n
+  | None ->
+      let n =
+        {
+          cct_loc = loc;
+          cct_callpath = callpath;
+          time = 0.0;
+          samples = 0;
+          pmu = Pmu.zero;
+          wait = 0.0;
+          is_mpi = false;
+        }
+      in
+      Hashtbl.add tbl k n;
+      n
+
+let n_nodes t =
+  Array.fold_left (fun acc tbl -> acc + Hashtbl.length tbl) 0 t.per_rank
+
+(* hpcrun measurement-file model: node record plus metric pages. *)
+let bytes_per_node = 256
+let storage_bytes t = n_nodes t * bytes_per_node
+
+type merged = {
+  m_loc : Loc.t;
+  m_callpath : Loc.t list;
+  m_time : float;
+  m_wait : float;
+  m_is_mpi : bool;
+  m_ranks : int;
+  m_max_time : float;
+  m_min_time : float;
+}
+
+(* Merge per-rank nodes by calling context. *)
+let merge t =
+  let acc : (string, Loc.t * Loc.t list * float ref * float ref * bool ref
+                     * int ref * float ref * float ref) Hashtbl.t =
+    Hashtbl.create 128
+  in
+  Array.iter
+    (fun tbl ->
+      Hashtbl.iter
+        (fun k (n : node) ->
+          let _, _, time, wait, is_mpi, ranks, maxt, mint =
+            match Hashtbl.find_opt acc k with
+            | Some e -> e
+            | None ->
+                let e =
+                  ( n.cct_loc,
+                    n.cct_callpath,
+                    ref 0.0,
+                    ref 0.0,
+                    ref false,
+                    ref 0,
+                    ref neg_infinity,
+                    ref infinity )
+                in
+                Hashtbl.add acc k e;
+                e
+          in
+          time := !time +. n.time;
+          wait := !wait +. n.wait;
+          is_mpi := !is_mpi || n.is_mpi;
+          incr ranks;
+          maxt := Float.max !maxt n.time;
+          mint := Float.min !mint n.time)
+        tbl)
+    t.per_rank;
+  Hashtbl.fold
+    (fun _ (loc, callpath, time, wait, is_mpi, ranks, maxt, mint) out ->
+      {
+        m_loc = loc;
+        m_callpath = callpath;
+        m_time = !time;
+        m_wait = !wait;
+        m_is_mpi = !is_mpi;
+        m_ranks = !ranks;
+        m_max_time = !maxt;
+        m_min_time = !mint;
+      }
+      :: out)
+    acc []

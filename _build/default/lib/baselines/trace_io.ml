@@ -1,0 +1,131 @@
+(* Textual trace files — a miniature OTF: one record per line, so traces
+   survive the process that produced them and the wait-state replay and
+   critical-path analyses can run post-mortem, as Scalasca's do.
+
+   Format (tab-separated):
+     C <rank> <time> <dur> <file> <line> <callpath> <label>
+     M <rank> <time> <dur> <file> <line> <callpath> <name> <wait> \
+       <collective:0|1> <late_rank|-1> <peers: r@file:line;...>
+   The callpath is a ';'-separated list of file:line call sites ('-' when
+   empty). *)
+
+open Scalana_mlang
+
+exception Malformed of { line_no : int; msg : string }
+
+let string_of_loc loc = Printf.sprintf "%s:%d" (Loc.file loc) (Loc.line loc)
+
+let loc_of_string ~line_no s =
+  match String.rindex_opt s ':' with
+  | None -> raise (Malformed { line_no; msg = "bad location " ^ s })
+  | Some i -> (
+      let file = String.sub s 0 i in
+      let l = String.sub s (i + 1) (String.length s - i - 1) in
+      match int_of_string_opt l with
+      | Some line -> Loc.v ~file ~line
+      | None -> raise (Malformed { line_no; msg = "bad location " ^ s }))
+
+let string_of_callpath = function
+  | [] -> "-"
+  | cp -> String.concat ";" (List.map string_of_loc cp)
+
+let callpath_of_string ~line_no = function
+  | "-" -> []
+  | s -> List.map (loc_of_string ~line_no) (String.split_on_char ';' s)
+
+let write_event oc (ev : Tracer.event) =
+  match ev.ev_kind with
+  | Tracer.Comp_region { label } ->
+      Printf.fprintf oc "C\t%d\t%.9f\t%.9f\t%s\t%s\t%s\n" ev.ev_rank ev.ev_time
+        ev.ev_duration
+        (string_of_loc ev.ev_loc)
+        (string_of_callpath ev.ev_callpath)
+        (match label with Some l -> l | None -> "-")
+  | Tracer.Mpi_event { name; wait; peers; collective; last_arrival_rank } ->
+      let peers_s =
+        match peers with
+        | [] -> "-"
+        | l ->
+            String.concat ";"
+              (List.map
+                 (fun (r, loc) -> Printf.sprintf "%d@%s" r (string_of_loc loc))
+                 l)
+      in
+      Printf.fprintf oc "M\t%d\t%.9f\t%.9f\t%s\t%s\t%s\t%.9f\t%d\t%d\t%s\n"
+        ev.ev_rank ev.ev_time ev.ev_duration
+        (string_of_loc ev.ev_loc)
+        (string_of_callpath ev.ev_callpath)
+        name wait
+        (if collective then 1 else 0)
+        (match last_arrival_rank with Some r -> r | None -> -1)
+        peers_s
+
+let save ~path events =
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () -> List.iter (write_event oc) events)
+
+let parse_line ~line_no line =
+  let fields = String.split_on_char '\t' line in
+  let fail msg = raise (Malformed { line_no; msg }) in
+  let int s = match int_of_string_opt s with Some i -> i | None -> fail ("bad int " ^ s) in
+  let flt s =
+    match float_of_string_opt s with Some f -> f | None -> fail ("bad float " ^ s)
+  in
+  match fields with
+  | [ "C"; rank; time; dur; loc; cp; label ] ->
+      {
+        Tracer.ev_rank = int rank;
+        ev_time = flt time;
+        ev_duration = flt dur;
+        ev_loc = loc_of_string ~line_no loc;
+        ev_callpath = callpath_of_string ~line_no cp;
+        ev_kind =
+          Tracer.Comp_region
+            { label = (if label = "-" then None else Some label) };
+      }
+  | [ "M"; rank; time; dur; loc; cp; name; wait; coll; late; peers ] ->
+      let peers =
+        if peers = "-" then []
+        else
+          List.map
+            (fun p ->
+              match String.index_opt p '@' with
+              | None -> fail ("bad peer " ^ p)
+              | Some i ->
+                  ( int (String.sub p 0 i),
+                    loc_of_string ~line_no
+                      (String.sub p (i + 1) (String.length p - i - 1)) ))
+            (String.split_on_char ';' peers)
+      in
+      {
+        Tracer.ev_rank = int rank;
+        ev_time = flt time;
+        ev_duration = flt dur;
+        ev_loc = loc_of_string ~line_no loc;
+        ev_callpath = callpath_of_string ~line_no cp;
+        ev_kind =
+          Tracer.Mpi_event
+            {
+              name;
+              wait = flt wait;
+              peers;
+              collective = int coll = 1;
+              last_arrival_rank = (if int late < 0 then None else Some (int late));
+            };
+      }
+  | _ -> fail "unrecognized record"
+
+let load ~path =
+  let ic = open_in path in
+  Fun.protect
+    ~finally:(fun () -> close_in ic)
+    (fun () ->
+      let rec go acc line_no =
+        match input_line ic with
+        | line when String.trim line = "" -> go acc (line_no + 1)
+        | line -> go (parse_line ~line_no line :: acc) (line_no + 1)
+        | exception End_of_file -> List.rev acc
+      in
+      go [] 1)

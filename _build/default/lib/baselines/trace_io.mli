@@ -1,0 +1,9 @@
+(** Textual trace files (a miniature OTF): persist tracer events so the
+    wait-state replay and critical-path analyses can run post-mortem. *)
+
+exception Malformed of { line_no : int; msg : string }
+
+val save : path:string -> Tracer.event list -> unit
+
+(** Raises {!Malformed} on corrupt input. *)
+val load : path:string -> Tracer.event list

@@ -1,0 +1,1 @@
+lib/cfg/callgraph.ml: Ast Hashtbl List Loc Scalana_mlang String

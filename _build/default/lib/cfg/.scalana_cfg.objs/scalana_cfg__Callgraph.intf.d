@@ -1,0 +1,1 @@
+lib/cfg/callgraph.mli: Ast Loc Scalana_mlang

@@ -1,0 +1,1 @@
+lib/cfg/cfg.ml: Array Ast Expr Fmt List Printf Scalana_mlang

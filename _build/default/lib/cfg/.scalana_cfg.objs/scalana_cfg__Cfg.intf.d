@@ -1,0 +1,1 @@
+lib/cfg/cfg.mli: Ast Expr Fmt Scalana_mlang

@@ -1,0 +1,65 @@
+(* Dominator analysis (Cooper–Harvey–Kennedy iterative algorithm).
+
+   Used by {!Loops} to find back edges (an edge n -> h is a back edge iff
+   h dominates n), which recovers loop structure from the raw CFG. *)
+
+type t = {
+  idom : int array;  (* immediate dominator; entry maps to itself; -1 = unreachable *)
+  rpo_index : int array;  (* position in reverse postorder; -1 = unreachable *)
+}
+
+let compute (cfg : Cfg.t) =
+  let n = Cfg.n_blocks cfg in
+  let rpo = Cfg.reverse_postorder cfg in
+  let rpo_index = Array.make n (-1) in
+  List.iteri (fun i id -> rpo_index.(id) <- i) rpo;
+  let preds = Cfg.predecessors cfg in
+  let idom = Array.make n (-1) in
+  idom.(cfg.entry) <- cfg.entry;
+  let rec intersect a b =
+    if a = b then a
+    else if rpo_index.(a) > rpo_index.(b) then intersect idom.(a) b
+    else intersect a idom.(b)
+  in
+  let changed = ref true in
+  while !changed do
+    changed := false;
+    List.iter
+      (fun id ->
+        if id <> cfg.entry then begin
+          let processed =
+            List.filter (fun p -> idom.(p) >= 0) preds.(id)
+          in
+          match processed with
+          | [] -> ()
+          | first :: rest ->
+              let new_idom = List.fold_left intersect first rest in
+              if idom.(id) <> new_idom then begin
+                idom.(id) <- new_idom;
+                changed := true
+              end
+        end)
+      rpo
+  done;
+  { idom; rpo_index }
+
+let idom t id = if t.idom.(id) = id then None else Some t.idom.(id)
+let is_reachable t id = t.idom.(id) >= 0
+
+(* [dominates t a b]: does [a] dominate [b]?  Walk up the dominator tree
+   from [b]. *)
+let dominates t a b =
+  if not (is_reachable t b) then false
+  else begin
+    let rec climb x = if x = a then true else if t.idom.(x) = x then false else climb t.idom.(x) in
+    climb b
+  end
+
+let dominator_tree t =
+  let n = Array.length t.idom in
+  let children = Array.make n [] in
+  for id = 0 to n - 1 do
+    let p = t.idom.(id) in
+    if p >= 0 && p <> id then children.(p) <- id :: children.(p)
+  done;
+  Array.map List.rev children

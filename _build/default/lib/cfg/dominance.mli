@@ -1,0 +1,16 @@
+(** Dominator analysis over a {!Cfg.t} (Cooper–Harvey–Kennedy). *)
+
+type t
+
+val compute : Cfg.t -> t
+
+(** Immediate dominator; [None] for the entry block. *)
+val idom : t -> Cfg.node_id -> Cfg.node_id option
+
+val is_reachable : t -> Cfg.node_id -> bool
+
+(** [dominates t a b] — does [a] dominate [b]? Reflexive. *)
+val dominates : t -> Cfg.node_id -> Cfg.node_id -> bool
+
+(** Children lists of the dominator tree, indexed by block id. *)
+val dominator_tree : t -> Cfg.node_id list array

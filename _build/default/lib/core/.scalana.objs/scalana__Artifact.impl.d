@@ -1,0 +1,1 @@
+lib/core/artifact.ml: Array Filename Fun List Marshal Printf Prof Static String Sys

@@ -1,0 +1,1 @@
+lib/core/config.ml: Scalana_detect Scalana_profile

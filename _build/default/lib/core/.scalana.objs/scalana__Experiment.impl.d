@@ -1,0 +1,1 @@
+lib/core/experiment.ml: Ast Callprof Config Costmodel Exec Hashtbl List Network Prof Scalana_baselines Scalana_mlang Scalana_profile Scalana_runtime Static Tracer

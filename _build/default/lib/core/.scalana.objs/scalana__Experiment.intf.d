@@ -1,0 +1,1 @@
+lib/core/experiment.mli: Ast Config Costmodel Network Scalana_mlang Scalana_runtime

@@ -1,0 +1,1 @@
+lib/core/pipeline.ml: Ast Config Costmodel Crossscale Inject List Network Prof Report Rootcause Scalana_detect Scalana_mlang Scalana_ppg Scalana_runtime Static Unix

@@ -1,0 +1,1 @@
+lib/core/pipeline.mli: Ast Config Costmodel Crossscale Inject Loc Network Prof Rootcause Scalana_detect Scalana_mlang Scalana_ppg Scalana_runtime Static

@@ -1,0 +1,1 @@
+lib/core/prof.ml: Config Costmodel Exec Index Inject Inter List Network Profdata Profiler Psg Scalana_profile Scalana_psg Scalana_runtime Static Vertex

@@ -1,0 +1,1 @@
+lib/core/prof.mli: Config Costmodel Exec Inject Instrument Network Profdata Scalana_profile Scalana_runtime Static

@@ -1,0 +1,1 @@
+lib/core/static.ml: Ast Callgraph Cfg Contract Dominance Hashtbl Index Inter Intra List Loops Parser Pretty Psg Scalana_cfg Scalana_mlang Scalana_psg Stats String Unix Validate

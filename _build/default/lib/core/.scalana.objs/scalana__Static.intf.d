@@ -1,0 +1,1 @@
+lib/core/static.mli: Ast Contract Hashtbl Index Psg Scalana_mlang Scalana_psg Stats

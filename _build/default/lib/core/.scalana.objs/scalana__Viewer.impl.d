@@ -1,0 +1,1 @@
+lib/core/viewer.ml: Buffer List Loc Pipeline Pretty Printf Scalana_detect Scalana_mlang Static

@@ -1,0 +1,1 @@
+lib/core/viewer.mli: Pipeline

@@ -1,0 +1,64 @@
+(* On-disk session artifacts.
+
+   The three user-facing steps of Section V are separate executables
+   (scalana-static, scalana-prof, scalana-detect); a session directory
+   carries the static artifact and one profile per job scale between
+   them.  Serialization is OCaml Marshal over plain data. *)
+
+type session = {
+  static : Static.t;
+  mutable runs : (int * Prof.run) list;
+}
+
+let magic = "SCALANA1"
+
+let save_value path v =
+  let oc = open_out_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () ->
+      output_string oc magic;
+      Marshal.to_channel oc v [])
+
+let load_value path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in ic)
+    (fun () ->
+      let m = really_input_string ic (String.length magic) in
+      if not (String.equal m magic) then
+        failwith (path ^ ": not a ScalAna artifact");
+      Marshal.from_channel ic)
+
+let static_path dir = Filename.concat dir "session.static"
+let run_path dir nprocs = Filename.concat dir (Printf.sprintf "run_%04d.prof" nprocs)
+
+let ensure_dir dir =
+  if not (Sys.file_exists dir) then Sys.mkdir dir 0o755
+  else if not (Sys.is_directory dir) then
+    failwith (dir ^ " exists and is not a directory")
+
+let save_static dir (static : Static.t) =
+  ensure_dir dir;
+  save_value (static_path dir) static
+
+let load_static dir : Static.t = load_value (static_path dir)
+
+let save_run dir (run : Prof.run) =
+  ensure_dir dir;
+  save_value (run_path dir run.Prof.nprocs) run;
+  (* the static artifact may have been refined by this run *)
+  ()
+
+let load_runs dir : (int * Prof.run) list =
+  Sys.readdir dir |> Array.to_list
+  |> List.filter_map (fun f ->
+         if Filename.check_suffix f ".prof" then begin
+           let run : Prof.run = load_value (Filename.concat dir f) in
+           Some (run.Prof.nprocs, run)
+         end
+         else None)
+  |> List.sort (fun (a, _) (b, _) -> compare a b)
+
+let load_session dir =
+  { static = load_static dir; runs = load_runs dir }

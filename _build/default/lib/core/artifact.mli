@@ -1,0 +1,15 @@
+(** On-disk session artifacts shared by the scalana-static / -prof /
+    -detect executables (Marshal over plain data). *)
+
+type session = { static : Static.t; mutable runs : (int * Prof.run) list }
+
+val save_value : string -> 'a -> unit
+
+(** Raises [Failure] when the file does not carry the artifact magic. *)
+val load_value : string -> 'a
+
+val save_static : string -> Static.t -> unit
+val load_static : string -> Static.t
+val save_run : string -> Prof.run -> unit
+val load_runs : string -> (int * Prof.run) list
+val load_session : string -> session

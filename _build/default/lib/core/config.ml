@@ -1,0 +1,50 @@
+(* End-user configuration of the ScalAna pipeline — the user-facing knobs
+   of Section V (MaxLoopDepth, AbnormThd) plus sampling/instrumentation
+   settings, with the paper's evaluation defaults. *)
+
+type t = {
+  max_loop_depth : int;  (* PSG contraction bound; paper: 10 *)
+  abnorm_thd : float;  (* abnormal-vertex threshold; paper: 1.3 *)
+  sampling_freq : float;  (* Hz; paper: 200, same as HPCToolkit *)
+  record_prob : float;  (* random-sampling instrumentation threshold *)
+  ns_top_k : int;  (* non-scalable vertices to keep *)
+  ns_min_fraction : float;  (* time-share filter for candidates *)
+  ns_strategy : Scalana_detect.Aggregate.strategy;
+  prune_non_wait : bool;  (* backtracking comm-edge pruning *)
+  seed : int;
+}
+
+let default =
+  {
+    max_loop_depth = 10;
+    abnorm_thd = 1.3;
+    sampling_freq = 200.0;
+    record_prob = 0.5;
+    ns_top_k = 5;
+    ns_min_fraction = 0.01;
+    ns_strategy = Scalana_detect.Aggregate.Mean;
+    prune_non_wait = true;
+    seed = 42;
+  }
+
+let profiler_config t =
+  {
+    Scalana_profile.Profiler.default_config with
+    freq = t.sampling_freq;
+    record_prob = t.record_prob;
+    seed = t.seed;
+  }
+
+let ns_config t =
+  {
+    Scalana_detect.Nonscalable.default_config with
+    strategy = t.ns_strategy;
+    top_k = t.ns_top_k;
+    min_fraction = t.ns_min_fraction;
+  }
+
+let ab_config t =
+  { Scalana_detect.Abnormal.default_config with abnorm_thd = t.abnorm_thd }
+
+let bt_config t =
+  { Scalana_detect.Backtrack.default_config with prune_non_wait = t.prune_non_wait }

@@ -1,0 +1,21 @@
+(** End-user configuration of the pipeline: the paper's MaxLoopDepth and
+    AbnormThd knobs plus sampling/instrumentation settings, with the
+    evaluation defaults, and mappings onto the per-module configs. *)
+
+type t = {
+  max_loop_depth : int;  (** PSG contraction bound (paper: 10) *)
+  abnorm_thd : float;  (** abnormal-vertex threshold (paper: 1.3) *)
+  sampling_freq : float;  (** Hz (paper: 200) *)
+  record_prob : float;  (** random-sampling instrumentation threshold *)
+  ns_top_k : int;
+  ns_min_fraction : float;
+  ns_strategy : Scalana_detect.Aggregate.strategy;
+  prune_non_wait : bool;
+  seed : int;
+}
+
+val default : t
+val profiler_config : t -> Scalana_profile.Profiler.config
+val ns_config : t -> Scalana_detect.Nonscalable.config
+val ab_config : t -> Scalana_detect.Abnormal.config
+val bt_config : t -> Scalana_detect.Backtrack.config

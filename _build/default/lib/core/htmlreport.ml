@@ -1,0 +1,142 @@
+(* Standalone HTML rendering of a finished pipeline — the ScalAna-viewer
+   GUI of Fig. 9 as a self-contained file: the upper window (root-cause
+   vertices with calling paths) and the lower window (source snippets),
+   plus per-rank bar charts of the problematic vertices as inline SVG. *)
+
+open Scalana_mlang
+open Scalana_psg
+open Scalana_detect
+
+let esc s =
+  let buf = Buffer.create (String.length s) in
+  String.iter
+    (fun c ->
+      match c with
+      | '<' -> Buffer.add_string buf "&lt;"
+      | '>' -> Buffer.add_string buf "&gt;"
+      | '&' -> Buffer.add_string buf "&amp;"
+      | '"' -> Buffer.add_string buf "&quot;"
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+let css =
+  {|body{font-family:ui-monospace,Menlo,Consolas,monospace;margin:2em;
+background:#fafafa;color:#222}
+h1{font-size:1.3em}h2{font-size:1.1em;border-bottom:1px solid #ccc;
+padding-bottom:.2em;margin-top:2em}
+table{border-collapse:collapse;margin:.6em 0}
+td,th{border:1px solid #ddd;padding:.25em .6em;text-align:left;
+font-size:.85em}
+th{background:#eee}
+.cause{background:#fff;border:1px solid #ddd;border-left:4px solid #c33;
+padding:.6em 1em;margin:.8em 0}
+.path{color:#555;font-size:.8em;white-space:pre}
+.snippet{background:#272822;color:#f8f8f2;padding:.5em .8em;font-size:.82em;
+white-space:pre;overflow-x:auto;border-radius:4px}
+.bar{fill:#4a7fb5}.bar.hot{fill:#c33}
+.meta{color:#777;font-size:.85em}|}
+
+(* Per-rank bar chart as inline SVG; deviating ranks highlighted. *)
+let svg_bars ?(width = 640) ?(height = 80) ~hot values =
+  let n = Array.length values in
+  if n = 0 then ""
+  else begin
+    let mx = Array.fold_left Float.max 1e-12 values in
+    let bw = float_of_int width /. float_of_int n in
+    let buf = Buffer.create 1024 in
+    Buffer.add_string buf
+      (Printf.sprintf
+         "<svg width=\"%d\" height=\"%d\" role=\"img\" aria-label=\"per-rank times\">"
+         width height);
+    Array.iteri
+      (fun i v ->
+        let h = v /. mx *. float_of_int (height - 4) in
+        let cls = if List.mem i hot then "bar hot" else "bar" in
+        Buffer.add_string buf
+          (Printf.sprintf
+             "<rect class=\"%s\" x=\"%.1f\" y=\"%.1f\" width=\"%.1f\" \
+              height=\"%.1f\"><title>rank %d: %.4fs</title></rect>"
+             cls
+             (float_of_int i *. bw)
+             (float_of_int height -. h)
+             (Float.max 1.0 (bw -. 1.0))
+             h i v))
+      values;
+    Buffer.add_string buf "</svg>";
+    Buffer.contents buf
+  end
+
+let render (pipe : Pipeline.t) =
+  let psg = Static.psg pipe.static in
+  let program = pipe.static.Static.program in
+  let _, largest_ppg = Scalana_ppg.Crossscale.largest pipe.crossscale in
+  let buf = Buffer.create 16384 in
+  let out fmt = Printf.ksprintf (Buffer.add_string buf) fmt in
+  out
+    "<!doctype html><html><head><meta charset=\"utf-8\"><title>ScalAna — \
+     %s</title><style>%s</style></head><body>"
+    (esc program.pname) css;
+  out "<h1>ScalAna scaling-loss report — %s</h1>" (esc program.pname);
+  out "<p class=\"meta\">scales: %s · detection cost %.3fs · %d paths</p>"
+    (String.concat ", "
+       (List.map string_of_int (Scalana_ppg.Crossscale.scales pipe.crossscale)))
+    pipe.detect_seconds
+    (List.length pipe.analysis.paths);
+
+  out "<h2>Non-scalable vertices</h2><table><tr><th>vertex</th><th>location</th>\
+       <th>slope</th><th>share</th><th>series</th></tr>";
+  List.iter
+    (fun (f : Nonscalable.finding) ->
+      let v = Psg.vertex psg f.vertex in
+      out "<tr><td>%s</td><td>%s</td><td>%+.2f</td><td>%.1f%%</td><td>%s</td></tr>"
+        (esc (Vertex.label v))
+        (esc (Loc.to_string v.Vertex.loc))
+        f.slope (100.0 *. f.fraction)
+        (esc
+           (String.concat " → "
+              (List.map (fun (n, t) -> Printf.sprintf "%d:%.3fs" n t) f.series))))
+    pipe.analysis.nonscalable;
+  out "</table>";
+
+  out "<h2>Abnormal vertices</h2>";
+  List.iteri
+    (fun i (f : Abnormal.finding) ->
+      if i < 6 then begin
+        let v = Psg.vertex psg f.vertex in
+        let times = Scalana_ppg.Ppg.times_across_ranks largest_ppg ~vertex:f.vertex in
+        out "<p><b>%s</b> @%s — %d deviating ranks, max %.4fs, median %.4fs</p>%s"
+          (esc (Vertex.label v))
+          (esc (Loc.to_string v.Vertex.loc))
+          (List.length f.ranks) f.max_time f.median_time
+          (svg_bars ~hot:f.ranks times)
+      end)
+    pipe.analysis.abnormal;
+
+  out "<h2>Root causes</h2>";
+  List.iteri
+    (fun i (c : Rootcause.cause) ->
+      out "<div class=\"cause\"><b>#%d %s</b> @%s<br>" (i + 1)
+        (esc c.cause_label)
+        (esc (Loc.to_string c.cause_loc));
+      out "<span class=\"meta\">paths=%d · total %.4fs · imbalance %s · \
+           culprit ranks %s</span>"
+        c.n_paths c.total_time
+        (if c.imbalance = infinity then "∞"
+         else Printf.sprintf "%.2fx" c.imbalance)
+        (esc (String.concat "," (List.map string_of_int c.culprit_ranks)));
+      out "<div class=\"path\">%s</div>"
+        (esc (Fmt.str "%a" (Backtrack.pp_path psg) c.example_path));
+      out "<div class=\"snippet\">%s</div>"
+        (esc
+           (String.concat "\n" (Pretty.snippet ~context:2 program c.cause_loc)));
+      out "</div>")
+    pipe.analysis.causes;
+  out "</body></html>";
+  Buffer.contents buf
+
+let write pipe ~path =
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () -> output_string oc (render pipe))

@@ -1,0 +1,59 @@
+(* ScalAna-detect: the end-to-end pipeline.
+
+   Static analysis once, profiled runs at several job scales, PPG
+   construction, problematic-vertex detection and backtracking root-cause
+   identification, and the final report.  The detection step is timed
+   (Table IV's post-mortem detection cost). *)
+
+open Scalana_mlang
+open Scalana_runtime
+open Scalana_ppg
+open Scalana_detect
+
+type t = {
+  static : Static.t;
+  runs : (int * Prof.run) list;
+  crossscale : Crossscale.t;
+  analysis : Rootcause.analysis;
+  detect_seconds : float;
+  report : string;
+}
+
+(* Run detection over already-collected profiles. *)
+let detect ?(config = Config.default) (static : Static.t)
+    (runs : (int * Prof.run) list) =
+  let t0 = Unix.gettimeofday () in
+  let crossscale =
+    Crossscale.create ~psg:(Static.psg static)
+      (List.map (fun (n, (r : Prof.run)) -> (n, r.Prof.data)) runs)
+  in
+  let analysis =
+    Rootcause.analyze ~ns_config:(Config.ns_config config)
+      ~ab_config:(Config.ab_config config)
+      ~bt_config:(Config.bt_config config) crossscale
+  in
+  let detect_seconds = Unix.gettimeofday () -. t0 in
+  let report =
+    Report.render ~program:static.Static.program ~psg:(Static.psg static)
+      analysis
+  in
+  { static; runs; crossscale; analysis; detect_seconds; report }
+
+let run ?(config = Config.default) ?(cost = Costmodel.default)
+    ?(net = Network.default) ?(inject = Inject.empty) ?(params = [])
+    ?(scales = [ 4; 8; 16; 32 ]) (program : Ast.program) =
+  let static = Static.analyze ~max_loop_depth:config.Config.max_loop_depth program in
+  let runs =
+    List.map
+      (fun nprocs ->
+        (nprocs, Prof.run ~config ~cost ~net ~inject ~params static ~nprocs ()))
+      scales
+  in
+  detect ~config static runs
+
+(* Locations of the reported root causes, best first. *)
+let root_cause_locs t =
+  List.map (fun (c : Rootcause.cause) -> c.cause_loc) t.analysis.causes
+
+let root_cause_labels t =
+  List.map (fun (c : Rootcause.cause) -> c.cause_label) t.analysis.causes

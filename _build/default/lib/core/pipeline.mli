@@ -1,0 +1,33 @@
+(** ScalAna-detect: the end-to-end pipeline — static analysis, profiled
+    runs at several job scales, PPG construction, detection and the
+    report; the detection step is timed (Table IV). *)
+
+open Scalana_mlang
+open Scalana_runtime
+open Scalana_ppg
+open Scalana_detect
+
+type t = {
+  static : Static.t;
+  runs : (int * Prof.run) list;
+  crossscale : Crossscale.t;
+  analysis : Rootcause.analysis;
+  detect_seconds : float;
+  report : string;
+}
+
+(** Detection over already-collected profiles. *)
+val detect : ?config:Config.t -> Static.t -> (int * Prof.run) list -> t
+
+val run :
+  ?config:Config.t ->
+  ?cost:Costmodel.t ->
+  ?net:Network.t ->
+  ?inject:Inject.t ->
+  ?params:(string * int) list ->
+  ?scales:int list ->
+  Ast.program ->
+  t
+
+val root_cause_locs : t -> Loc.t list
+val root_cause_labels : t -> string list

@@ -1,0 +1,69 @@
+(* ScalAna-prof: run an instrumented program at one job scale.
+
+   Runs the simulator with the ScalAna tool attached, then applies the
+   runtime refinements to the static artifact: indirect-call resolutions
+   are spliced into the contracted PSG and indexed, so later runs and the
+   detector see the refined graph (Section III-B3). *)
+
+open Scalana_psg
+open Scalana_runtime
+open Scalana_profile
+
+type run = {
+  nprocs : int;
+  data : Profdata.t;
+  result : Exec.result;
+  baseline_elapsed : float option;  (* same run, no tools *)
+}
+
+let overhead_percent r =
+  match r.baseline_elapsed with
+  | Some base when base > 0.0 ->
+      Some (100.0 *. (r.result.Exec.elapsed -. base) /. base)
+  | _ -> None
+
+let apply_refinements (static : Static.t) (data : Profdata.t) =
+  List.iter
+    (fun (res : Profdata.icall_resolution) ->
+      match
+        (Psg.vertex_opt (Static.psg static) res.callsite_vertex
+          : Vertex.t option)
+      with
+      | Some { Vertex.kind = Vertex.Callsite { callee = None; _ }; _ } -> (
+          match
+            Inter.refine_indirect (Static.psg static) ~locals:static.locals
+              ~callsite:res.callsite_vertex ~target:res.target
+          with
+          | Some sub_root ->
+              Index.index_contracted_subtree static.index sub_root
+          | None -> ())
+      | Some _ | None -> ())
+    (Profdata.icall_resolutions data)
+
+let run ?(config = Config.default) ?(cost = Costmodel.default)
+    ?(net = Network.default) ?(inject = Inject.empty) ?(params = [])
+    ?(measure_overhead = false) ?(extra_tools = []) (static : Static.t)
+    ~nprocs () =
+  let profiler =
+    Profiler.create
+      ~config:(Config.profiler_config config)
+      ~index:static.Static.index ~nprocs ()
+  in
+  let mk_cfg tools =
+    Exec.config ~nprocs ~params ~cost ~net ~inject ~tools ()
+  in
+  let baseline_elapsed =
+    if measure_overhead then begin
+      let r = Exec.run ~cfg:(mk_cfg []) static.Static.program in
+      Some r.Exec.elapsed
+    end
+    else None
+  in
+  let result =
+    Exec.run
+      ~cfg:(mk_cfg (Profiler.tool profiler :: extra_tools))
+      static.Static.program
+  in
+  let data = Profiler.data profiler in
+  apply_refinements static data;
+  { nprocs; data; result; baseline_elapsed }

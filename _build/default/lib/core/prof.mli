@@ -1,0 +1,33 @@
+(** ScalAna-prof: run an instrumented program at one job scale and apply
+    the runtime refinements (indirect-call splicing) to the static
+    artifact. *)
+
+open Scalana_runtime
+open Scalana_profile
+
+type run = {
+  nprocs : int;
+  data : Profdata.t;
+  result : Exec.result;
+  baseline_elapsed : float option;  (** same run without tools *)
+}
+
+(** Available when the run was made with [~measure_overhead:true]. *)
+val overhead_percent : run -> float option
+
+(** Splice observed indirect-call targets into the contracted PSG and
+    refresh the index (done automatically by {!run}). *)
+val apply_refinements : Static.t -> Profdata.t -> unit
+
+val run :
+  ?config:Config.t ->
+  ?cost:Costmodel.t ->
+  ?net:Network.t ->
+  ?inject:Inject.t ->
+  ?params:(string * int) list ->
+  ?measure_overhead:bool ->
+  ?extra_tools:Instrument.t list ->
+  Static.t ->
+  nprocs:int ->
+  unit ->
+  run

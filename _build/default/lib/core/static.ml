@@ -1,0 +1,78 @@
+(* ScalAna-static: the compile-time step.
+
+   Runs the front end (validation, CFG construction, dominance and
+   natural-loop analyses — the stand-in for the base compiler work) and
+   the ScalAna passes (intra- and inter-procedural PSG construction,
+   contraction, attribution-index build), and measures the extra cost of
+   the latter relative to the former (Table III). *)
+
+open Scalana_mlang
+open Scalana_cfg
+open Scalana_psg
+
+type t = {
+  program : Ast.program;
+  locals : (string, Psg.t) Hashtbl.t;
+  full : Psg.t;
+  contraction : Contract.result;
+  mutable index : Index.t;
+  stats : Stats.t;
+}
+
+let psg t = t.contraction.Contract.psg
+
+let analyze ?(max_loop_depth = Contract.default_max_loop_depth)
+    (program : Ast.program) =
+  (match Validate.run program with
+  | Ok () -> ()
+  | Error errs ->
+      invalid_arg
+        ("Static.analyze: invalid program:\n"
+        ^ String.concat "\n" (List.map Validate.error_to_string errs)));
+  let locals = Intra.build_all program in
+  let full = Inter.build ~locals program in
+  let contraction = Contract.run ~max_loop_depth full in
+  let index = Index.build ~full ~contraction in
+  let stats =
+    Stats.of_psgs ~program:program.pname ~lines:(Ast.line_count program) ~full
+      ~contracted:contraction.Contract.psg
+  in
+  { program; locals; full; contraction; index; stats }
+
+(* The base "compilation": parse + validate + per-function middle-end
+   analyses.  A production compiler runs a long pass pipeline over the
+   IR; we model that by iterating the CFG/dominance/loop analyses
+   [passes] times (an LLVM -O2 pipeline runs on the order of 10^2
+   middle-end passes). *)
+let base_compile ?(passes = 150) (program : Ast.program) =
+  let source = Pretty.render program in
+  let reparsed = Parser.parse ~file:program.file source in
+  (match Validate.run reparsed with Ok () -> () | Error _ -> ());
+  List.iter
+    (fun (f : Ast.func) ->
+      let cfg = Cfg.of_func f in
+      for _ = 1 to passes do
+        let dom = Dominance.compute cfg in
+        let loops = Loops.compute cfg in
+        ignore (Dominance.dominator_tree dom);
+        ignore (Loops.max_depth loops)
+      done)
+    reparsed.funcs;
+  ignore (Callgraph.build reparsed)
+
+let time_of f =
+  let t0 = Unix.gettimeofday () in
+  f ();
+  Unix.gettimeofday () -. t0
+
+(* Static overhead: PSG passes as a fraction of base compilation
+   (Table III's Ovd%).  Repeats both to stabilize the measurement. *)
+let static_overhead ?(repeat = 3) (program : Ast.program) =
+  let base = time_of (fun () -> for _ = 1 to repeat do base_compile program done) in
+  let extra =
+    time_of (fun () ->
+        for _ = 1 to repeat do
+          ignore (analyze program)
+        done)
+  in
+  if base <= 0.0 then 0.0 else 100.0 *. extra /. base

@@ -1,0 +1,30 @@
+(** ScalAna-static: the compile-time step — validation, local and
+    inter-procedural PSG construction, contraction and the attribution
+    index — plus the Table III static-overhead measurement. *)
+
+open Scalana_mlang
+open Scalana_psg
+
+type t = {
+  program : Ast.program;
+  locals : (string, Psg.t) Hashtbl.t;
+  full : Psg.t;
+  contraction : Contract.result;
+  mutable index : Index.t;
+  stats : Stats.t;
+}
+
+(** The contracted PSG (refined in place by {!Prof.run}). *)
+val psg : t -> Psg.t
+
+(** Raises [Invalid_argument] when the program does not validate. *)
+val analyze : ?max_loop_depth:int -> Ast.program -> t
+
+(** The base "compilation": parse + validate + [passes] iterations of the
+    CFG/dominance/loop analyses per function (a stand-in for a compiler's
+    middle-end pipeline; default 150). *)
+val base_compile : ?passes:int -> Ast.program -> unit
+
+(** PSG-construction cost as a percentage of the base compilation
+    (Table III's Ovd%%), measured in wall time. *)
+val static_overhead : ?repeat:int -> Ast.program -> float

@@ -1,0 +1,31 @@
+(* ScalAna-viewer: terminal rendering of a finished pipeline — the GUI of
+   Fig. 9 flattened to text.  The upper window (root-cause vertices and
+   calling paths) comes from the detection report; the lower window shows
+   the source snippet of a selected cause. *)
+
+open Scalana_mlang
+
+let show ?(snippet_context = 2) (pipeline : Pipeline.t) =
+  let buf = Buffer.create 4096 in
+  Buffer.add_string buf pipeline.Pipeline.report;
+  Buffer.add_string buf "\n=== source view ===\n";
+  List.iteri
+    (fun i (c : Scalana_detect.Rootcause.cause) ->
+      Buffer.add_string buf
+        (Printf.sprintf "\n[%d] %s @%s\n" (i + 1) c.cause_label
+           (Loc.to_string c.cause_loc));
+      List.iter
+        (fun line ->
+          Buffer.add_string buf ("  " ^ line);
+          Buffer.add_char buf '\n')
+        (Pretty.snippet ~context:snippet_context
+           pipeline.Pipeline.static.Static.program c.cause_loc))
+    pipeline.Pipeline.analysis.causes;
+  Buffer.contents buf
+
+(* One-line summary per cause, for quick assertions and logs. *)
+let summary (pipeline : Pipeline.t) =
+  List.map
+    (fun (c : Scalana_detect.Rootcause.cause) ->
+      Printf.sprintf "%s@%s" c.cause_label (Loc.to_string c.cause_loc))
+    pipeline.Pipeline.analysis.causes

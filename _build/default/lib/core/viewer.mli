@@ -1,0 +1,7 @@
+(** ScalAna-viewer: terminal rendering of a finished pipeline — the
+    Fig. 9 GUI flattened to text (report + source windows). *)
+
+val show : ?snippet_context:int -> Pipeline.t -> string
+
+(** One line per cause, for logs and assertions. *)
+val summary : Pipeline.t -> string list

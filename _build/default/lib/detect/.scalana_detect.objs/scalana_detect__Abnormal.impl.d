@@ -1,0 +1,1 @@
+lib/detect/abnormal.ml: Aggregate Array Float Fmt List Ppg Printf Scalana_mlang Scalana_ppg Scalana_profile Scalana_psg Seq

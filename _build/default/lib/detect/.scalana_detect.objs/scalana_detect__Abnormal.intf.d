@@ -1,0 +1,1 @@
+lib/detect/abnormal.mli: Fmt Scalana_ppg Scalana_psg

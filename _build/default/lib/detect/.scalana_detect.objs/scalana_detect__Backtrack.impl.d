@@ -1,0 +1,1 @@
+lib/detect/backtrack.ml: Fmt Hashtbl List Ppg Printf Psg Scalana_mlang Scalana_ppg Scalana_psg Vertex

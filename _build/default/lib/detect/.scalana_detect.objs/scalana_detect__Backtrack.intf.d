@@ -1,0 +1,1 @@
+lib/detect/backtrack.mli: Fmt Hashtbl Scalana_ppg Scalana_psg

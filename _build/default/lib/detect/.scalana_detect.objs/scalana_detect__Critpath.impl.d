@@ -1,0 +1,1 @@
+lib/detect/critpath.ml: Float Fmt Hashtbl List Loc Printf Scalana_baselines Scalana_mlang Tracer

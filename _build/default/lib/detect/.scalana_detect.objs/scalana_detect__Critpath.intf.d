@@ -1,0 +1,1 @@
+lib/detect/critpath.mli: Fmt Loc Scalana_baselines Scalana_mlang

@@ -1,0 +1,1 @@
+lib/detect/loglog.ml: List

@@ -1,0 +1,1 @@
+lib/detect/nonscalable.ml: Aggregate Array Crossscale Fmt List Loglog Ppg Scalana_mlang Scalana_ppg Scalana_psg

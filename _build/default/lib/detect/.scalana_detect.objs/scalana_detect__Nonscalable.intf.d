@@ -1,0 +1,1 @@
+lib/detect/nonscalable.mli: Aggregate Fmt Loglog Scalana_ppg Scalana_psg

@@ -1,0 +1,1 @@
+lib/detect/report.ml: Abnormal Backtrack Buffer Fmt List Nonscalable Printf Psg Rootcause Scalana_mlang Scalana_psg String Vertex

@@ -1,0 +1,1 @@
+lib/detect/report.mli: Format Rootcause Scalana_mlang Scalana_psg

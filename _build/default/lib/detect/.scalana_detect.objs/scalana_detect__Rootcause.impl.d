@@ -1,0 +1,1 @@
+lib/detect/rootcause.ml: Abnormal Aggregate Array Backtrack Crossscale Float Hashtbl List Nonscalable Option Ppg Psg Scalana_mlang Scalana_ppg Scalana_psg Vertex

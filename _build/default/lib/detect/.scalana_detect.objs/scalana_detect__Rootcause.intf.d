@@ -1,0 +1,1 @@
+lib/detect/rootcause.mli: Abnormal Backtrack Nonscalable Scalana_mlang Scalana_ppg

@@ -1,0 +1,69 @@
+(* Abnormal vertex detection (Section IV-A).
+
+   SPMD processes are expected to spend similar time at the same vertex;
+   a vertex whose time on some rank deviates from the median by more than
+   [abnorm_thd] (paper default 1.3) is abnormal.  A vertex executed by
+   only a minority of ranks (median 0, some rank busy) is the classic
+   load-imbalance shape and is abnormal too. *)
+
+open Scalana_ppg
+
+type finding = {
+  vertex : int;
+  ranks : int list;  (* the deviating ranks *)
+  max_time : float;
+  median_time : float;
+  ratio : float;  (* max / median (infinity when median = 0) *)
+}
+
+type config = {
+  abnorm_thd : float;
+  min_seconds : float;  (* ignore vertices cheaper than this everywhere *)
+}
+
+let default_config = { abnorm_thd = 1.3; min_seconds = 1e-4 }
+
+let detect_vertex ?(config = default_config) ppg ~vertex =
+  let times = Ppg.times_across_ranks ppg ~vertex in
+  let max_time = Array.fold_left Float.max 0.0 times in
+  if max_time < config.min_seconds then None
+  else begin
+    let med = Aggregate.median times in
+    let threshold = config.abnorm_thd *. med in
+    let deviating =
+      if med > 0.0 then
+        Array.to_seq times
+        |> Seq.mapi (fun rank t -> (rank, t))
+        |> Seq.filter (fun (_, t) -> t > threshold)
+        |> Seq.map fst |> List.of_seq
+      else
+        (* median zero: executed by a minority -> those ranks deviate *)
+        Array.to_seq times
+        |> Seq.mapi (fun rank t -> (rank, t))
+        |> Seq.filter (fun (_, t) -> t > 0.0)
+        |> Seq.map fst |> List.of_seq
+    in
+    if deviating = [] then None
+    else
+      Some
+        {
+          vertex;
+          ranks = deviating;
+          max_time;
+          median_time = med;
+          ratio = (if med > 0.0 then max_time /. med else infinity);
+        }
+  end
+
+let detect ?(config = default_config) ppg =
+  List.filter_map
+    (fun vertex -> detect_vertex ~config ppg ~vertex)
+    (Scalana_profile.Profdata.touched_vertices ppg.Ppg.data)
+  |> List.sort (fun a b -> compare b.max_time a.max_time)
+
+let pp_finding psg ppf f =
+  let v = Scalana_psg.Psg.vertex psg f.vertex in
+  Fmt.pf ppf "%-28s ranks=%d max=%.4fs med=%.4fs ratio=%s @%a"
+    (Scalana_psg.Vertex.label v) (List.length f.ranks) f.max_time f.median_time
+    (if f.ratio = infinity then "inf" else Printf.sprintf "%.2f" f.ratio)
+    Scalana_mlang.Loc.pp v.Scalana_psg.Vertex.loc

@@ -1,0 +1,108 @@
+(* Strategies for merging a vertex's per-rank metric into one value
+   (Section IV-A discusses single-process, mean/median + variance, and
+   clustering-based merging; all are implemented and compared in the
+   ablation bench). *)
+
+type strategy =
+  | Single of int  (* one representative rank *)
+  | Mean
+  | Median
+  | Variance_weighted  (* mean + variance penalty, surfaces imbalance *)
+  | Kmeans of int  (* centroid of the heaviest cluster *)
+
+let strategy_name = function
+  | Single r -> Printf.sprintf "single(%d)" r
+  | Mean -> "mean"
+  | Median -> "median"
+  | Variance_weighted -> "variance"
+  | Kmeans k -> Printf.sprintf "kmeans(%d)" k
+
+let mean a =
+  if Array.length a = 0 then 0.0
+  else Array.fold_left ( +. ) 0.0 a /. float_of_int (Array.length a)
+
+let median a =
+  let n = Array.length a in
+  if n = 0 then 0.0
+  else begin
+    let b = Array.copy a in
+    Array.sort compare b;
+    if n mod 2 = 1 then b.(n / 2) else (b.((n / 2) - 1) +. b.(n / 2)) /. 2.0
+  end
+
+let variance a =
+  let m = mean a in
+  if Array.length a = 0 then 0.0
+  else
+    Array.fold_left (fun acc x -> acc +. ((x -. m) *. (x -. m))) 0.0 a
+    /. float_of_int (Array.length a)
+
+let stddev a = sqrt (variance a)
+
+(* 1-D k-means (Lloyd's algorithm, deterministic seeding at quantiles). *)
+let kmeans ~k a =
+  let n = Array.length a in
+  if n = 0 || k <= 0 then [||]
+  else begin
+    let k = min k n in
+    let sorted = Array.copy a in
+    Array.sort compare sorted;
+    let centroids =
+      Array.init k (fun i -> sorted.(min (n - 1) (i * n / k + (n / (2 * k)))))
+    in
+    let assign = Array.make n 0 in
+    let changed = ref true in
+    let iters = ref 0 in
+    while !changed && !iters < 100 do
+      changed := false;
+      incr iters;
+      for i = 0 to n - 1 do
+        let best = ref 0 and bestd = ref infinity in
+        for c = 0 to k - 1 do
+          let d = abs_float (a.(i) -. centroids.(c)) in
+          if d < !bestd then begin
+            bestd := d;
+            best := c
+          end
+        done;
+        if assign.(i) <> !best then begin
+          assign.(i) <- !best;
+          changed := true
+        end
+      done;
+      for c = 0 to k - 1 do
+        let sum = ref 0.0 and cnt = ref 0 in
+        for i = 0 to n - 1 do
+          if assign.(i) = c then begin
+            sum := !sum +. a.(i);
+            incr cnt
+          end
+        done;
+        if !cnt > 0 then centroids.(c) <- !sum /. float_of_int !cnt
+      done
+    done;
+    let sizes = Array.make k 0 in
+    Array.iter (fun c -> sizes.(c) <- sizes.(c) + 1) assign;
+    Array.init k (fun c -> (centroids.(c), sizes.(c)))
+  end
+
+let apply strategy values =
+  match strategy with
+  | Single r -> if r < Array.length values then values.(r) else 0.0
+  | Mean -> mean values
+  | Median -> median values
+  | Variance_weighted -> mean values +. stddev values
+  | Kmeans k -> (
+      let clusters = kmeans ~k values in
+      (* centroid of the heaviest (largest-time) populated cluster: the
+         "busy group" drives the scaling behaviour *)
+      match
+        Array.fold_left
+          (fun acc (c, n) ->
+            match acc with
+            | None -> if n > 0 then Some (c, n) else None
+            | Some (bc, _) -> if n > 0 && c > bc then Some (c, n) else acc)
+          None clusters
+      with
+      | Some (c, _) -> c
+      | None -> 0.0)

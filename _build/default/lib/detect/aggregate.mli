@@ -1,0 +1,22 @@
+(** Strategies for merging a vertex's per-rank metric into one value
+    (Section IV-A): single rank, mean, median, variance-aware, and
+    clustering-based merging. *)
+
+type strategy =
+  | Single of int
+  | Mean
+  | Median
+  | Variance_weighted  (** mean + stddev: surfaces imbalance *)
+  | Kmeans of int  (** centroid of the heaviest populated cluster *)
+
+val strategy_name : strategy -> string
+val mean : float array -> float
+val median : float array -> float
+val variance : float array -> float
+val stddev : float array -> float
+
+(** 1-D Lloyd's k-means with deterministic quantile seeding; returns
+    (centroid, size) pairs. *)
+val kmeans : k:int -> float array -> (float * int) array
+
+val apply : strategy -> float array -> float

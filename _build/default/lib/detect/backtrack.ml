@@ -1,0 +1,139 @@
+(* Backtracking root-cause detection (Section IV-B, Algorithm 1).
+
+   Starting from a problematic vertex, walk the PPG backwards:
+   - at a P2P MPI vertex that waited, jump along the inter-process
+     communication-dependence edge to the sender's vertex (pruned to
+     edges that carried an actual wait);
+   - at a collective vertex, jump to the rank that habitually arrives
+     last (the culprit), then continue within that process;
+   - at an unscanned Loop/Branch vertex, follow the control-dependence
+     edge into the structure (continue from its end vertex);
+   - otherwise follow the data-dependence edge (previous component in
+     execution order, or the enclosing structure).
+   The walk stops at the root, at a collective already attributed, or
+   when a cycle/step budget is hit. *)
+
+open Scalana_psg
+open Scalana_ppg
+
+type via =
+  | Start
+  | Comm_dep of { from_rank : int }  (* inter-process edge *)
+  | Coll_jump of { from_rank : int }  (* to the last-arrival rank *)
+  | Control_dep  (* into a loop/branch body *)
+  | Data_dep
+
+type step = { rank : int; vertex : int; via : via }
+type path = step list
+
+type config = {
+  prune_non_wait : bool;  (* keep only comm edges with a wait (paper: on) *)
+  max_steps : int;
+}
+
+let default_config = { prune_non_wait = true; max_steps = 4096 }
+
+let via_name = function
+  | Start -> "start"
+  | Comm_dep { from_rank } -> Printf.sprintf "comm<-r%d" from_rank
+  | Coll_jump { from_rank } -> Printf.sprintf "coll<-r%d" from_rank
+  | Control_dep -> "control"
+  | Data_dep -> "data"
+
+(* Previous component in execution order; falls back to the enclosing
+   structure when the vertex heads its body. *)
+let data_dep psg vid =
+  match Psg.prev_sibling psg vid with
+  | Some p -> Some p
+  | None -> Psg.parent psg vid
+
+let backtrack ?(config = default_config) (ppg : Ppg.t) ~visited ~start_rank
+    ~start_vertex =
+  let psg = ppg.Ppg.psg in
+  let path = ref [] in
+  let local_seen = Hashtbl.create 64 in
+  let entered = Hashtbl.create 16 in
+  let push rank vertex via =
+    path := { rank; vertex; via } :: !path;
+    Hashtbl.replace visited (rank, vertex) ();
+    Hashtbl.replace local_seen (rank, vertex) ()
+  in
+  let rec go rank vid via steps =
+    if steps >= config.max_steps then ()
+    else if Hashtbl.mem local_seen (rank, vid) && via <> Start then
+      (* cycle within this walk *)
+      ()
+    else begin
+      let v = Psg.vertex psg vid in
+      match v.Vertex.kind with
+      | Vertex.Root _ -> push rank vid via
+      | Vertex.Mpi call when Scalana_mlang.Ast.is_collective call -> (
+          push rank vid via;
+          let late = Ppg.coll_late_rank ppg ~vertex:vid in
+          match late with
+          | Some culprit when culprit <> rank ->
+              (* jump to the habitual last arriver and continue there *)
+              go culprit vid (Coll_jump { from_rank = rank }) (steps + 1)
+          | Some _ ->
+              (* we are on the culprit rank: the cause precedes the
+                 collective in its own control flow *)
+              continue_data rank vid steps
+          | None -> if via = Start then continue_data rank vid steps)
+      | Vertex.Mpi call ->
+          push rank vid via;
+          if Scalana_mlang.Ast.can_wait call then begin
+            let edge =
+              if config.prune_non_wait then
+                Ppg.critical_edge ppg ~rank ~vertex:vid
+              else begin
+                match Ppg.incoming_edges ppg ~rank ~vertex:vid with
+                | [] -> None
+                | e :: _ -> Some e
+              end
+            in
+            match edge with
+            | Some e ->
+                go e.Ppg.send_rank e.Ppg.send_vertex
+                  (Comm_dep { from_rank = rank })
+                  (steps + 1)
+            | None -> continue_data rank vid steps
+          end
+          else continue_data rank vid steps
+      | Vertex.Loop _ | Vertex.Branch ->
+          push rank vid via;
+          if not (Hashtbl.mem entered (rank, vid)) then begin
+            Hashtbl.replace entered (rank, vid) ();
+            match Psg.last_child psg vid with
+            | Some c -> go rank c Control_dep (steps + 1)
+            | None -> continue_data rank vid steps
+          end
+          else continue_data rank vid steps
+      | Vertex.Comp _ | Vertex.Callsite _ ->
+          push rank vid via;
+          continue_data rank vid steps
+    end
+  and continue_data rank vid steps =
+    match data_dep psg vid with
+    | Some next -> go rank next Data_dep (steps + 1)
+    | None -> ()
+  in
+  go start_rank start_vertex Start 0;
+  List.rev !path
+
+(* Ranks touched by a path, in order of first appearance. *)
+let ranks_of path =
+  List.fold_left
+    (fun acc s -> if List.mem s.rank acc then acc else acc @ [ s.rank ])
+    [] path
+
+let pp_step psg ppf s =
+  let v = Psg.vertex psg s.vertex in
+  Fmt.pf ppf "[r%d] %s @%a (%s)" s.rank (Vertex.label v) Scalana_mlang.Loc.pp
+    v.Vertex.loc (via_name s.via)
+
+let pp_path psg ppf path =
+  List.iteri
+    (fun i s ->
+      if i > 0 then Fmt.pf ppf "@.  <- ";
+      pp_step psg ppf s)
+    path

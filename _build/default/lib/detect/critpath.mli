@@ -1,0 +1,28 @@
+(** Critical-path analysis over a full trace (the Chen & Clapp-style
+    extension the paper's related work discusses): the longest dependence
+    chain through per-rank event sequences and message/collective edges,
+    aggregated by source location.
+
+    Complements backtracking: backtracking explains *who caused a wait*;
+    the critical path shows *which code bounds the runtime*. *)
+
+open Scalana_mlang
+
+type segment = {
+  seg_loc : Loc.t;
+  seg_rank : int;
+  seg_label : string;
+  seg_seconds : float;  (** non-waiting time on the chain *)
+}
+
+type t = {
+  total : float;
+  segments : segment list;
+  by_location : (string * float) list;  (** aggregated, largest first *)
+}
+
+(** [hop_epsilon] (default 0.1 ms) is the smallest wait treated as a
+    binding remote dependence. *)
+val analyze : ?hop_epsilon:float -> Scalana_baselines.Tracer.event list -> t
+val top : ?n:int -> t -> (string * float) list
+val pp : t Fmt.t

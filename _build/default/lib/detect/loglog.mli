@@ -1,0 +1,14 @@
+(** Log–log model fitting: ordinary least squares on
+    [log T = a + b log P]; the slope is a vertex's changing rate as the
+    job scale grows. *)
+
+type fit = { intercept : float; slope : float; r2 : float; n : int }
+
+(** Points with non-positive values are dropped; fewer than two valid
+    points yield a zero fit with [n < 2]. *)
+val fit : (int * float) list -> fit
+
+val predict : fit -> int -> float
+
+(** -1: time halves when the process count doubles. *)
+val ideal_strong_scaling_slope : float

@@ -1,0 +1,71 @@
+(* Non-scalable vertex detection (Section IV-A).
+
+   For every vertex, merge its per-rank time at each job scale with the
+   chosen strategy, fit the log–log model, and rank vertices by their
+   slope (changing rate).  Vertices whose share of total time is
+   negligible at the largest scale are filtered out first. *)
+
+open Scalana_ppg
+
+type finding = {
+  vertex : int;
+  slope : float;
+  score : float;  (* slope - ideal slope; > 0 scales worse than ideal *)
+  fraction : float;  (* share of total time at the largest scale *)
+  fit : Loglog.fit;
+  series : (int * float) list;  (* (nprocs, aggregated time) *)
+}
+
+type config = {
+  strategy : Aggregate.strategy;
+  min_fraction : float;  (* ignore vertices below this share of time *)
+  top_k : int;
+  min_score : float;  (* only report vertices at least this non-scalable *)
+}
+
+let default_config =
+  { strategy = Aggregate.Mean; min_fraction = 0.01; top_k = 5; min_score = 0.25 }
+
+let detect ?(config = default_config) (cs : Crossscale.t) =
+  let _, largest_ppg = Crossscale.largest cs in
+  let total = Ppg.total_time largest_ppg in
+  let findings =
+    List.filter_map
+      (fun vertex ->
+        let series =
+          List.map
+            (fun (n, per_rank) -> (n, Aggregate.apply config.strategy per_rank))
+            (Crossscale.series cs ~vertex)
+        in
+        let at_largest =
+          Array.fold_left ( +. ) 0.0
+            (Ppg.times_across_ranks largest_ppg ~vertex)
+        in
+        let fraction = if total > 0.0 then at_largest /. total else 0.0 in
+        if fraction < config.min_fraction then None
+        else begin
+          let fit = Loglog.fit series in
+          if fit.Loglog.n < 2 then None
+          else begin
+            let score = fit.slope -. Loglog.ideal_strong_scaling_slope in
+            Some { vertex; slope = fit.slope; score; fraction; fit; series }
+          end
+        end)
+      (Crossscale.touched_vertices cs)
+  in
+  let ranked =
+    List.sort (fun a b -> compare b.score a.score) findings
+    |> List.filter (fun f -> f.score >= config.min_score)
+  in
+  let rec take n = function
+    | [] -> []
+    | _ when n = 0 -> []
+    | x :: rest -> x :: take (n - 1) rest
+  in
+  take config.top_k ranked
+
+let pp_finding psg ppf f =
+  let v = Scalana_psg.Psg.vertex psg f.vertex in
+  Fmt.pf ppf "%-28s slope=%+.2f score=%.2f frac=%4.1f%% @%a"
+    (Scalana_psg.Vertex.label v) f.slope f.score (100.0 *. f.fraction)
+    Scalana_mlang.Loc.pp v.Scalana_psg.Vertex.loc

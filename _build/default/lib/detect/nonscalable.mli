@@ -1,0 +1,24 @@
+(** Non-scalable vertex detection (Section IV-A): merge per-rank times at
+    each scale, fit the log–log model, rank by slope; significance-filter
+    by share of total time. *)
+
+type finding = {
+  vertex : int;
+  slope : float;
+  score : float;  (** slope - ideal slope; > 0 scales worse than ideal *)
+  fraction : float;  (** share of total time at the largest scale *)
+  fit : Loglog.fit;
+  series : (int * float) list;
+}
+
+type config = {
+  strategy : Aggregate.strategy;
+  min_fraction : float;
+  top_k : int;
+  min_score : float;
+}
+
+val default_config : config
+
+val detect : ?config:config -> Scalana_ppg.Crossscale.t -> finding list
+val pp_finding : Scalana_psg.Psg.t -> finding Fmt.t

@@ -1,0 +1,56 @@
+(* Textual root-cause report — the ScalAna-viewer of Section V rendered
+   for a terminal: ranked root causes with calling paths (upper window)
+   and source snippets (lower window). *)
+
+open Scalana_psg
+
+let pp_cause ~psg ?program ppf (i, (c : Rootcause.cause)) =
+  Fmt.pf ppf "#%d  %s @%a@." (i + 1) c.Rootcause.cause_label
+    Scalana_mlang.Loc.pp c.cause_loc;
+  Fmt.pf ppf "    paths=%d  total=%.4fs  imbalance=%s  culprit ranks=%s@."
+    c.n_paths c.total_time
+    (if c.imbalance = infinity then "inf"
+     else Printf.sprintf "%.2fx" c.imbalance)
+    (String.concat ","
+       (List.map string_of_int
+          (let rec take n = function
+             | [] -> []
+             | _ when n = 0 -> [ -1 ]
+             | x :: r -> x :: take (n - 1) r
+           in
+           take 8 c.culprit_ranks)
+          |> List.map (fun s -> if s = "-1" then "..." else s)));
+  let v = Psg.vertex psg c.cause_vertex in
+  let callpath = v.Vertex.callpath in
+  if callpath <> [] then
+    Fmt.pf ppf "    called via: %s@."
+      (String.concat " > "
+         (List.map Scalana_mlang.Loc.to_string callpath));
+  (match program with
+  | None -> ()
+  | Some p ->
+      List.iter
+        (fun line -> Fmt.pf ppf "    %s@." line)
+        (Scalana_mlang.Pretty.snippet ~context:1 p c.cause_loc));
+  Fmt.pf ppf "    backtracking path:@.      %a@."
+    (Backtrack.pp_path psg) c.example_path
+
+let render ?program (analysis : Rootcause.analysis) ~psg =
+  let buf = Buffer.create 2048 in
+  let ppf = Fmt.with_buffer buf in
+  Fmt.pf ppf "=== ScalAna scaling-loss report ===@.";
+  Fmt.pf ppf "@.-- non-scalable vertices (log-log slope ranking) --@.";
+  List.iter
+    (fun f -> Fmt.pf ppf "  %a@." (Nonscalable.pp_finding psg) f)
+    analysis.Rootcause.nonscalable;
+  Fmt.pf ppf "@.-- abnormal vertices (AbnormThd deviation) --@.";
+  List.iter
+    (fun f -> Fmt.pf ppf "  %a@." (Abnormal.pp_finding psg) f)
+    analysis.abnormal;
+  Fmt.pf ppf "@.-- root causes (%d paths) --@."
+    (List.length analysis.paths);
+  List.iteri
+    (fun i c -> pp_cause ~psg ?program ppf (i, c))
+    analysis.causes;
+  Fmt.flush ppf ();
+  Buffer.contents buf

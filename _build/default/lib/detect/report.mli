@@ -1,0 +1,15 @@
+(** Textual root-cause report: ranked causes with calling paths and
+    source snippets (the viewer of Fig. 9 rendered for a terminal). *)
+
+val pp_cause :
+  psg:Scalana_psg.Psg.t ->
+  ?program:Scalana_mlang.Ast.program ->
+  Format.formatter ->
+  int * Rootcause.cause ->
+  unit
+
+val render :
+  ?program:Scalana_mlang.Ast.program ->
+  Rootcause.analysis ->
+  psg:Scalana_psg.Psg.t ->
+  string

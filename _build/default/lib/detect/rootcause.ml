@@ -1,0 +1,146 @@
+(* Root-cause extraction: run Algorithm 1's main driver (backtrack from
+   every non-scalable vertex, then from every not-yet-scanned abnormal
+   vertex), and distill the resulting paths into ranked root-cause
+   candidates with their source locations. *)
+
+open Scalana_psg
+open Scalana_ppg
+
+type cause = {
+  cause_vertex : int;
+  cause_loc : Scalana_mlang.Loc.t;
+  cause_label : string;
+  n_paths : int;  (* how many root-cause paths terminate here *)
+  total_time : float;  (* summed across ranks at the largest scale *)
+  imbalance : float;  (* max/median across ranks *)
+  culprit_ranks : int list;
+  example_path : Backtrack.path;
+}
+
+type analysis = {
+  nonscalable : Nonscalable.finding list;
+  abnormal : Abnormal.finding list;
+  paths : Backtrack.path list;
+  causes : cause list;
+}
+
+(* The root cause of a path: among the Comp/Loop vertices the walk
+   visited, the one whose execution time *on the rank the walk was on*
+   deviates most from the other ranks (weighted by magnitude, so a busy
+   2x-deviating solver beats a tiny 3x-deviating setup block).  Vertices
+   with no time on the visited rank cannot be causes.  Ties prefer the
+   deeper (later) step, i.e. the origin of the delay chain. *)
+let cause_score ppg (s : Backtrack.step) =
+  let times = Ppg.times_across_ranks ppg ~vertex:s.Backtrack.vertex in
+  let own = if s.rank < Array.length times then times.(s.rank) else 0.0 in
+  if own <= 1e-9 then 0.0
+  else begin
+    let med = Aggregate.median times in
+    let deviation = if med > 1e-9 then own /. med else 1000.0 in
+    own *. deviation
+  end
+
+let terminal_cause ppg (path : Backtrack.path) =
+  let psg = ppg.Ppg.psg in
+  let best = ref None in
+  List.iter
+    (fun (s : Backtrack.step) ->
+      let v = Psg.vertex psg s.Backtrack.vertex in
+      if Vertex.is_comp v || Vertex.is_loop v then begin
+        let score = cause_score ppg s in
+        match !best with
+        | Some (_, best_score) when best_score > score -> ()
+        | _ -> if score > 0.0 then best := Some (s, score)
+      end)
+    path;
+  Option.map fst !best
+
+(* Pick the start rank for a problematic vertex: the rank spending the
+   most time there (for collectives the wait concentrates on early
+   arrivers, and the walk jumps to the true culprit). *)
+let start_rank ppg ~vertex =
+  let times = Ppg.times_across_ranks ppg ~vertex in
+  let best = ref 0 in
+  Array.iteri (fun r t -> if t > times.(!best) then best := r) times;
+  !best
+
+let analyze ?(ns_config = Nonscalable.default_config)
+    ?(ab_config = Abnormal.default_config)
+    ?(bt_config = Backtrack.default_config) (cs : Crossscale.t) =
+  let _, ppg = Crossscale.largest cs in
+  let psg = ppg.Ppg.psg in
+  let nonscalable = Nonscalable.detect ~config:ns_config cs in
+  let abnormal = Abnormal.detect ~config:ab_config ppg in
+  let visited = Hashtbl.create 256 in
+  let paths = ref [] in
+  (* Algorithm 1, lines 4-8: paths from non-scalable vertices *)
+  List.iter
+    (fun (f : Nonscalable.finding) ->
+      let rank = start_rank ppg ~vertex:f.vertex in
+      let p =
+        Backtrack.backtrack ~config:bt_config ppg ~visited ~start_rank:rank
+          ~start_vertex:f.vertex
+      in
+      if p <> [] then paths := p :: !paths)
+    nonscalable;
+  (* lines 9-12: abnormal vertices not yet scanned *)
+  List.iter
+    (fun (f : Abnormal.finding) ->
+      let rank =
+        match f.ranks with r :: _ -> r | [] -> start_rank ppg ~vertex:f.vertex
+      in
+      if not (Hashtbl.mem visited (rank, f.vertex)) then begin
+        let p =
+          Backtrack.backtrack ~config:bt_config ppg ~visited ~start_rank:rank
+            ~start_vertex:f.vertex
+        in
+        if p <> [] then paths := p :: !paths
+      end)
+    abnormal;
+  let paths = List.rev !paths in
+  (* group path terminals into causes *)
+  let tbl : (int, cause) Hashtbl.t = Hashtbl.create 16 in
+  List.iter
+    (fun path ->
+      match terminal_cause ppg path with
+      | None -> ()
+      | Some s ->
+          let vid = s.Backtrack.vertex in
+          let v = Psg.vertex psg vid in
+          let times = Ppg.times_across_ranks ppg ~vertex:vid in
+          let med = Aggregate.median times in
+          let mx = Array.fold_left Float.max 0.0 times in
+          let cause =
+            match Hashtbl.find_opt tbl vid with
+            | Some c ->
+                {
+                  c with
+                  n_paths = c.n_paths + 1;
+                  culprit_ranks =
+                    (if List.mem s.Backtrack.rank c.culprit_ranks then
+                       c.culprit_ranks
+                     else c.culprit_ranks @ [ s.Backtrack.rank ]);
+                }
+            | None ->
+                {
+                  cause_vertex = vid;
+                  cause_loc = v.Vertex.loc;
+                  cause_label = Vertex.label v;
+                  n_paths = 1;
+                  total_time = Array.fold_left ( +. ) 0.0 times;
+                  imbalance = (if med > 0.0 then mx /. med else infinity);
+                  culprit_ranks = [ s.Backtrack.rank ];
+                  example_path = path;
+                }
+          in
+          Hashtbl.replace tbl vid cause)
+    paths;
+  let causes =
+    Hashtbl.fold (fun _ c acc -> c :: acc) tbl []
+    |> List.sort (fun a b ->
+           (* the paper sorts by execution time and imbalance *)
+           compare
+             (b.n_paths, b.total_time, b.imbalance)
+             (a.n_paths, a.total_time, a.imbalance))
+  in
+  { nonscalable; abnormal; paths; causes }

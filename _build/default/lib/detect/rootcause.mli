@@ -1,0 +1,38 @@
+(** Root-cause extraction: Algorithm 1's main driver (backtrack from
+    every non-scalable vertex, then from unscanned abnormal vertices) and
+    the distillation of paths into ranked causes. *)
+
+type cause = {
+  cause_vertex : int;
+  cause_loc : Scalana_mlang.Loc.t;
+  cause_label : string;
+  n_paths : int;  (** paths terminating at this cause *)
+  total_time : float;
+  imbalance : float;  (** max/median across ranks *)
+  culprit_ranks : int list;
+  example_path : Backtrack.path;
+}
+
+type analysis = {
+  nonscalable : Nonscalable.finding list;
+  abnormal : Abnormal.finding list;
+  paths : Backtrack.path list;
+  causes : cause list;  (** ranked: paths, time, imbalance *)
+}
+
+(** Deviation-weighted score of a path step as a root-cause candidate. *)
+val cause_score : Scalana_ppg.Ppg.t -> Backtrack.step -> float
+
+(** The step of a path most likely to be the cause, if any. *)
+val terminal_cause :
+  Scalana_ppg.Ppg.t -> Backtrack.path -> Backtrack.step option
+
+(** The rank spending the most time at a vertex (walk start heuristic). *)
+val start_rank : Scalana_ppg.Ppg.t -> vertex:int -> int
+
+val analyze :
+  ?ns_config:Nonscalable.config ->
+  ?ab_config:Abnormal.config ->
+  ?bt_config:Backtrack.config ->
+  Scalana_ppg.Crossscale.t ->
+  analysis

@@ -1,0 +1,1 @@
+lib/mlang/ast.ml: Expr List Loc String

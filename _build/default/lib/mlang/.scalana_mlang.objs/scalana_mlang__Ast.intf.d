@@ -1,0 +1,1 @@
+lib/mlang/ast.mli: Expr Loc

@@ -1,0 +1,1 @@
+lib/mlang/builder.ml: Ast Expr List Loc

@@ -1,0 +1,1 @@
+lib/mlang/builder.mli: Ast Expr

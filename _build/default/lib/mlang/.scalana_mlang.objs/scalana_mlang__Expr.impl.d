@@ -1,0 +1,1 @@
+lib/mlang/expr.ml: Fmt Int List String

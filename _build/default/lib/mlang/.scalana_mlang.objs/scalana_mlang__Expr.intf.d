@@ -1,0 +1,1 @@
+lib/mlang/expr.mli: Fmt

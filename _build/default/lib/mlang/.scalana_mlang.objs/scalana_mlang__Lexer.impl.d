@@ -1,0 +1,1 @@
+lib/mlang/lexer.ml: Buffer Fmt List Printf String

@@ -1,0 +1,1 @@
+lib/mlang/loc.ml: Fmt Hashtbl Int Printf String

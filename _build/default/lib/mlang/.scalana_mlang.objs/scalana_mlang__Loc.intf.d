@@ -1,0 +1,1 @@
+lib/mlang/loc.mli: Fmt

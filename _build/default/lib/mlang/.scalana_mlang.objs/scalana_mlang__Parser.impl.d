@@ -1,0 +1,1 @@
+lib/mlang/parser.ml: Array Ast Expr Fmt Lexer List Loc Printexc Printf String

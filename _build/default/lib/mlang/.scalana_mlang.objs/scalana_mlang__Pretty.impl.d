@@ -1,0 +1,1 @@
+lib/mlang/pretty.ml: Array Ast Buffer Expr Fmt List Loc Printf String

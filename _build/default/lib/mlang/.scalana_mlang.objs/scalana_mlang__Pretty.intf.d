@@ -1,0 +1,1 @@
+lib/mlang/pretty.mli: Ast Fmt Loc

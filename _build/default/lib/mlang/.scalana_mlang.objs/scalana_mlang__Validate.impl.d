@@ -1,0 +1,1 @@
+lib/mlang/validate.ml: Ast Expr Fmt Hashtbl List Loc String

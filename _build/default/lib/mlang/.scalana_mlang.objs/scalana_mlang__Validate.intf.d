@@ -1,0 +1,1 @@
+lib/mlang/validate.mli: Ast Fmt Loc

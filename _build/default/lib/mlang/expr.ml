@@ -1,0 +1,240 @@
+(* Integer expression language for MiniMPI.
+
+   Expressions appear wherever a program needs a value that depends on the
+   execution context: loop trip counts, message sizes, destination ranks,
+   branch conditions, workload instruction counts.  Booleans are encoded
+   as 0/1 integers, as in C. *)
+
+type binop =
+  | Add
+  | Sub
+  | Mul
+  | Div
+  | Mod
+  | Min
+  | Max
+  | Shl
+  | Shr
+  | Lt
+  | Le
+  | Gt
+  | Ge
+  | Eq
+  | Ne
+  | And
+  | Or
+  | Xor
+
+type t =
+  | Int of int
+  | Rank
+  | Nprocs
+  | Param of string
+  | Var of string
+  | Bin of binop * t * t
+  | Neg of t
+  | Not of t
+  | Log2 of t  (* floor(log2 e); 0 for e <= 1 *)
+  | Isqrt of t  (* floor(sqrt e); 0 for e <= 0 *)
+
+exception Eval_error of string
+
+let eval_error fmt = Fmt.kstr (fun s -> raise (Eval_error s)) fmt
+
+type env = {
+  rank : int;
+  nprocs : int;
+  params : (string * int) list;
+  vars : (string * int) list;
+}
+
+let env ~rank ~nprocs ~params ~vars = { rank; nprocs; params; vars }
+
+let binop_name = function
+  | Add -> "+"
+  | Sub -> "-"
+  | Mul -> "*"
+  | Div -> "/"
+  | Mod -> "%"
+  | Min -> "min"
+  | Max -> "max"
+  | Shl -> "<<"
+  | Shr -> ">>"
+  | Lt -> "<"
+  | Le -> "<="
+  | Gt -> ">"
+  | Ge -> ">="
+  | Eq -> "=="
+  | Ne -> "!="
+  | And -> "&&"
+  | Or -> "||"
+  | Xor -> "^"
+
+let apply_binop op a b =
+  match op with
+  | Add -> a + b
+  | Sub -> a - b
+  | Mul -> a * b
+  | Div -> if b = 0 then eval_error "division by zero" else a / b
+  | Mod -> if b = 0 then eval_error "modulo by zero" else a mod b
+  | Min -> min a b
+  | Max -> max a b
+  | Shl -> a lsl b
+  | Shr -> a asr b
+  | Lt -> if a < b then 1 else 0
+  | Le -> if a <= b then 1 else 0
+  | Gt -> if a > b then 1 else 0
+  | Ge -> if a >= b then 1 else 0
+  | Eq -> if a = b then 1 else 0
+  | Ne -> if a <> b then 1 else 0
+  | And -> if a <> 0 && b <> 0 then 1 else 0
+  | Or -> if a <> 0 || b <> 0 then 1 else 0
+  | Xor -> a lxor b
+
+let rec eval env = function
+  | Int n -> n
+  | Rank -> env.rank
+  | Nprocs -> env.nprocs
+  | Param p -> (
+      match List.assoc_opt p env.params with
+      | Some v -> v
+      | None -> eval_error "unbound parameter %S" p)
+  | Var v -> (
+      match List.assoc_opt v env.vars with
+      | Some n -> n
+      | None -> eval_error "unbound variable %S" v)
+  | Bin (op, a, b) -> apply_binop op (eval env a) (eval env b)
+  | Neg e -> -eval env e
+  | Not e -> if eval env e = 0 then 1 else 0
+  | Log2 e ->
+      let v = eval env e in
+      let rec go acc x = if x <= 1 then acc else go (acc + 1) (x / 2) in
+      go 0 v
+  | Isqrt e ->
+      let v = eval env e in
+      if v <= 0 then 0
+      else begin
+        let r = int_of_float (sqrt (float_of_int v)) in
+        let r = if (r + 1) * (r + 1) <= v then r + 1 else r in
+        if r * r > v then r - 1 else r
+      end
+
+let eval_bool env e = eval env e <> 0
+
+(* Free variables (not parameters), used by validation to check that loop
+   variables are bound before use. *)
+let free_vars e =
+  let rec go acc = function
+    | Int _ | Rank | Nprocs | Param _ -> acc
+    | Var v -> if List.mem v acc then acc else v :: acc
+    | Bin (_, a, b) -> go (go acc a) b
+    | Neg a | Not a | Log2 a | Isqrt a -> go acc a
+  in
+  go [] e
+
+let params e =
+  let rec go acc = function
+    | Int _ | Rank | Nprocs | Var _ -> acc
+    | Param p -> if List.mem p acc then acc else p :: acc
+    | Bin (_, a, b) -> go (go acc a) b
+    | Neg a | Not a | Log2 a | Isqrt a -> go acc a
+  in
+  go [] e
+
+(* [is_static e] holds when [e] evaluates to the same value on every rank
+   given only program parameters: no Rank, no Var.  Nprocs is considered
+   static for a fixed job scale. *)
+let rec is_static = function
+  | Int _ | Param _ | Nprocs -> true
+  | Rank | Var _ -> false
+  | Bin (_, a, b) -> is_static a && is_static b
+  | Neg a | Not a | Log2 a | Isqrt a -> is_static a
+
+let rec depends_on_rank = function
+  | Int _ | Param _ | Nprocs | Var _ -> false
+  | Rank -> true
+  | Bin (_, a, b) -> depends_on_rank a || depends_on_rank b
+  | Neg a | Not a | Log2 a | Isqrt a -> depends_on_rank a
+
+let prec = function
+  | Or -> 1
+  | And -> 2
+  | Lt | Le | Gt | Ge | Eq | Ne -> 3
+  | Xor -> 4
+  | Shl | Shr -> 5
+  | Add | Sub -> 6
+  | Mul | Div | Mod -> 7
+  | Min | Max -> 8
+
+let rec pp_prec level ppf e =
+  match e with
+  | Int n -> Fmt.int ppf n
+  | Rank -> Fmt.string ppf "rank"
+  | Nprocs -> Fmt.string ppf "np"
+  | Param p -> Fmt.pf ppf "$%s" p
+  | Var v -> Fmt.string ppf v
+  | Neg a -> Fmt.pf ppf "-%a" (pp_prec 9) a
+  | Not a -> Fmt.pf ppf "!%a" (pp_prec 9) a
+  | Log2 a -> Fmt.pf ppf "log2(%a)" (pp_prec 0) a
+  | Isqrt a -> Fmt.pf ppf "isqrt(%a)" (pp_prec 0) a
+  | Bin ((Min | Max) as op, a, b) ->
+      Fmt.pf ppf "%s(%a, %a)" (binop_name op) (pp_prec 0) a (pp_prec 0) b
+  | Bin (op, a, b) ->
+      let p = prec op in
+      (* comparisons are non-associative in the grammar: parenthesize
+         both operands one level up *)
+      let left_level =
+        match op with Lt | Le | Gt | Ge | Eq | Ne -> p + 1 | _ -> p
+      in
+      let body ppf () =
+        Fmt.pf ppf "%a %s %a" (pp_prec left_level) a (binop_name op)
+          (pp_prec (p + 1)) b
+      in
+      if p < level then Fmt.pf ppf "(%a)" body () else body ppf ()
+
+let pp = pp_prec 0
+let to_string = Fmt.to_to_string pp
+
+let rec equal a b =
+  match (a, b) with
+  | Int x, Int y -> Int.equal x y
+  | Rank, Rank | Nprocs, Nprocs -> true
+  | Param x, Param y | Var x, Var y -> String.equal x y
+  | Bin (o1, a1, b1), Bin (o2, a2, b2) -> o1 = o2 && equal a1 a2 && equal b1 b2
+  | Neg x, Neg y | Not x, Not y | Log2 x, Log2 y | Isqrt x, Isqrt y ->
+      equal x y
+  | ( ( Int _ | Rank | Nprocs | Param _ | Var _ | Bin _ | Neg _ | Not _
+      | Log2 _ | Isqrt _ ),
+      _ ) ->
+      false
+
+(* Infix constructors for the builder DSL. *)
+module Infix = struct
+  let i n = Int n
+  let rank = Rank
+  let np = Nprocs
+  let p name = Param name
+  let v name = Var name
+  let ( + ) a b = Bin (Add, a, b)
+  let ( - ) a b = Bin (Sub, a, b)
+  let ( * ) a b = Bin (Mul, a, b)
+  let ( / ) a b = Bin (Div, a, b)
+  let ( % ) a b = Bin (Mod, a, b)
+  let ( lsl ) a b = Bin (Shl, a, b)
+  let ( asr ) a b = Bin (Shr, a, b)
+  let ( < ) a b = Bin (Lt, a, b)
+  let ( <= ) a b = Bin (Le, a, b)
+  let ( > ) a b = Bin (Gt, a, b)
+  let ( >= ) a b = Bin (Ge, a, b)
+  let ( = ) a b = Bin (Eq, a, b)
+  let ( <> ) a b = Bin (Ne, a, b)
+  let ( && ) a b = Bin (And, a, b)
+  let ( || ) a b = Bin (Or, a, b)
+  let ( lxor ) a b = Bin (Xor, a, b)
+  let min_ a b = Bin (Min, a, b)
+  let max_ a b = Bin (Max, a, b)
+  let not_ a = Not a
+  let neg a = Neg a
+  let log2 a = Log2 a
+  let isqrt a = Isqrt a
+end

@@ -1,0 +1,101 @@
+(** Integer expression language for MiniMPI.
+
+    Expressions compute context-dependent values: loop trip counts,
+    message sizes and peers, branch conditions, and per-statement workload
+    descriptors. Booleans are 0/1 integers. *)
+
+type binop =
+  | Add
+  | Sub
+  | Mul
+  | Div
+  | Mod
+  | Min
+  | Max
+  | Shl
+  | Shr
+  | Lt
+  | Le
+  | Gt
+  | Ge
+  | Eq
+  | Ne
+  | And
+  | Or
+  | Xor
+
+type t =
+  | Int of int
+  | Rank  (** the executing process rank *)
+  | Nprocs  (** the job scale *)
+  | Param of string  (** program-level problem-size parameter *)
+  | Var of string  (** loop variable, [let] binding or function argument *)
+  | Bin of binop * t * t
+  | Neg of t
+  | Not of t
+  | Log2 of t  (** floor(log2 e); 0 for e <= 1 *)
+  | Isqrt of t  (** floor(sqrt e); 0 for e <= 0 *)
+
+exception Eval_error of string
+
+type env
+
+val env :
+  rank:int ->
+  nprocs:int ->
+  params:(string * int) list ->
+  vars:(string * int) list ->
+  env
+
+(** [eval env e] evaluates [e]; raises {!Eval_error} on unbound names or
+    division by zero. *)
+val eval : env -> t -> int
+
+val eval_bool : env -> t -> bool
+
+(** Free [Var] names of an expression (parameters excluded). *)
+val free_vars : t -> string list
+
+(** [Param] names referenced by an expression. *)
+val params : t -> string list
+
+(** True when the expression has the same value on every rank for a fixed
+    job scale (no [Rank], no [Var]). *)
+val is_static : t -> bool
+
+val depends_on_rank : t -> bool
+val binop_name : binop -> string
+val equal : t -> t -> bool
+val pp : t Fmt.t
+val to_string : t -> string
+
+(** Infix constructors for the builder DSL. *)
+module Infix : sig
+  val i : int -> t
+  val rank : t
+  val np : t
+  val p : string -> t
+  val v : string -> t
+  val ( + ) : t -> t -> t
+  val ( - ) : t -> t -> t
+  val ( * ) : t -> t -> t
+  val ( / ) : t -> t -> t
+  val ( % ) : t -> t -> t
+  val ( lsl ) : t -> t -> t
+  val ( asr ) : t -> t -> t
+  val ( < ) : t -> t -> t
+  val ( <= ) : t -> t -> t
+  val ( > ) : t -> t -> t
+  val ( >= ) : t -> t -> t
+  val ( = ) : t -> t -> t
+  val ( <> ) : t -> t -> t
+  val ( && ) : t -> t -> t
+  val ( || ) : t -> t -> t
+  val ( lxor ) : t -> t -> t
+  val min_ : t -> t -> t
+  val max_ : t -> t -> t
+  val not_ : t -> t
+  val neg : t -> t
+  val log2 : t -> t
+  val isqrt : t -> t
+end

@@ -1,0 +1,230 @@
+(* Hand-written lexer for MiniMPI concrete syntax.
+
+   Keywords are not distinguished from identifiers here; the parser
+   matches on identifier spellings.  '//' and '#' start line comments. *)
+
+type token =
+  | IDENT of string
+  | INT of int
+  | FLOAT of float
+  | STRING of string
+  | LPAREN
+  | RPAREN
+  | LBRACE
+  | RBRACE
+  | COMMA
+  | SEMI
+  | EQUALS
+  | DOLLAR
+  | PLUS
+  | MINUS
+  | STAR
+  | SLASH
+  | PERCENT
+  | CARET
+  | BANG
+  | LT
+  | LE
+  | GT
+  | GE
+  | EQEQ
+  | NE
+  | ANDAND
+  | OROR
+  | SHL
+  | SHR
+  | EOF
+
+let token_name = function
+  | IDENT s -> Printf.sprintf "identifier %S" s
+  | INT n -> Printf.sprintf "integer %d" n
+  | FLOAT f -> Printf.sprintf "float %g" f
+  | STRING s -> Printf.sprintf "string %S" s
+  | LPAREN -> "'('"
+  | RPAREN -> "')'"
+  | LBRACE -> "'{'"
+  | RBRACE -> "'}'"
+  | COMMA -> "','"
+  | SEMI -> "';'"
+  | EQUALS -> "'='"
+  | DOLLAR -> "'$'"
+  | PLUS -> "'+'"
+  | MINUS -> "'-'"
+  | STAR -> "'*'"
+  | SLASH -> "'/'"
+  | PERCENT -> "'%'"
+  | CARET -> "'^'"
+  | BANG -> "'!'"
+  | LT -> "'<'"
+  | LE -> "'<='"
+  | GT -> "'>'"
+  | GE -> "'>='"
+  | EQEQ -> "'=='"
+  | NE -> "'!='"
+  | ANDAND -> "'&&'"
+  | OROR -> "'||'"
+  | SHL -> "'<<'"
+  | SHR -> "'>>'"
+  | EOF -> "end of input"
+
+exception Lex_error of { line : int; msg : string }
+
+let lex_error ~line fmt =
+  Fmt.kstr (fun msg -> raise (Lex_error { line; msg })) fmt
+
+type t = {
+  src : string;
+  mutable pos : int;
+  mutable line : int;
+}
+
+let create src = { src; pos = 0; line = 1 }
+let peek_char t = if t.pos < String.length t.src then Some t.src.[t.pos] else None
+
+let advance t =
+  (match peek_char t with Some '\n' -> t.line <- t.line + 1 | _ -> ());
+  t.pos <- t.pos + 1
+
+let is_ident_start c = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || c = '_'
+let is_ident_char c = is_ident_start c || (c >= '0' && c <= '9')
+let is_digit c = c >= '0' && c <= '9'
+
+let rec skip_ws t =
+  match peek_char t with
+  | Some (' ' | '\t' | '\r' | '\n') ->
+      advance t;
+      skip_ws t
+  | Some '#' ->
+      skip_line t;
+      skip_ws t
+  | Some '/' when t.pos + 1 < String.length t.src && t.src.[t.pos + 1] = '/' ->
+      skip_line t;
+      skip_ws t
+  | _ -> ()
+
+and skip_line t =
+  match peek_char t with
+  | Some '\n' | None -> ()
+  | Some _ ->
+      advance t;
+      skip_line t
+
+let lex_ident t =
+  let start = t.pos in
+  while (match peek_char t with Some c -> is_ident_char c | None -> false) do
+    advance t
+  done;
+  String.sub t.src start (t.pos - start)
+
+let lex_number t =
+  let start = t.pos in
+  while (match peek_char t with Some c -> is_digit c | None -> false) do
+    advance t
+  done;
+  let is_float =
+    match peek_char t with
+    | Some '.' when t.pos + 1 < String.length t.src && is_digit t.src.[t.pos + 1]
+      ->
+        advance t;
+        while (match peek_char t with Some c -> is_digit c | None -> false) do
+          advance t
+        done;
+        true
+    | _ -> false
+  in
+  let text = String.sub t.src start (t.pos - start) in
+  if is_float then FLOAT (float_of_string text) else INT (int_of_string text)
+
+let lex_string t =
+  let line = t.line in
+  advance t;
+  let buf = Buffer.create 16 in
+  let rec go () =
+    match peek_char t with
+    | None -> lex_error ~line "unterminated string literal"
+    | Some '"' -> advance t
+    | Some '\\' ->
+        advance t;
+        (match peek_char t with
+        | Some 'n' -> Buffer.add_char buf '\n'
+        | Some 't' -> Buffer.add_char buf '\t'
+        | Some c -> Buffer.add_char buf c
+        | None -> lex_error ~line "unterminated escape");
+        advance t;
+        go ()
+    | Some c ->
+        Buffer.add_char buf c;
+        advance t;
+        go ()
+  in
+  go ();
+  Buffer.contents buf
+
+(* Returns the next token with the line it starts on. *)
+let next t =
+  skip_ws t;
+  let line = t.line in
+  let tok =
+    match peek_char t with
+    | None -> EOF
+    | Some c when is_ident_start c -> IDENT (lex_ident t)
+    | Some c when is_digit c -> lex_number t
+    | Some '"' -> STRING (lex_string t)
+    | Some c ->
+        let two expected tok_two tok_one =
+          advance t;
+          if peek_char t = Some expected then (
+            advance t;
+            tok_two)
+          else tok_one
+        in
+        (match c with
+        | '(' -> advance t; LPAREN
+        | ')' -> advance t; RPAREN
+        | '{' -> advance t; LBRACE
+        | '}' -> advance t; RBRACE
+        | ',' -> advance t; COMMA
+        | ';' -> advance t; SEMI
+        | '$' -> advance t; DOLLAR
+        | '+' -> advance t; PLUS
+        | '-' -> advance t; MINUS
+        | '*' -> advance t; STAR
+        | '/' -> advance t; SLASH
+        | '%' -> advance t; PERCENT
+        | '^' -> advance t; CARET
+        | '=' -> two '=' EQEQ EQUALS
+        | '!' -> two '=' NE BANG
+        | '<' -> (
+            advance t;
+            match peek_char t with
+            | Some '=' -> advance t; LE
+            | Some '<' -> advance t; SHL
+            | _ -> LT)
+        | '>' -> (
+            advance t;
+            match peek_char t with
+            | Some '=' -> advance t; GE
+            | Some '>' -> advance t; SHR
+            | _ -> GT)
+        | '&' -> (
+            advance t;
+            match peek_char t with
+            | Some '&' -> advance t; ANDAND
+            | _ -> lex_error ~line "expected '&&'")
+        | '|' -> (
+            advance t;
+            match peek_char t with
+            | Some '|' -> advance t; OROR
+            | _ -> lex_error ~line "expected '||'")
+        | c -> lex_error ~line "unexpected character %C" c)
+  in
+  (tok, line)
+
+let tokenize src =
+  let t = create src in
+  let rec go acc =
+    match next t with
+    | (EOF, line) -> List.rev ((EOF, line) :: acc)
+    | tok -> go (tok :: acc)
+  in
+  go []

@@ -1,0 +1,42 @@
+(** Lexer for MiniMPI concrete syntax. Keywords are plain identifiers;
+    the parser matches their spellings. *)
+
+type token =
+  | IDENT of string
+  | INT of int
+  | FLOAT of float
+  | STRING of string
+  | LPAREN
+  | RPAREN
+  | LBRACE
+  | RBRACE
+  | COMMA
+  | SEMI
+  | EQUALS
+  | DOLLAR
+  | PLUS
+  | MINUS
+  | STAR
+  | SLASH
+  | PERCENT
+  | CARET
+  | BANG
+  | LT
+  | LE
+  | GT
+  | GE
+  | EQEQ
+  | NE
+  | ANDAND
+  | OROR
+  | SHL
+  | SHR
+  | EOF
+
+exception Lex_error of { line : int; msg : string }
+
+val token_name : token -> string
+
+(** Tokenize a whole source, each token paired with its 1-based line.
+    The final element is always [EOF]. *)
+val tokenize : string -> (token * int) list

@@ -1,0 +1,185 @@
+(* Well-formedness checks for MiniMPI programs.
+
+   The validator plays the role of the front-end semantic checks a real
+   compiler would run before ScalAna's static passes: unresolved calls,
+   arity mismatches, unbound names and dangling request handles are
+   reported with their source locations. *)
+
+type error = { loc : Loc.t; msg : string }
+
+let pp_error ppf { loc; msg } = Fmt.pf ppf "%a: %s" Loc.pp loc msg
+let error_to_string = Fmt.to_to_string pp_error
+
+type ctx = {
+  program : Ast.program;
+  mutable errors : error list;
+}
+
+let add ctx loc fmt = Fmt.kstr (fun msg -> ctx.errors <- { loc; msg } :: ctx.errors) fmt
+
+let check_expr ctx loc ~bound e =
+  List.iter
+    (fun v ->
+      if not (List.mem v bound) then add ctx loc "unbound variable %S" v)
+    (Expr.free_vars e);
+  List.iter
+    (fun p ->
+      if not (List.mem_assoc p ctx.program.params) then
+        add ctx loc "undeclared parameter %S" p)
+    (Expr.params e)
+
+let check_peer ctx loc ~bound = function
+  | Ast.Any_source -> ()
+  | Ast.Peer e -> check_expr ctx loc ~bound e
+
+let check_tag ctx loc ~bound = function
+  | Ast.Any_tag -> ()
+  | Ast.Tag e -> check_expr ctx loc ~bound e
+
+let check_mpi ctx loc ~bound ~live_reqs call =
+  let e = check_expr ctx loc ~bound in
+  (match call with
+  | Ast.Send { dest; tag; bytes } ->
+      e dest;
+      e tag;
+      e bytes
+  | Ast.Recv { src; tag; bytes } ->
+      check_peer ctx loc ~bound src;
+      check_tag ctx loc ~bound tag;
+      e bytes
+  | Ast.Isend { dest; tag; bytes; req = _ } ->
+      e dest;
+      e tag;
+      e bytes
+  | Ast.Irecv { src; tag; bytes; req = _ } ->
+      check_peer ctx loc ~bound src;
+      check_tag ctx loc ~bound tag;
+      e bytes
+  | Ast.Wait _ | Ast.Waitall _ | Ast.Barrier -> ()
+  | Ast.Sendrecv { dest; stag; sbytes; src; rtag; rbytes } ->
+      e dest;
+      e stag;
+      e sbytes;
+      check_peer ctx loc ~bound src;
+      check_tag ctx loc ~bound rtag;
+      e rbytes
+  | Ast.Bcast { root; bytes } | Ast.Reduce { root; bytes } ->
+      e root;
+      e bytes
+  | Ast.Allreduce { bytes } | Ast.Alltoall { bytes } | Ast.Allgather { bytes }
+    ->
+      e bytes);
+  (* Request discipline: a wait must name a request posted earlier in the
+     same function body (syntactic approximation of MPI's handle rules). *)
+  match call with
+  | Ast.Wait { req } ->
+      if not (List.mem req !live_reqs) then
+        add ctx loc "MPI_Wait on request %S never posted in this function" req
+  | Ast.Waitall { reqs } ->
+      List.iter
+        (fun r ->
+          if not (List.mem r !live_reqs) then
+            add ctx loc "MPI_Waitall on request %S never posted in this function"
+              r)
+        reqs
+  | Ast.Isend { req; _ } | Ast.Irecv { req; _ } ->
+      live_reqs := req :: !live_reqs
+  | Ast.Send _ | Ast.Recv _ | Ast.Sendrecv _ | Ast.Barrier | Ast.Bcast _
+  | Ast.Reduce _ | Ast.Allreduce _ | Ast.Alltoall _ | Ast.Allgather _ ->
+      ()
+
+let rec check_stmts ctx ~bound ~live_reqs stmts =
+  List.fold_left
+    (fun bound (s : Ast.stmt) ->
+      match s.node with
+      | Ast.Comp w ->
+          check_expr ctx s.loc ~bound w.flops;
+          check_expr ctx s.loc ~bound w.mem;
+          check_expr ctx s.loc ~bound w.ints;
+          if not (w.locality >= 0.0 && w.locality <= 1.0) then
+            add ctx s.loc "locality %g out of [0,1]" w.locality;
+          bound
+      | Ast.Loop l ->
+          check_expr ctx s.loc ~bound l.count;
+          ignore (check_stmts ctx ~bound:(l.var :: bound) ~live_reqs l.body);
+          bound
+      | Ast.Branch b ->
+          check_expr ctx s.loc ~bound b.cond;
+          ignore (check_stmts ctx ~bound ~live_reqs b.then_);
+          ignore (check_stmts ctx ~bound ~live_reqs b.else_);
+          bound
+      | Ast.Call { callee; args } ->
+          (match Ast.find_func_opt ctx.program callee with
+          | None -> add ctx s.loc "call to undefined function %S" callee
+          | Some f ->
+              let given = List.map fst args in
+              List.iter
+                (fun p ->
+                  if not (List.mem p given) then
+                    add ctx s.loc "call to %S misses argument %S" callee p)
+                f.fparams;
+              List.iter
+                (fun g ->
+                  if not (List.mem g f.fparams) then
+                    add ctx s.loc "call to %S passes unknown argument %S" callee
+                      g)
+                given);
+          List.iter (fun (_, e) -> check_expr ctx s.loc ~bound e) args;
+          bound
+      | Ast.Icall { selector; targets } ->
+          check_expr ctx s.loc ~bound selector;
+          if targets = [] then add ctx s.loc "indirect call with no targets";
+          List.iter
+            (fun t ->
+              match Ast.find_func_opt ctx.program t with
+              | Some f ->
+                  if f.fparams <> [] then
+                    add ctx s.loc
+                      "indirect-call target %S takes parameters (unsupported)"
+                      t
+              | None -> add ctx s.loc "indirect-call target %S undefined" t)
+            targets;
+          bound
+      | Ast.Mpi call ->
+          check_mpi ctx s.loc ~bound ~live_reqs call;
+          bound
+      | Ast.Let { var; value } ->
+          check_expr ctx s.loc ~bound value;
+          var :: bound)
+    bound stmts
+  |> ignore
+
+let check_func ctx (f : Ast.func) =
+  let live_reqs = ref [] in
+  check_stmts ctx ~bound:f.fparams ~live_reqs f.fbody
+
+let duplicates names =
+  let seen = Hashtbl.create 16 in
+  List.filter
+    (fun n ->
+      if Hashtbl.mem seen n then true
+      else (
+        Hashtbl.add seen n ();
+        false))
+    names
+
+let run program =
+  let ctx = { program; errors = [] } in
+  (match Ast.find_func_opt program program.main with
+  | Some _ -> ()
+  | None -> add ctx Loc.none "main function %S is not defined" program.main);
+  List.iter
+    (fun n -> add ctx Loc.none "duplicate function name %S" n)
+    (duplicates (List.map (fun (f : Ast.func) -> f.fname) program.funcs));
+  List.iter
+    (fun n -> add ctx Loc.none "duplicate parameter %S" n)
+    (duplicates (List.map fst program.params));
+  List.iter (check_func ctx) program.funcs;
+  match List.rev ctx.errors with [] -> Ok () | errs -> Error errs
+
+let run_exn program =
+  match run program with
+  | Ok () -> ()
+  | Error errs ->
+      let msg = String.concat "\n" (List.map error_to_string errs) in
+      invalid_arg ("Validate.run_exn:\n" ^ msg)

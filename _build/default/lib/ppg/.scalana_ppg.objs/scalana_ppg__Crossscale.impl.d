@@ -1,0 +1,1 @@
+lib/ppg/crossscale.ml: Hashtbl List Ppg Profdata Scalana_profile Scalana_psg

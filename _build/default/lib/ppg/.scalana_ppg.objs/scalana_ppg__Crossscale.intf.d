@@ -1,0 +1,1 @@
+lib/ppg/crossscale.mli: Ppg Profdata Scalana_profile Scalana_psg

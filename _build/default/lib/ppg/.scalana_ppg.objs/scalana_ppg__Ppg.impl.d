@@ -1,0 +1,1 @@
+lib/ppg/ppg.ml: Array Commrec Hashtbl List Perfvec Profdata Psg Scalana_profile Scalana_psg

@@ -1,0 +1,1 @@
+lib/ppg/ppg.mli: Hashtbl Perfvec Profdata Psg Scalana_profile Scalana_psg

@@ -1,0 +1,40 @@
+(* Cross-scale container: PPGs of the same program at several job scales.
+
+   Non-scalable vertex detection compares the performance of the vertex
+   (the PSG is scale-invariant, Section IV-A) across these runs. *)
+
+open Scalana_profile
+
+type t = {
+  psg : Scalana_psg.Psg.t;
+  runs : (int * Ppg.t) list;  (* sorted by nprocs ascending *)
+}
+
+let create ~psg runs =
+  let runs =
+    List.sort (fun (a, _) (b, _) -> compare a b) runs
+    |> List.map (fun (n, data) -> (n, Ppg.build ~psg data))
+  in
+  { psg; runs }
+
+let of_ppgs ~psg ppgs =
+  { psg; runs = List.sort (fun (a, _) (b, _) -> compare a b) ppgs }
+
+let scales t = List.map fst t.runs
+let largest t = List.nth t.runs (List.length t.runs - 1)
+let ppg_at t ~nprocs = List.assoc_opt nprocs t.runs
+
+(* Per-rank times of [vertex] at every scale. *)
+let series t ~vertex =
+  List.map (fun (n, ppg) -> (n, Ppg.times_across_ranks ppg ~vertex)) t.runs
+
+(* Vertices observed in any run. *)
+let touched_vertices t =
+  let seen = Hashtbl.create 128 in
+  List.iter
+    (fun (_, ppg) ->
+      List.iter
+        (fun vid -> Hashtbl.replace seen vid ())
+        (Profdata.touched_vertices ppg.Ppg.data))
+    t.runs;
+  Hashtbl.fold (fun vid () acc -> vid :: acc) seen [] |> List.sort compare

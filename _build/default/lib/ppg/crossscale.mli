@@ -1,0 +1,24 @@
+(** Cross-scale container: PPGs of the same program at several job
+    scales, the input of non-scalable vertex detection (the PSG is
+    scale-invariant, so vertices align across runs). *)
+
+open Scalana_profile
+
+type t = {
+  psg : Scalana_psg.Psg.t;
+  runs : (int * Ppg.t) list;  (** sorted by nprocs ascending *)
+}
+
+(** Build PPGs from raw profiles and sort by scale. *)
+val create : psg:Scalana_psg.Psg.t -> (int * Profdata.t) list -> t
+
+val of_ppgs : psg:Scalana_psg.Psg.t -> (int * Ppg.t) list -> t
+val scales : t -> int list
+val largest : t -> int * Ppg.t
+val ppg_at : t -> nprocs:int -> Ppg.t option
+
+(** Per-rank times of [vertex] at every scale. *)
+val series : t -> vertex:int -> (int * float array) list
+
+(** Vertices observed in any run, sorted. *)
+val touched_vertices : t -> int list

@@ -1,0 +1,99 @@
+(* Program Performance Graph (Section III-C).
+
+   The per-process PSG is duplicated logically (every rank shares the
+   contracted PSG structure, since SPMD processes share the code); the
+   PPG adds per-(rank, vertex) performance vectors and the inter-process
+   communication-dependence edges recorded at runtime.  Backtracking
+   (Scalana_detect.Backtrack) walks this structure. *)
+
+open Scalana_psg
+open Scalana_profile
+
+type comm_edge = {
+  send_rank : int;
+  send_vertex : int;
+  has_wait : bool;
+  max_wait : float;
+  hits : int;
+}
+
+type t = {
+  psg : Psg.t;  (* contracted PSG, shared by all ranks *)
+  nprocs : int;
+  data : Profdata.t;
+  (* incoming communication dependence per (recv rank, recv vertex) *)
+  incoming : (int * int, comm_edge list) Hashtbl.t;
+  (* collective vertex -> dominant last-arrival rank *)
+  coll_late : (int, int) Hashtbl.t;
+}
+
+let build ~(psg : Psg.t) (data : Profdata.t) =
+  let incoming = Hashtbl.create 256 in
+  List.iter
+    (fun (e : Commrec.p2p_edge) ->
+      let k = (e.key.recv_rank, e.key.recv_vertex) in
+      let edge =
+        {
+          send_rank = e.key.send_rank;
+          send_vertex = e.key.send_vertex;
+          has_wait = e.has_wait;
+          max_wait = e.max_wait;
+          hits = e.hits;
+        }
+      in
+      let existing = try Hashtbl.find incoming k with Not_found -> [] in
+      Hashtbl.replace incoming k (edge :: existing))
+    (Commrec.p2p_edges data.Profdata.comm);
+  let coll_late = Hashtbl.create 32 in
+  List.iter
+    (fun (r : Commrec.coll_rec) ->
+      let late = Commrec.dominant_late_rank r in
+      if late >= 0 then Hashtbl.replace coll_late r.coll_vertex late)
+    (Commrec.coll_records data.Profdata.comm);
+  { psg; nprocs = data.Profdata.nprocs; data; incoming; coll_late }
+
+let incoming_edges t ~rank ~vertex =
+  match Hashtbl.find_opt t.incoming (rank, vertex) with
+  | Some l -> l
+  | None -> []
+
+(* Edges that carried an actual wait — the ones backtracking keeps after
+   pruning (Section IV-B). *)
+let waiting_edges t ~rank ~vertex =
+  List.filter (fun e -> e.has_wait) (incoming_edges t ~rank ~vertex)
+
+(* The most critical incoming edge: largest observed wait. *)
+let critical_edge t ~rank ~vertex =
+  match waiting_edges t ~rank ~vertex with
+  | [] -> None
+  | l ->
+      Some
+        (List.fold_left
+           (fun best e -> if e.max_wait > best.max_wait then e else best)
+           (List.hd l) l)
+
+let coll_late_rank t ~vertex = Hashtbl.find_opt t.coll_late vertex
+
+let perf t ~rank ~vertex = Profdata.vector_opt t.data ~rank ~vertex
+
+let time_of t ~rank ~vertex =
+  match perf t ~rank ~vertex with Some v -> v.Perfvec.time | None -> 0.0
+
+let wait_of t ~rank ~vertex =
+  match perf t ~rank ~vertex with Some v -> v.Perfvec.wait | None -> 0.0
+
+(* Per-rank values of one vertex (0 when the rank never touched it). *)
+let times_across_ranks t ~vertex =
+  Array.init t.nprocs (fun rank -> time_of t ~rank ~vertex)
+
+let waits_across_ranks t ~vertex =
+  Array.init t.nprocs (fun rank -> wait_of t ~rank ~vertex)
+
+let total_time t =
+  Array.init t.nprocs (fun rank ->
+      Hashtbl.fold
+        (fun _ (v : Perfvec.t) acc -> acc +. v.time)
+        t.data.Profdata.vectors.(rank) 0.0)
+  |> Array.fold_left ( +. ) 0.0
+
+let n_comm_edges t = Hashtbl.length t.incoming

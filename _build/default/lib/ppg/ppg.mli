@@ -1,0 +1,50 @@
+(** Program Performance Graph (Section III-C): the contracted PSG shared
+    by all ranks, per-(rank, vertex) performance vectors, and the
+    inter-process communication-dependence edges recorded at runtime. *)
+
+open Scalana_psg
+open Scalana_profile
+
+type comm_edge = {
+  send_rank : int;
+  send_vertex : int;
+  has_wait : bool;
+  max_wait : float;
+  hits : int;
+}
+
+type t = {
+  psg : Psg.t;
+  nprocs : int;
+  data : Profdata.t;
+  incoming : (int * int, comm_edge list) Hashtbl.t;
+  coll_late : (int, int) Hashtbl.t;
+}
+
+val build : psg:Psg.t -> Profdata.t -> t
+
+(** Incoming communication dependence of (rank, vertex). *)
+val incoming_edges : t -> rank:int -> vertex:int -> comm_edge list
+
+(** Only edges that carried an actual wait (the pruned set). *)
+val waiting_edges : t -> rank:int -> vertex:int -> comm_edge list
+
+(** The waiting edge with the largest observed wait, if any. *)
+val critical_edge : t -> rank:int -> vertex:int -> comm_edge option
+
+(** Dominant last-arriving rank at a collective vertex. *)
+val coll_late_rank : t -> vertex:int -> int option
+
+val perf : t -> rank:int -> vertex:int -> Perfvec.t option
+val time_of : t -> rank:int -> vertex:int -> float
+val wait_of : t -> rank:int -> vertex:int -> float
+
+(** Per-rank times of one vertex (0 where untouched). *)
+val times_across_ranks : t -> vertex:int -> float array
+
+val waits_across_ranks : t -> vertex:int -> float array
+
+(** Total sampled time across all ranks and vertices. *)
+val total_time : t -> float
+
+val n_comm_edges : t -> int

@@ -1,0 +1,1 @@
+lib/profile/commrec.ml: Float Hashtbl

@@ -1,0 +1,1 @@
+lib/profile/commrec.mli: Hashtbl

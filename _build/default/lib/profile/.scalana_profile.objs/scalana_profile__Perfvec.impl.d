@@ -1,0 +1,1 @@
+lib/profile/perfvec.ml: Hashtbl Pmu Scalana_runtime

@@ -1,0 +1,1 @@
+lib/profile/perfvec.mli: Hashtbl Pmu Scalana_runtime

@@ -1,0 +1,1 @@
+lib/profile/profdata.ml: Array Commrec Hashtbl List Perfvec

@@ -1,0 +1,1 @@
+lib/profile/profdata.mli: Commrec Hashtbl Perfvec

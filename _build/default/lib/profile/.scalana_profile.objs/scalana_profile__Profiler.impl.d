@@ -1,0 +1,1 @@
+lib/profile/profiler.ml: Array Commrec Index Instrument List Perfvec Pmu Profdata Random Scalana_psg Scalana_runtime

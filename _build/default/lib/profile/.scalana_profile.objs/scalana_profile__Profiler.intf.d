@@ -1,0 +1,1 @@
+lib/profile/profiler.mli: Index Instrument Profdata Scalana_psg Scalana_runtime

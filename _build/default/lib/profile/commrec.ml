@@ -1,0 +1,94 @@
+(* Communication-dependence records with graph-guided compression
+   (Section III-B2).
+
+   A point-to-point dependence is stored once per distinct
+   (receiver rank/vertex, sender rank/vertex, tag, bytes) tuple; repeats
+   only bump a hit counter.  Collective participation is folded per vertex
+   with a histogram of which rank arrived last — the detector's
+   backtracking uses the dominant late rank.  This is what keeps
+   ScalAna's storage in the kilobyte range where tracing needs
+   gigabytes. *)
+
+type p2p_key = {
+  recv_rank : int;
+  recv_vertex : int;
+  send_rank : int;
+  send_vertex : int;
+  tag : int;
+  bytes : int;
+}
+
+type p2p_edge = {
+  key : p2p_key;
+  mutable has_wait : bool;  (* sticky: some instance waited *)
+  mutable hits : int;
+  mutable max_wait : float;
+}
+
+type coll_rec = {
+  coll_vertex : int;
+  mutable instances : int;
+  last_arrivals : (int, int) Hashtbl.t;  (* rank -> #times it arrived last *)
+}
+
+type t = {
+  p2p : (p2p_key, p2p_edge) Hashtbl.t;
+  colls : (int, coll_rec) Hashtbl.t;
+  mutable raw_records : int;  (* before compression, for the ablation *)
+}
+
+let create () =
+  { p2p = Hashtbl.create 256; colls = Hashtbl.create 32; raw_records = 0 }
+
+let record_p2p t ~key ~waited ~wait_seconds =
+  t.raw_records <- t.raw_records + 1;
+  match Hashtbl.find_opt t.p2p key with
+  | Some e ->
+      e.hits <- e.hits + 1;
+      e.has_wait <- e.has_wait || waited;
+      e.max_wait <- Float.max e.max_wait wait_seconds
+  | None ->
+      Hashtbl.add t.p2p key
+        { key; has_wait = waited; hits = 1; max_wait = wait_seconds }
+
+let record_coll t ~vertex ~last_arrival_rank =
+  t.raw_records <- t.raw_records + 1;
+  let r =
+    match Hashtbl.find_opt t.colls vertex with
+    | Some r -> r
+    | None ->
+        let r =
+          { coll_vertex = vertex; instances = 0; last_arrivals = Hashtbl.create 8 }
+        in
+        Hashtbl.add t.colls vertex r;
+        r
+  in
+  r.instances <- r.instances + 1;
+  let n =
+    try Hashtbl.find r.last_arrivals last_arrival_rank with Not_found -> 0
+  in
+  Hashtbl.replace r.last_arrivals last_arrival_rank (n + 1)
+
+let p2p_edges t = Hashtbl.fold (fun _ e acc -> e :: acc) t.p2p []
+let coll_records t = Hashtbl.fold (fun _ r acc -> r :: acc) t.colls []
+
+(* The rank that most often arrived last at this collective vertex. *)
+let dominant_late_rank (r : coll_rec) =
+  Hashtbl.fold
+    (fun rank n (best_rank, best_n) ->
+      if n > best_n then (rank, n) else (best_rank, best_n))
+    r.last_arrivals (-1, 0)
+  |> fst
+
+let n_p2p t = Hashtbl.length t.p2p
+let n_coll t = Hashtbl.length t.colls
+
+(* Size model: a packed p2p record is 6 ints + flags = 28 B; a collective
+   record is vertex + count + histogram entries of 8 B. *)
+let storage_bytes t =
+  (28 * n_p2p t)
+  + Hashtbl.fold
+      (fun _ r acc -> acc + 12 + (8 * Hashtbl.length r.last_arrivals))
+      t.colls 0
+
+let uncompressed_bytes t = 28 * t.raw_records

@@ -1,0 +1,46 @@
+(** Communication-dependence records with graph-guided compression
+    (Section III-B2): one entry per distinct (receiver, sender, tag,
+    size) tuple; collective participation folds into a per-vertex
+    histogram of the last-arriving rank. *)
+
+type p2p_key = {
+  recv_rank : int;
+  recv_vertex : int;
+  send_rank : int;
+  send_vertex : int;
+  tag : int;
+  bytes : int;
+}
+
+type p2p_edge = {
+  key : p2p_key;
+  mutable has_wait : bool;  (** sticky: some instance waited *)
+  mutable hits : int;
+  mutable max_wait : float;
+}
+
+type coll_rec = {
+  coll_vertex : int;
+  mutable instances : int;
+  last_arrivals : (int, int) Hashtbl.t;  (** rank -> #times last *)
+}
+
+type t = {
+  p2p : (p2p_key, p2p_edge) Hashtbl.t;
+  colls : (int, coll_rec) Hashtbl.t;
+  mutable raw_records : int;  (** before compression (ablation) *)
+}
+
+val create : unit -> t
+val record_p2p : t -> key:p2p_key -> waited:bool -> wait_seconds:float -> unit
+val record_coll : t -> vertex:int -> last_arrival_rank:int -> unit
+val p2p_edges : t -> p2p_edge list
+val coll_records : t -> coll_rec list
+
+(** The rank that most often arrived last (-1 if none recorded). *)
+val dominant_late_rank : coll_rec -> int
+
+val n_p2p : t -> int
+val n_coll : t -> int
+val storage_bytes : t -> int
+val uncompressed_bytes : t -> int

@@ -1,0 +1,49 @@
+(* Per-vertex performance vectors (Section III-B1).
+
+   One vector per (rank, contracted-PSG vertex): estimated execution time
+   (from sampling), sampled hardware counters, exact accumulated MPI wait
+   time and invocation counts. *)
+
+open Scalana_runtime
+
+type t = {
+  mutable time : float;  (* estimated seconds attributed by sampling *)
+  mutable samples : int;
+  mutable pmu : Pmu.t;
+  mutable wait : float;  (* exact accumulated wait seconds *)
+  mutable calls : int;  (* MPI invocations at this vertex *)
+}
+
+let create () =
+  { time = 0.0; samples = 0; pmu = Pmu.zero; wait = 0.0; calls = 0 }
+
+let add_sampled v ~time ~samples ~pmu =
+  v.time <- v.time +. time;
+  v.samples <- v.samples + samples;
+  v.pmu <- Pmu.add v.pmu pmu
+
+let add_wait v ~wait =
+  v.wait <- v.wait +. wait;
+  v.calls <- v.calls + 1
+
+(* Serialized size model: vertex id + 5 floats + 2 ints, packed. *)
+let bytes_per_vector = 24
+
+type per_rank = (int, t) Hashtbl.t
+
+let rank_table () : per_rank = Hashtbl.create 64
+
+let find_or_add (tbl : per_rank) vid =
+  match Hashtbl.find_opt tbl vid with
+  | Some v -> v
+  | None ->
+      let v = create () in
+      Hashtbl.add tbl vid v;
+      v
+
+let merge_into ~(dst : t) (src : t) =
+  dst.time <- dst.time +. src.time;
+  dst.samples <- dst.samples + src.samples;
+  dst.pmu <- Pmu.add dst.pmu src.pmu;
+  dst.wait <- dst.wait +. src.wait;
+  dst.calls <- dst.calls + src.calls

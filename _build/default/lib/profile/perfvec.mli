@@ -1,0 +1,26 @@
+(** Per-vertex performance vectors (Section III-B1): sampled execution
+    time and counters, exact MPI wait time and invocation counts, one per
+    (rank, contracted-PSG vertex). *)
+
+open Scalana_runtime
+
+type t = {
+  mutable time : float;  (** estimated seconds attributed by sampling *)
+  mutable samples : int;
+  mutable pmu : Pmu.t;
+  mutable wait : float;  (** exact accumulated wait seconds *)
+  mutable calls : int;  (** MPI invocations at this vertex *)
+}
+
+val create : unit -> t
+val add_sampled : t -> time:float -> samples:int -> pmu:Pmu.t -> unit
+val add_wait : t -> wait:float -> unit
+
+(** Serialized size model for storage accounting. *)
+val bytes_per_vector : int
+
+type per_rank = (int, t) Hashtbl.t
+
+val rank_table : unit -> per_rank
+val find_or_add : per_rank -> int -> t
+val merge_into : dst:t -> t -> unit

@@ -1,0 +1,59 @@
+(* The artifact of one profiled run: per-rank per-vertex performance
+   vectors, compressed communication-dependence records, indirect-call
+   resolutions, and byte/overhead accounting. *)
+
+type icall_resolution = { callsite_vertex : int; target : string }
+
+type t = {
+  nprocs : int;
+  vectors : Perfvec.per_rank array;  (* indexed by rank *)
+  comm : Commrec.t;
+  icalls : (icall_resolution, unit) Hashtbl.t;
+  mutable total_samples : int;
+  mutable unattributed_samples : int;
+  mutable elapsed : float;
+  mutable mpi_calls_seen : int;
+  mutable records_taken : int;
+}
+
+let create ~nprocs =
+  {
+    nprocs;
+    vectors = Array.init nprocs (fun _ -> Perfvec.rank_table ());
+    comm = Commrec.create ();
+    icalls = Hashtbl.create 8;
+    total_samples = 0;
+    unattributed_samples = 0;
+    elapsed = 0.0;
+    mpi_calls_seen = 0;
+    records_taken = 0;
+  }
+
+let vector t ~rank ~vertex = Perfvec.find_or_add t.vectors.(rank) vertex
+let vector_opt t ~rank ~vertex = Hashtbl.find_opt t.vectors.(rank) vertex
+
+let record_icall t ~callsite_vertex ~target =
+  Hashtbl.replace t.icalls { callsite_vertex; target } ()
+
+let icall_resolutions t =
+  Hashtbl.fold (fun r () acc -> r :: acc) t.icalls []
+
+(* All vertices that received any data on any rank. *)
+let touched_vertices t =
+  let seen = Hashtbl.create 64 in
+  Array.iter
+    (fun tbl -> Hashtbl.iter (fun vid _ -> Hashtbl.replace seen vid ()) tbl)
+    t.vectors;
+  Hashtbl.fold (fun vid () acc -> vid :: acc) seen [] |> List.sort compare
+
+(* Values of one vertex across ranks (missing ranks yield None). *)
+let across_ranks t ~vertex =
+  Array.map (fun tbl -> Hashtbl.find_opt tbl vertex) t.vectors
+
+let storage_bytes t =
+  let vec_bytes =
+    Array.fold_left
+      (fun acc tbl -> acc + (Perfvec.bytes_per_vector * Hashtbl.length tbl))
+      0 t.vectors
+  in
+  vec_bytes + Commrec.storage_bytes t.comm + (8 * Hashtbl.length t.icalls)

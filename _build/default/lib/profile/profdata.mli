@@ -1,0 +1,31 @@
+(** The artifact of one profiled run: per-rank per-vertex performance
+    vectors, compressed communication records, indirect-call resolutions
+    and accounting. *)
+
+type icall_resolution = { callsite_vertex : int; target : string }
+
+type t = {
+  nprocs : int;
+  vectors : Perfvec.per_rank array;  (** indexed by rank *)
+  comm : Commrec.t;
+  icalls : (icall_resolution, unit) Hashtbl.t;
+  mutable total_samples : int;
+  mutable unattributed_samples : int;
+  mutable elapsed : float;
+  mutable mpi_calls_seen : int;
+  mutable records_taken : int;
+}
+
+val create : nprocs:int -> t
+val vector : t -> rank:int -> vertex:int -> Perfvec.t
+val vector_opt : t -> rank:int -> vertex:int -> Perfvec.t option
+val record_icall : t -> callsite_vertex:int -> target:string -> unit
+val icall_resolutions : t -> icall_resolution list
+
+(** Vertices with data on any rank, sorted. *)
+val touched_vertices : t -> int list
+
+(** One vertex's vectors across ranks ([None] where untouched). *)
+val across_ranks : t -> vertex:int -> Perfvec.t option array
+
+val storage_bytes : t -> int

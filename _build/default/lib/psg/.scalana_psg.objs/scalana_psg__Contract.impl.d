@@ -1,0 +1,1 @@
+lib/psg/contract.ml: Hashtbl List Psg Vertex

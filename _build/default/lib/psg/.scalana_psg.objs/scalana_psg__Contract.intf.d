@@ -1,0 +1,1 @@
+lib/psg/contract.mli: Hashtbl Psg

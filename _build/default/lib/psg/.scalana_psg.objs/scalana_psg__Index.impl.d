@@ -1,0 +1,1 @@
+lib/psg/index.ml: Buffer Contract Hashtbl List Loc Psg Scalana_mlang Vertex

@@ -1,0 +1,1 @@
+lib/psg/index.mli: Contract Loc Psg Scalana_mlang

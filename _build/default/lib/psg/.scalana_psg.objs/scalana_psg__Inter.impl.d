@@ -1,0 +1,1 @@
+lib/psg/inter.ml: Ast Hashtbl Intra List Psg Scalana_mlang String Vertex

@@ -1,0 +1,1 @@
+lib/psg/inter.mli: Ast Hashtbl Psg Scalana_mlang

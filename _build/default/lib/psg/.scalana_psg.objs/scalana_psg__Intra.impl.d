@@ -1,0 +1,1 @@
+lib/psg/intra.ml: Array Ast Cfg Hashtbl List Loops Printf Psg Scalana_cfg Scalana_mlang Vertex

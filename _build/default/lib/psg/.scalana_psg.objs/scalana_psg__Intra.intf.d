@@ -1,0 +1,1 @@
+lib/psg/intra.mli: Ast Hashtbl Psg Scalana_mlang

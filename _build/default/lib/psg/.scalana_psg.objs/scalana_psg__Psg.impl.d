@@ -1,0 +1,1 @@
+lib/psg/psg.ml: Fmt Hashtbl List String Vertex

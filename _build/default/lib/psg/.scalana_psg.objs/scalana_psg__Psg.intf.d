@@ -1,0 +1,1 @@
+lib/psg/psg.mli: Fmt Loc Scalana_mlang Vertex

@@ -1,0 +1,1 @@
+lib/psg/stats.ml: Fmt Printf Psg Vertex

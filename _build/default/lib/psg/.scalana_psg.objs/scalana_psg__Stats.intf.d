@@ -1,0 +1,1 @@
+lib/psg/stats.mli: Fmt Psg

@@ -1,0 +1,1 @@
+lib/psg/vertex.ml: Ast Fmt Loc Printf Scalana_mlang String

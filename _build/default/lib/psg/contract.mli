@@ -1,0 +1,17 @@
+(** PSG contraction: keep MPI vertices and the control structures around
+    them, keep loops up to [max_loop_depth], collapse MPI-free branches,
+    merge consecutive Comp vertices. *)
+
+type result = {
+  psg : Psg.t;  (** the contracted graph *)
+  orig_to_new : (int, int) Hashtbl.t;
+      (** maps every original vertex to the vertex that absorbed it *)
+}
+
+val default_max_loop_depth : int
+
+(** [run ?max_loop_depth psg] contracts a complete PSG.
+    [max_loop_depth] defaults to the paper's evaluation setting (10). *)
+val run : ?max_loop_depth:int -> Psg.t -> result
+
+val new_id : result -> int -> int option

@@ -1,0 +1,22 @@
+(** Attribution index from dynamic (call path, location) pairs to
+    contracted-PSG vertices, with fallbacks for recursive re-entries and
+    unresolved indirect calls. *)
+
+open Scalana_mlang
+
+type t
+
+val build : full:Psg.t -> contraction:Contract.result -> t
+
+(** Index vertices added to the contracted graph by indirect-call
+    refinement (subtree rooted at the spliced Root vertex). *)
+val index_contracted_subtree : t -> int -> unit
+
+(** [find t ~callpath ~loc] — contracted vertex owning [loc] under
+    [callpath]; falls back frame-by-frame for recursion/indirect calls. *)
+val find : t -> callpath:Loc.t list -> loc:Loc.t -> int option
+
+(** Exact lookup, no fallback. *)
+val exact : t -> callpath:Loc.t list -> loc:Loc.t -> int option
+
+val size : t -> int

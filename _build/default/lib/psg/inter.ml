@@ -1,0 +1,109 @@
+(* Inter-procedural analysis: combine local PSGs into the complete PSG.
+
+   Top-down traversal from main (following the program call graph):
+   direct, non-recursive calls are replaced by a fresh copy of the
+   callee's local PSG with the callpath extended by the call-site
+   location; recursive calls are kept as Callsite vertices with a cycle
+   edge back to the enclosing expansion; indirect calls are kept
+   unresolved and refined from runtime records ([refine_indirect]), as
+   Section III-B3 describes. *)
+
+open Scalana_mlang
+
+let local locals name =
+  match Hashtbl.find_opt locals name with
+  | Some l -> l
+  | None -> raise (Ast.Unknown_function name)
+
+(* Copy the body of [src_parent] (in local PSG [src]) under [dst_parent]
+   in [dst], expanding direct calls.  [stack] holds
+   (function-name, expansion-anchor) pairs for the open expansions. *)
+let rec copy_body dst locals ~stack ~callpath ~src ~src_parent ~dst_parent =
+  List.iter
+    (fun cid ->
+      let v = Psg.vertex src cid in
+      match v.Vertex.kind with
+      | Vertex.Callsite { callee = Some callee; _ } -> (
+          match List.assoc_opt callee stack with
+          | Some entry ->
+              (* Recursive call: keep the vertex, close the cycle. *)
+              let id =
+                Psg.add_vertex dst ~parent:dst_parent
+                  ~kind:
+                    (Vertex.Callsite
+                       {
+                         callee = Some callee;
+                         targets = [ callee ];
+                         recursive = true;
+                       })
+                  ~loc:v.loc ~func:v.func ~callpath
+              in
+              Psg.add_cycle_edge dst ~callsite:id ~entry
+          | None ->
+              let callee_src = local locals callee in
+              copy_body dst locals
+                ~stack:((callee, dst_parent) :: stack)
+                ~callpath:(callpath @ [ v.loc ])
+                ~src:callee_src
+                ~src_parent:(Psg.root callee_src)
+                ~dst_parent)
+      | Vertex.Callsite { callee = None; targets; recursive } ->
+          ignore
+            (Psg.add_vertex dst ~parent:dst_parent
+               ~kind:(Vertex.Callsite { callee = None; targets; recursive })
+               ~loc:v.loc ~func:v.func ~callpath)
+      | kind ->
+          let id =
+            Psg.add_vertex dst ~parent:dst_parent ~kind ~loc:v.loc ~func:v.func
+              ~callpath
+          in
+          copy_body dst locals ~stack ~callpath ~src ~src_parent:cid
+            ~dst_parent:id)
+    (Psg.children src src_parent)
+
+let build ?locals (program : Ast.program) =
+  let locals =
+    match locals with Some l -> l | None -> Intra.build_all program
+  in
+  let dst = Psg.create () in
+  let main = Ast.main_func program in
+  let root = Psg.add_root dst ~func:main.fname ~loc:main.floc in
+  let src = local locals main.fname in
+  copy_body dst locals
+    ~stack:[ (main.fname, root) ]
+    ~callpath:[] ~src ~src_parent:(Psg.root src) ~dst_parent:root;
+  dst
+
+(* Runtime refinement: splice [target]'s expansion under an indirect
+   callsite once profiling has observed the call.  Idempotent per
+   (callsite, target). *)
+let refine_indirect psg ~locals ~callsite ~target =
+  let v = Psg.vertex psg callsite in
+  match v.Vertex.kind with
+  | Vertex.Callsite { callee = None; targets; recursive } ->
+      let already_spliced =
+        List.exists
+          (fun cid ->
+            match (Psg.vertex psg cid).Vertex.kind with
+            | Vertex.Root f -> String.equal f target
+            | _ -> false)
+          (Psg.children psg callsite)
+      in
+      if already_spliced then None
+      else begin
+        let src = local locals target in
+        let callpath = v.callpath @ [ v.loc ] in
+        let sub_root =
+          Psg.add_vertex psg ~parent:callsite ~kind:(Vertex.Root target)
+            ~loc:(Psg.vertex src (Psg.root src)).loc ~func:target ~callpath
+        in
+        copy_body psg locals
+          ~stack:[ (target, sub_root) ]
+          ~callpath ~src ~src_parent:(Psg.root src) ~dst_parent:sub_root;
+        if not (List.mem target targets) then
+          Psg.set_kind psg callsite
+            (Vertex.Callsite
+               { callee = None; targets = targets @ [ target ]; recursive });
+        Some sub_root
+      end
+  | _ -> invalid_arg "refine_indirect: not an unresolved callsite"

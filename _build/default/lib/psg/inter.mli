@@ -1,0 +1,19 @@
+(** Inter-procedural analysis: expand local PSGs into the complete PSG
+    from main; recursive calls become cycle edges, indirect calls stay
+    unresolved until {!refine_indirect}. *)
+
+open Scalana_mlang
+
+val build : ?locals:(string, Psg.t) Hashtbl.t -> Ast.program -> Psg.t
+
+(** Splice [target]'s expansion under an unresolved indirect callsite
+    (runtime refinement of Section III-B3). Returns the root of the
+    spliced subtree, or [None] when this (callsite, target) pair was
+    already spliced. Raises [Invalid_argument] if [callsite] is not an
+    unresolved indirect callsite. *)
+val refine_indirect :
+  Psg.t ->
+  locals:(string, Psg.t) Hashtbl.t ->
+  callsite:int ->
+  target:string ->
+  int option

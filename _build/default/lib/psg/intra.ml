@@ -1,0 +1,74 @@
+(* Intra-procedural analysis: build a local PSG for one function.
+
+   The traversal identifies loops, branches, calls, MPI invocations and
+   computation blocks and connects them in execution order, as the paper's
+   IR-level pass does.  [crosscheck] validates the result against the
+   CFG-based dominance/natural-loop analyses: every Loop vertex must
+   correspond to exactly one natural loop of the lowered CFG. *)
+
+open Scalana_mlang
+open Scalana_cfg
+
+let rec add_stmts t ~parent ~func ~loop_depth stmts =
+  List.iter (add_stmt t ~parent ~func ~loop_depth) stmts
+
+and add_stmt t ~parent ~func ~loop_depth (s : Ast.stmt) =
+  let add kind =
+    Psg.add_vertex t ~parent ~kind ~loc:s.loc ~func ~callpath:[]
+  in
+  match s.node with
+  | Ast.Comp w -> ignore (add (Vertex.Comp { label = w.label; merged = 1 }))
+  | Ast.Loop l ->
+      let id =
+        add (Vertex.Loop { var = l.var; label = l.label; depth = loop_depth + 1 })
+      in
+      add_stmts t ~parent:id ~func ~loop_depth:(loop_depth + 1) l.body
+  | Ast.Branch b ->
+      let id = add Vertex.Branch in
+      add_stmts t ~parent:id ~func ~loop_depth b.then_;
+      add_stmts t ~parent:id ~func ~loop_depth b.else_
+  | Ast.Call { callee; _ } ->
+      ignore
+        (add (Vertex.Callsite { callee = Some callee; targets = [ callee ]; recursive = false }))
+  | Ast.Icall { targets; _ } ->
+      ignore (add (Vertex.Callsite { callee = None; targets; recursive = false }))
+  | Ast.Mpi call -> ignore (add (Vertex.Mpi call))
+  | Ast.Let _ -> ()
+
+let build (f : Ast.func) =
+  let t = Psg.create () in
+  let root = Psg.add_root t ~func:f.fname ~loc:f.floc in
+  add_stmts t ~parent:root ~func:f.fname ~loop_depth:0 f.fbody;
+  t
+
+let build_all (program : Ast.program) =
+  let tbl = Hashtbl.create 16 in
+  List.iter
+    (fun (f : Ast.func) -> Hashtbl.replace tbl f.fname (build f))
+    program.funcs;
+  tbl
+
+(* Cross-validation against the CFG analyses. *)
+let crosscheck (f : Ast.func) =
+  let psg = build f in
+  let cfg = Cfg.of_func f in
+  let natural = Loops.compute cfg in
+  let psg_loops =
+    List.length (Psg.find_all Vertex.is_loop psg)
+  in
+  let psg_branches = List.length (Psg.find_all Vertex.is_branch psg) in
+  let cfg_branches =
+    Array.fold_left
+      (fun acc (b : Cfg.block) ->
+        match b.origin with Cfg.Branch_cond _ -> acc + 1 | _ -> acc)
+      0 cfg.Cfg.blocks
+  in
+  if Loops.count natural <> psg_loops then
+    Error
+      (Printf.sprintf "%s: %d natural loops vs %d PSG Loop vertices" f.fname
+         (Loops.count natural) psg_loops)
+  else if cfg_branches <> psg_branches then
+    Error
+      (Printf.sprintf "%s: %d CFG branches vs %d PSG Branch vertices" f.fname
+         cfg_branches psg_branches)
+  else Ok ()

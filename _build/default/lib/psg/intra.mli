@@ -1,0 +1,13 @@
+(** Intra-procedural analysis: local PSG per function. *)
+
+open Scalana_mlang
+
+val build : Ast.func -> Psg.t
+
+(** Local PSGs for every function, keyed by name. *)
+val build_all : Ast.program -> (string, Psg.t) Hashtbl.t
+
+(** Validate the local PSG against CFG dominance/natural-loop analyses:
+    Loop vertices must match natural loops, Branch vertices must match
+    conditional blocks. *)
+val crosscheck : Ast.func -> (unit, string) result

@@ -1,0 +1,71 @@
+(** Program Structure Graph: an ordered tree (parent = control dependence,
+    sibling order = execution order / data dependence) plus back edges for
+    recursive calls. *)
+
+open Scalana_mlang
+
+type t
+
+val create : unit -> t
+
+(** Add a root vertex for function [func]; the first root added becomes
+    the graph root. *)
+val add_root : t -> func:string -> loc:Loc.t -> int
+
+val add_vertex :
+  t ->
+  parent:int ->
+  kind:Vertex.kind ->
+  loc:Loc.t ->
+  func:string ->
+  callpath:Loc.t list ->
+  int
+
+(** Replace the kind of an existing vertex (used by contraction merging
+    and indirect-call refinement). *)
+val set_kind : t -> int -> Vertex.kind -> unit
+
+val add_cycle_edge : t -> callsite:int -> entry:int -> unit
+val cycle_target : t -> int -> int option
+val root : t -> int
+val vertex : t -> int -> Vertex.t
+val vertex_opt : t -> int -> Vertex.t option
+val n_vertices : t -> int
+
+(** Children in execution order. *)
+val children : t -> int -> int list
+
+val parent : t -> int -> int option
+
+(** Previous sibling in execution order — the backward data-dependence
+    step of Algorithm 1. *)
+val prev_sibling : t -> int -> int option
+
+val next_sibling : t -> int -> int option
+
+(** Last vertex of a body: where backtracking enters a Loop/Branch. *)
+val last_child : t -> int -> int option
+
+(** DFS pre-order (execution order of one pass). *)
+val exec_order : t -> int list
+
+val iter : (Vertex.t -> unit) -> t -> unit
+val fold : ('a -> Vertex.t -> 'a) -> 'a -> t -> 'a
+val find_all : (Vertex.t -> bool) -> t -> Vertex.t list
+
+(** True when the subtree contains an MPI vertex or an unresolved
+    callsite (which may perform MPI at runtime). *)
+val subtree_has_mpi : t -> int -> bool
+
+val subtree_vertices : t -> int -> int list
+
+(** Number of Loop vertices on the path from the root to [id], inclusive. *)
+val loop_depth : t -> int -> int
+
+val ancestors : t -> int -> int list
+val pp : t Fmt.t
+
+(** Memory model: the paper reports 32 B per PSG vertex. *)
+val bytes_per_vertex : int
+
+val memory_bytes : t -> int

@@ -1,0 +1,23 @@
+(** PSG statistics: the columns of the paper's Table II. *)
+
+type t = {
+  program : string;
+  kloc : float;
+  vbc : int;  (** vertices before contraction *)
+  vac : int;  (** vertices after contraction *)
+  loops : int;
+  branches : int;
+  comps : int;
+  mpis : int;
+  calls : int;
+}
+
+val of_psgs :
+  program:string -> lines:int -> full:Psg.t -> contracted:Psg.t -> t
+
+(** Fraction of vertices removed by contraction (paper: 68% on average). *)
+val contraction_ratio : t -> float
+
+val header : string
+val row : t -> string
+val pp : t Fmt.t

@@ -1,0 +1,65 @@
+(* PSG vertices.
+
+   The paper groups vertices into Branch, Loop, Function call, Comp and
+   MPI; Root anchors a (sub)graph.  A vertex remembers the source
+   location it came from and the inline chain (call-site locations from
+   main) created by the inter-procedural expansion, so runtime samples can
+   be attributed call-path-sensitively. *)
+
+open Scalana_mlang
+
+type kind =
+  | Root of string  (* function name the subtree came from *)
+  | Loop of { var : string; label : string option; depth : int }
+  | Branch
+  | Comp of { label : string option; merged : int }
+      (* [merged] counts how many original Comp/collapsed vertices this
+         vertex absorbed during contraction (1 = untouched) *)
+  | Mpi of Ast.mpi_call
+  | Callsite of { callee : string option; targets : string list; recursive : bool }
+      (* kept (not inlined) call: indirect call with candidate [targets],
+         or a recursive call back to [callee] *)
+
+type t = {
+  id : int;
+  kind : kind;
+  loc : Loc.t;
+  func : string;  (* enclosing function (provenance) *)
+  callpath : Loc.t list;  (* call-site locations, outermost first *)
+}
+
+let kind_name = function
+  | Root _ -> "Root"
+  | Loop _ -> "Loop"
+  | Branch -> "Branch"
+  | Comp _ -> "Comp"
+  | Mpi _ -> "MPI"
+  | Callsite _ -> "Call"
+
+let is_mpi v = match v.kind with Mpi _ -> true | _ -> false
+let is_comp v = match v.kind with Comp _ -> true | _ -> false
+let is_loop v = match v.kind with Loop _ -> true | _ -> false
+let is_branch v = match v.kind with Branch -> true | _ -> false
+let is_root v = match v.kind with Root _ -> true | _ -> false
+let is_callsite v = match v.kind with Callsite _ -> true | _ -> false
+
+let is_collective v =
+  match v.kind with Mpi c -> Ast.is_collective c | _ -> false
+
+let label v =
+  match v.kind with
+  | Root f -> Printf.sprintf "root(%s)" f
+  | Loop { label = Some l; _ } -> Printf.sprintf "loop %s" l
+  | Loop { var; _ } -> Printf.sprintf "loop %s" var
+  | Branch -> "branch"
+  | Comp { label = Some l; _ } -> l
+  | Comp _ -> "comp"
+  | Mpi c -> Ast.mpi_name c
+  | Callsite { callee = Some c; recursive; _ } ->
+      if recursive then Printf.sprintf "call %s (recursive)" c
+      else Printf.sprintf "call %s" c
+  | Callsite { targets; _ } ->
+      Printf.sprintf "icall {%s}" (String.concat "," targets)
+
+let pp ppf v =
+  Fmt.pf ppf "#%d %s @%a [%s]" v.id (label v) Loc.pp v.loc v.func

@@ -1,0 +1,1 @@
+lib/runtime/comm.ml: Array Ast Buffer Float Fmt Hashtbl List Loc Network Printf Scalana_mlang

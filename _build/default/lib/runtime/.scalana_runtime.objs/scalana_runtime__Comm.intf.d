@@ -1,0 +1,1 @@
+lib/runtime/comm.mli: Ast Hashtbl Loc Network Scalana_mlang

@@ -1,0 +1,1 @@
+lib/runtime/costmodel.ml: Ast Expr Pmu Scalana_mlang

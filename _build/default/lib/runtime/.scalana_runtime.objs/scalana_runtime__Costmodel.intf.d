@@ -1,0 +1,1 @@
+lib/runtime/costmodel.mli: Ast Expr Pmu Scalana_mlang

@@ -1,0 +1,1 @@
+lib/runtime/exec.ml: Array Ast Comm Costmodel Effect Expr Float Fmt Hashtbl Heap Inject Instrument List Loc Network Pmu Printf Scalana_mlang String

@@ -1,0 +1,1 @@
+lib/runtime/exec.mli: Ast Costmodel Inject Instrument Loc Network Pmu Scalana_mlang

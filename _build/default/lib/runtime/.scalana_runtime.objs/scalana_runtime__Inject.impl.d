@@ -1,0 +1,1 @@
+lib/runtime/inject.ml: Hashtbl List Loc Scalana_mlang

@@ -1,0 +1,1 @@
+lib/runtime/inject.mli: Loc Scalana_mlang

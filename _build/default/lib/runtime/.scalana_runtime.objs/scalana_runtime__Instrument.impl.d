@@ -1,0 +1,1 @@
+lib/runtime/instrument.ml: Ast Loc Pmu Scalana_mlang

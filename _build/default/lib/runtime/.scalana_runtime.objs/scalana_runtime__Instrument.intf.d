@@ -1,0 +1,1 @@
+lib/runtime/instrument.mli: Ast Loc Pmu Scalana_mlang

@@ -1,0 +1,1 @@
+lib/runtime/network.ml: Scalana_mlang

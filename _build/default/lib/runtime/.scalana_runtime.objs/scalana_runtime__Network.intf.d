@@ -1,0 +1,1 @@
+lib/runtime/network.mli: Scalana_mlang

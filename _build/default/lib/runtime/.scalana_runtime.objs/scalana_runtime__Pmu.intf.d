@@ -1,0 +1,1 @@
+lib/runtime/pmu.mli: Fmt

@@ -1,0 +1,271 @@
+(* Message matching and collective synchronization.
+
+   Implements the standard MPI two-queue model per receiver (posted
+   receives vs unexpected messages) with tag/source wildcards and
+   non-overtaking order, an eager/rendezvous protocol switch, and
+   sequence-numbered collective instances with full-synchronization cost
+   semantics.  The [on_complete] callback lets the scheduler wake blocked
+   processes the moment a request completes. *)
+
+open Scalana_mlang
+
+type message = {
+  msg_src : int;
+  msg_dst : int;
+  msg_tag : int;
+  msg_bytes : int;
+  send_seq : int;
+  send_time : float;
+  mutable arrival : float;  (* infinity until scheduled (rendezvous) *)
+  send_loc : Loc.t;
+  send_callpath : Loc.t list;
+  eager : bool;
+  mutable sender_req : request option;  (* completed on match (rendezvous) *)
+}
+
+and request = {
+  req_id : int;
+  req_rank : int;
+  req_kind : [ `Send | `Recv ];
+  post_time : float;
+  want_src : int option;  (* None = MPI_ANY_SOURCE *)
+  want_tag : int option;  (* None = MPI_ANY_TAG *)
+  req_bytes : int;
+  req_loc : Loc.t;
+  req_callpath : Loc.t list;
+  mutable completed : bool;
+  mutable completion : float;
+  mutable matched : message option;
+}
+
+type coll = {
+  coll_seq : int;
+  coll_kind : Ast.mpi_call;
+  coll_bytes : int;
+  mutable arrivals : (int * float) list;
+  mutable finished : bool;
+  mutable start_time : float;
+  mutable finish_time : float;
+  mutable last_arrival_rank : int;
+}
+
+type t = {
+  net : Network.t;
+  nprocs : int;
+  unexpected : message list ref array;  (* per destination, send order *)
+  posted : request list ref array;  (* per receiver, post order *)
+  colls : (int, coll) Hashtbl.t;  (* by sequence number *)
+  mutable msg_seq : int;
+  mutable req_seq : int;
+  mutable on_complete : request -> unit;
+  mutable messages_sent : int;
+  mutable bytes_sent : float;
+}
+
+let create ~net ~nprocs =
+  {
+    net;
+    nprocs;
+    unexpected = Array.init nprocs (fun _ -> ref []);
+    posted = Array.init nprocs (fun _ -> ref []);
+    colls = Hashtbl.create 64;
+    msg_seq = 0;
+    req_seq = 0;
+    on_complete = (fun _ -> ());
+    messages_sent = 0;
+    bytes_sent = 0.0;
+  }
+
+let set_on_complete t f = t.on_complete <- f
+
+let complete t req ~at =
+  req.completed <- true;
+  req.completion <- at;
+  t.on_complete req
+
+let matches (req : request) (msg : message) =
+  (match req.want_src with None -> true | Some s -> s = msg.msg_src)
+  && match req.want_tag with None -> true | Some tg -> tg = msg.msg_tag
+
+(* Join a message with a posted receive and complete both sides. *)
+let consume t (req : request) (msg : message) =
+  req.matched <- Some msg;
+  if msg.eager then
+    (* transfer was already in flight; the receive sees it at arrival *)
+    complete t req ~at:(Float.max req.post_time msg.arrival)
+  else begin
+    (* rendezvous: transfer starts when both sides are ready *)
+    let start = Float.max req.post_time msg.send_time in
+    let arrival = start +. Network.transfer_time t.net msg.msg_bytes in
+    msg.arrival <- arrival;
+    (match msg.sender_req with
+    | Some sreq when not sreq.completed -> complete t sreq ~at:arrival
+    | _ -> ());
+    complete t req ~at:arrival
+  end
+
+let fresh_req t = t.req_seq <- t.req_seq + 1; t.req_seq
+
+(* Post a send at [time]; returns the sender-side request (already
+   completed for eager messages). *)
+let send t ~src ~dst ~tag ~bytes ~time ~loc ~callpath =
+  if dst < 0 || dst >= t.nprocs then
+    Fmt.invalid_arg "send to rank %d outside 0..%d (%s)" dst (t.nprocs - 1)
+      (Loc.to_string loc);
+  t.msg_seq <- t.msg_seq + 1;
+  t.messages_sent <- t.messages_sent + 1;
+  t.bytes_sent <- t.bytes_sent +. float_of_int bytes;
+  let eager = Network.is_eager t.net bytes in
+  let msg =
+    {
+      msg_src = src;
+      msg_dst = dst;
+      msg_tag = tag;
+      msg_bytes = bytes;
+      send_seq = t.msg_seq;
+      send_time = time;
+      arrival =
+        (if eager then time +. Network.transfer_time t.net bytes else infinity);
+      send_loc = loc;
+      send_callpath = callpath;
+      eager;
+      sender_req = None;
+    }
+  in
+  let sreq =
+    {
+      req_id = fresh_req t;
+      req_rank = src;
+      req_kind = `Send;
+      post_time = time;
+      want_src = None;
+      want_tag = None;
+      req_bytes = bytes;
+      req_loc = loc;
+      req_callpath = callpath;
+      completed = eager;
+      completion = (if eager then time else infinity);
+      matched = Some msg;
+    }
+  in
+  msg.sender_req <- Some sreq;
+  (* match against posted receives of the destination, FIFO *)
+  let rec try_match acc = function
+    | [] ->
+        t.unexpected.(dst) := !(t.unexpected.(dst)) @ [ msg ];
+        List.rev acc
+    | req :: rest ->
+        if matches req msg then begin
+          consume t req msg;
+          List.rev_append acc rest
+        end
+        else try_match (req :: acc) rest
+  in
+  t.posted.(dst) := try_match [] !(t.posted.(dst));
+  sreq
+
+(* Post a receive at [time]; returns the request (already completed when
+   a matching unexpected message was waiting). *)
+let post_recv t ~rank ~src ~tag ~bytes ~time ~loc ~callpath =
+  (match src with
+  | Some s when s < 0 || s >= t.nprocs ->
+      Fmt.invalid_arg "recv from rank %d outside 0..%d (%s)" s (t.nprocs - 1)
+        (Loc.to_string loc)
+  | _ -> ());
+  let req =
+    {
+      req_id = fresh_req t;
+      req_rank = rank;
+      req_kind = `Recv;
+      post_time = time;
+      want_src = src;
+      want_tag = tag;
+      req_bytes = bytes;
+      req_loc = loc;
+      req_callpath = callpath;
+      completed = false;
+      completion = infinity;
+      matched = None;
+    }
+  in
+  let rec try_match acc = function
+    | [] ->
+        t.posted.(rank) := !(t.posted.(rank)) @ [ req ];
+        List.rev acc
+    | msg :: rest ->
+        if matches req msg then begin
+          consume t req msg;
+          List.rev_append acc rest
+        end
+        else try_match (msg :: acc) rest
+  in
+  t.unexpected.(rank) := try_match [] !(t.unexpected.(rank));
+  req
+
+(* Register arrival of [rank] at the [seq]-th collective call. Returns
+   the instance; when this arrival is the last one the instance is
+   finalized (start/finish times set, [finished] = true). *)
+let coll_arrive t ~seq ~rank ~time ~kind ~bytes =
+  let c =
+    match Hashtbl.find_opt t.colls seq with
+    | Some c ->
+        if Ast.mpi_name c.coll_kind <> Ast.mpi_name kind then
+          Fmt.invalid_arg
+            "collective mismatch at sequence %d: rank %d calls %s, others %s"
+            seq rank (Ast.mpi_name kind)
+            (Ast.mpi_name c.coll_kind);
+        c
+    | None ->
+        let c =
+          {
+            coll_seq = seq;
+            coll_kind = kind;
+            coll_bytes = bytes;
+            arrivals = [];
+            finished = false;
+            start_time = 0.0;
+            finish_time = 0.0;
+            last_arrival_rank = -1;
+          }
+        in
+        Hashtbl.replace t.colls seq c;
+        c
+  in
+  c.arrivals <- (rank, time) :: c.arrivals;
+  if List.length c.arrivals = t.nprocs then begin
+    let last_rank, start =
+      List.fold_left
+        (fun ((_, bt) as best) ((_, at) as a) -> if at > bt then a else best)
+        (-1, neg_infinity) c.arrivals
+    in
+    c.start_time <- start;
+    c.finish_time <-
+      start +. Network.collective_time t.net ~nprocs:t.nprocs ~bytes kind;
+    c.last_arrival_rank <- last_rank;
+    c.finished <- true
+  end;
+  c
+
+let pending_summary t =
+  let buf = Buffer.create 128 in
+  Array.iteri
+    (fun rank posted ->
+      List.iter
+        (fun r ->
+          Buffer.add_string buf
+            (Printf.sprintf "  rank %d: recv posted at %s (src=%s tag=%s)\n"
+               rank (Loc.to_string r.req_loc)
+               (match r.want_src with Some s -> string_of_int s | None -> "any")
+               (match r.want_tag with Some s -> string_of_int s | None -> "any")))
+        !posted)
+    t.posted;
+  Array.iteri
+    (fun rank msgs ->
+      List.iter
+        (fun m ->
+          Buffer.add_string buf
+            (Printf.sprintf "  rank %d: unconsumed msg from %d tag %d (%s)\n"
+               rank m.msg_src m.msg_tag (Loc.to_string m.send_loc)))
+        !msgs)
+    t.unexpected;
+  Buffer.contents buf

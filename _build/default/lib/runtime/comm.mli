@@ -1,0 +1,100 @@
+(** Message matching and collective synchronization: the standard MPI
+    two-queue model per receiver (posted receives vs unexpected messages)
+    with tag/source wildcards and non-overtaking order, eager/rendezvous
+    protocols, and sequence-numbered fully-synchronizing collectives. *)
+
+open Scalana_mlang
+
+type message = {
+  msg_src : int;
+  msg_dst : int;
+  msg_tag : int;
+  msg_bytes : int;
+  send_seq : int;
+  send_time : float;
+  mutable arrival : float;  (** infinity until scheduled (rendezvous) *)
+  send_loc : Loc.t;
+  send_callpath : Loc.t list;
+  eager : bool;
+  mutable sender_req : request option;
+}
+
+and request = {
+  req_id : int;
+  req_rank : int;
+  req_kind : [ `Send | `Recv ];
+  post_time : float;
+  want_src : int option;  (** [None] = MPI_ANY_SOURCE *)
+  want_tag : int option;  (** [None] = MPI_ANY_TAG *)
+  req_bytes : int;
+  req_loc : Loc.t;
+  req_callpath : Loc.t list;
+  mutable completed : bool;
+  mutable completion : float;
+  mutable matched : message option;
+}
+
+type coll = {
+  coll_seq : int;
+  coll_kind : Ast.mpi_call;
+  coll_bytes : int;
+  mutable arrivals : (int * float) list;
+  mutable finished : bool;
+  mutable start_time : float;
+  mutable finish_time : float;
+  mutable last_arrival_rank : int;
+}
+
+type t = {
+  net : Network.t;
+  nprocs : int;
+  unexpected : message list ref array;
+  posted : request list ref array;
+  colls : (int, coll) Hashtbl.t;
+  mutable msg_seq : int;
+  mutable req_seq : int;
+  mutable on_complete : request -> unit;
+  mutable messages_sent : int;
+  mutable bytes_sent : float;
+}
+
+val create : net:Network.t -> nprocs:int -> t
+
+(** Install the scheduler callback fired whenever a request completes. *)
+val set_on_complete : t -> (request -> unit) -> unit
+
+(** Post a send; the returned request is already completed for eager
+    messages. Raises [Invalid_argument] on an out-of-range destination. *)
+val send :
+  t ->
+  src:int ->
+  dst:int ->
+  tag:int ->
+  bytes:int ->
+  time:float ->
+  loc:Loc.t ->
+  callpath:Loc.t list ->
+  request
+
+(** Post a receive; already completed when a matching unexpected message
+    was waiting. *)
+val post_recv :
+  t ->
+  rank:int ->
+  src:int option ->
+  tag:int option ->
+  bytes:int ->
+  time:float ->
+  loc:Loc.t ->
+  callpath:Loc.t list ->
+  request
+
+(** Register [rank]'s arrival at its [seq]-th collective; the last
+    arrival finalizes the instance (start/finish set, [finished] true).
+    Raises [Invalid_argument] on mismatched collective kinds. *)
+val coll_arrive :
+  t -> seq:int -> rank:int -> time:float -> kind:Ast.mpi_call -> bytes:int -> coll
+
+(** Human-readable dump of pending receives/messages, for deadlock
+    reports. *)
+val pending_summary : t -> string

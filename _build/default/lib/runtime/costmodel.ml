@@ -1,0 +1,60 @@
+(* Computation cost model.
+
+   Maps a workload descriptor (flops, load/store count, other
+   instructions, locality) to retired-counter values and execution time on
+   a given core.  Per-core speed heterogeneity — the Nekbone case's
+   "memory access speed of each processor core differs" — is modeled as a
+   deterministic per-rank multiplier on memory service time. *)
+
+open Scalana_mlang
+
+type t = {
+  ghz : float;  (* core clock, cycles per nanosecond *)
+  ipc : float;  (* retired instructions per cycle when hitting cache *)
+  cache_miss_penalty : float;  (* extra cycles per missing access *)
+  core_speed : int -> float;
+      (* per-rank multiplier on memory service time; 1.0 = nominal *)
+}
+
+let default =
+  {
+    ghz = 2.5;
+    ipc = 2.0;
+    cache_miss_penalty = 120.0;
+    core_speed = (fun _ -> 1.0);
+  }
+
+(* Deterministic heterogeneity with a heavy tail: most cores carry a
+   small jitter, one core in sixteen serves memory [spread] slower (a
+   slow DIMM / far NUMA node).  Small jobs are likely to land on fast
+   cores only, so the scaling loss grows with the process count — the
+   Nekbone case's shape. *)
+let heterogeneous ?(spread = 1.0) () =
+  let speed rank =
+    let h = ((rank * 2654435761) + 98765) asr 4 land 0xffff in
+    if h mod 16 = 13 then 1.0 +. spread
+    else 1.0 +. (0.06 *. float_of_int (h mod 8) /. 8.0)
+  in
+  { default with core_speed = speed }
+
+(* Evaluate a workload on [rank]: returns wall seconds and counters. *)
+let comp_cost t ~rank ~(env : Expr.env) (w : Ast.workload) =
+  let flops = float_of_int (max 0 (Expr.eval env w.flops)) in
+  let mem = float_of_int (max 0 (Expr.eval env w.mem)) in
+  let ints = float_of_int (max 0 (Expr.eval env w.ints)) in
+  let misses = mem *. (1.0 -. w.locality) in
+  let tot_ins = flops +. mem +. ints in
+  let base_cycles = tot_ins /. t.ipc in
+  let miss_cycles = misses *. t.cache_miss_penalty *. t.core_speed rank in
+  let tot_cyc = base_cycles +. miss_cycles in
+  let seconds = tot_cyc /. (t.ghz *. 1e9) in
+  let pmu =
+    {
+      Pmu.tot_ins;
+      tot_lst_ins = mem;
+      tot_cyc;
+      cache_miss = misses;
+      fp_ins = flops;
+    }
+  in
+  (seconds, pmu)

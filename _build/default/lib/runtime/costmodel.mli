@@ -1,0 +1,23 @@
+(** Computation cost model: maps a workload descriptor to wall time and
+    PMU counters on a given core. *)
+
+open Scalana_mlang
+
+type t = {
+  ghz : float;  (** core clock in GHz *)
+  ipc : float;  (** retired instructions per cycle on cache hits *)
+  cache_miss_penalty : float;  (** extra cycles per missing access *)
+  core_speed : int -> float;
+      (** per-rank multiplier on memory service time (1.0 = nominal) *)
+}
+
+val default : t
+
+(** Heavy-tailed heterogeneity: most cores carry a small jitter, one in
+    sixteen serves memory [spread] slower — small jobs land on fast cores
+    only, so the loss grows with scale (the Nekbone case's shape). *)
+val heterogeneous : ?spread:float -> unit -> t
+
+(** [comp_cost t ~rank ~env w] — wall seconds and counters for one
+    execution of workload [w] on [rank]. *)
+val comp_cost : t -> rank:int -> env:Expr.env -> Ast.workload -> float * Pmu.t

@@ -1,0 +1,546 @@
+(* Discrete-event MPI runtime: interprets a MiniMPI program on [nprocs]
+   simulated processes.
+
+   Each simulated process runs as an effect-based fiber with its own local
+   clock; blocking operations perform a [Block] effect and the scheduler
+   resumes the process when the awaited requests or collective complete.
+   Processes are scheduled lowest-clock-first, which makes wildcard
+   message matching deterministic and causally plausible.  Instrumentation
+   tools observe compute intervals and MPI enter/exit events and charge
+   their own overhead onto the process clocks — the same interposition
+   structure as PAPI sampling plus PMPI. *)
+
+open Scalana_mlang
+
+exception Deadlock of string
+exception Runtime_error of { loc : Loc.t; msg : string }
+
+let runtime_error ~loc fmt =
+  Fmt.kstr (fun msg -> raise (Runtime_error { loc; msg })) fmt
+
+type config = {
+  nprocs : int;
+  params : (string * int) list;  (* overrides of the program defaults *)
+  cost : Costmodel.t;
+  net : Network.t;
+  inject : Inject.t;
+  tools : Instrument.t list;
+  max_events : int;
+}
+
+let config ?(params = []) ?(cost = Costmodel.default) ?(net = Network.default)
+    ?(inject = Inject.empty) ?(tools = []) ?(max_events = 500_000_000) ~nprocs
+    () =
+  if nprocs < 1 then invalid_arg "Exec.config: nprocs must be >= 1";
+  { nprocs; params; cost; net; inject; tools; max_events }
+
+type result = {
+  elapsed : float;  (* latest rank finish time, tool overhead included *)
+  rank_finish : float array;
+  comp_seconds : float array;
+  mpi_seconds : float array;
+  wait_seconds : float array;
+  comp_pmu : Pmu.t array;
+  events : int;
+  messages : int;
+}
+
+(* --- scheduler plumbing --- *)
+
+type wake = Wake_reqs of Comm.request list | Wake_coll of Comm.coll
+
+type _ Effect.t += Block : wake -> float Effect.t
+
+type status =
+  | Not_started
+  | Ready of float * (float, unit) Effect.Deep.continuation
+  | Running
+  | Blocked of wake * (float, unit) Effect.Deep.continuation
+  | Finished
+
+type proc = {
+  rank : int;
+  mutable clock : float;
+  mutable status : status;
+  mutable callpath : Loc.t list;
+  mutable coll_seq : int;
+  mutable blocked_since : float;
+  mutable comp_pmu : Pmu.t;
+  mutable comp_seconds : float;
+  mutable mpi_seconds : float;
+  mutable wait_seconds : float;
+}
+
+type frame = {
+  vars : (string * int) list ref;
+  freqs : (string, Comm.request) Hashtbl.t;
+}
+
+type sched = {
+  cfg : config;
+  program : Ast.program;
+  merged_params : (string * int) list;
+  comm : Comm.t;
+  procs : proc array;
+  ready : Heap.t;
+  req_waiter : (int, int) Hashtbl.t;  (* request id -> blocked rank *)
+  coll_waiters : (int, int list ref) Hashtbl.t;  (* coll seq -> ranks *)
+  mutable events : int;
+}
+
+let make_ready sched p ~resume k =
+  p.status <- Ready (resume, k);
+  Heap.push sched.ready resume p.rank
+
+(* Called from Comm whenever a request completes: if the owning process
+   is blocked and all of its awaited requests are now complete, wake it. *)
+let on_request_complete sched (req : Comm.request) =
+  match Hashtbl.find_opt sched.req_waiter req.req_id with
+  | None -> ()
+  | Some rank -> (
+      Hashtbl.remove sched.req_waiter req.req_id;
+      let p = sched.procs.(rank) in
+      match p.status with
+      | Blocked (Wake_reqs reqs, k)
+        when List.for_all (fun (r : Comm.request) -> r.completed) reqs ->
+          let resume =
+            List.fold_left
+              (fun acc (r : Comm.request) -> Float.max acc r.completion)
+              p.blocked_since reqs
+          in
+          make_ready sched p ~resume k
+      | _ -> ())
+
+let wake_collective sched (c : Comm.coll) =
+  match Hashtbl.find_opt sched.coll_waiters c.coll_seq with
+  | None -> ()
+  | Some ranks ->
+      List.iter
+        (fun rank ->
+          let p = sched.procs.(rank) in
+          match p.status with
+          | Blocked (Wake_coll c', k) when c'.Comm.coll_seq = c.coll_seq ->
+              make_ready sched p ~resume:c.finish_time k
+          | _ -> ())
+        !ranks;
+      Hashtbl.remove sched.coll_waiters c.coll_seq
+
+(* --- interpretation --- *)
+
+let env_of sched p frame =
+  Expr.env ~rank:p.rank ~nprocs:sched.cfg.nprocs ~params:sched.merged_params
+    ~vars:!(frame.vars)
+
+let eval sched p frame ~loc e =
+  try Expr.eval (env_of sched p frame) e
+  with Expr.Eval_error msg -> runtime_error ~loc "%s" msg
+
+let eval_peer sched p frame ~loc = function
+  | Ast.Any_source -> None
+  | Ast.Peer e -> Some (eval sched p frame ~loc e)
+
+let eval_tag sched p frame ~loc = function
+  | Ast.Any_tag -> None
+  | Ast.Tag e -> Some (eval sched p frame ~loc e)
+
+let set_var frame name value =
+  frame.vars := (name, value) :: List.remove_assoc name !(frame.vars)
+
+let ctx_of p ~loc =
+  { Instrument.rank = p.rank; time = p.clock; loc; callpath = p.callpath }
+
+let tool_sum cfg f = List.fold_left (fun acc tool -> acc +. f tool) 0.0 cfg.tools
+
+let tick sched ~loc =
+  sched.events <- sched.events + 1;
+  if sched.events > sched.cfg.max_events then
+    runtime_error ~loc "event budget exceeded (%d)" sched.cfg.max_events
+
+(* Wait until every request in [reqs] has completed, advancing the clock
+   to the latest completion. *)
+let await p reqs =
+  let resume =
+    if List.for_all (fun (r : Comm.request) -> r.Comm.completed) reqs then
+      List.fold_left
+        (fun acc (r : Comm.request) -> Float.max acc r.Comm.completion)
+        p.clock reqs
+    else begin
+      p.blocked_since <- p.clock;
+      Effect.perform (Block (Wake_reqs reqs))
+    end
+  in
+  p.clock <- Float.max p.clock resume
+
+let dep_of_req (r : Comm.request) =
+  match r.Comm.matched with
+  | Some m when r.req_kind = `Recv ->
+      [
+        {
+          Instrument.peer_rank = m.Comm.msg_src;
+          peer_loc = m.send_loc;
+          peer_callpath = m.send_callpath;
+          dep_tag = m.msg_tag;
+          dep_bytes = m.msg_bytes;
+          send_time = m.send_time;
+        };
+      ]
+  | _ -> []
+
+let lookup_req frame ~loc name =
+  match Hashtbl.find_opt frame.freqs name with
+  | Some r -> r
+  | None -> runtime_error ~loc "wait on unposted request %S" name
+
+let rec exec_stmts sched p frame stmts =
+  List.iter (exec_stmt sched p frame) stmts
+
+and exec_stmt sched p frame (s : Ast.stmt) =
+  tick sched ~loc:s.loc;
+  match s.node with
+  | Ast.Let { var; value } ->
+      set_var frame var (eval sched p frame ~loc:s.loc value)
+  | Ast.Comp w ->
+      let seconds, pmu =
+        Costmodel.comp_cost sched.cfg.cost ~rank:p.rank
+          ~env:(env_of sched p frame) w
+      in
+      let seconds =
+        seconds +. Inject.extra sched.cfg.inject ~rank:p.rank ~loc:s.loc
+      in
+      let ctx = ctx_of p ~loc:s.loc in
+      p.clock <- p.clock +. seconds;
+      p.comp_seconds <- p.comp_seconds +. seconds;
+      p.comp_pmu <- Pmu.add p.comp_pmu pmu;
+      let overhead =
+        tool_sum sched.cfg (fun tool ->
+            tool.Instrument.on_interval ctx ~stop:p.clock
+              (Instrument.Compute { pmu; label = w.label }))
+      in
+      p.clock <- p.clock +. overhead
+  | Ast.Loop l ->
+      let n = eval sched p frame ~loc:s.loc l.count in
+      for i = 0 to n - 1 do
+        set_var frame l.var i;
+        exec_stmts sched p frame l.body
+      done
+  | Ast.Branch b ->
+      if eval sched p frame ~loc:s.loc b.cond <> 0 then
+        exec_stmts sched p frame b.then_
+      else exec_stmts sched p frame b.else_
+  | Ast.Call { callee; args } ->
+      let f =
+        try Ast.find_func sched.program callee
+        with Ast.Unknown_function _ ->
+          runtime_error ~loc:s.loc "call to undefined function %S" callee
+      in
+      let argvals =
+        List.map (fun (n, e) -> (n, eval sched p frame ~loc:s.loc e)) args
+      in
+      call_function sched p ~site:s.loc f argvals
+  | Ast.Icall { selector; targets } ->
+      let n = List.length targets in
+      if n = 0 then runtime_error ~loc:s.loc "indirect call with no targets";
+      let sel = eval sched p frame ~loc:s.loc selector in
+      let idx = ((sel mod n) + n) mod n in
+      let target = List.nth targets idx in
+      let ctx = ctx_of p ~loc:s.loc in
+      let overhead =
+        tool_sum sched.cfg (fun tool -> tool.Instrument.on_icall ctx ~target)
+      in
+      p.clock <- p.clock +. overhead;
+      let f =
+        try Ast.find_func sched.program target
+        with Ast.Unknown_function _ ->
+          runtime_error ~loc:s.loc "indirect call to undefined function %S"
+            target
+      in
+      call_function sched p ~site:s.loc f []
+  | Ast.Mpi call -> exec_mpi sched p frame ~loc:s.loc call
+
+and call_function sched p ~site f argvals =
+  let callee_frame = { vars = ref argvals; freqs = Hashtbl.create 4 } in
+  let saved = p.callpath in
+  p.callpath <- saved @ [ site ];
+  exec_stmts sched p callee_frame f.Ast.fbody;
+  p.callpath <- saved
+
+and exec_mpi sched p frame ~loc call =
+  let enter_time = p.clock in
+  let ctx_enter = ctx_of p ~loc in
+  let overhead_in =
+    tool_sum sched.cfg (fun tool -> tool.Instrument.on_mpi_enter ctx_enter call)
+  in
+  p.clock <- p.clock +. overhead_in;
+  let ev sub = eval sched p frame ~loc sub in
+  let net = sched.cfg.net in
+  let deps = ref [] and sends = ref [] and collective = ref None in
+  let wait = ref 0.0 in
+  (match call with
+  | Ast.Send { dest; tag; bytes } ->
+      let dst = ev dest and tag = ev tag and bytes = ev bytes in
+      let sreq =
+        Comm.send sched.comm ~src:p.rank ~dst ~tag ~bytes ~time:p.clock ~loc
+          ~callpath:p.callpath
+      in
+      p.clock <- p.clock +. net.Network.send_overhead;
+      let t0 = p.clock in
+      await p [ sreq ];
+      wait := p.clock -. t0;
+      sends := [ (dst, tag, bytes) ]
+  | Ast.Recv { src; tag; bytes } ->
+      let src = eval_peer sched p frame ~loc src in
+      let tag = eval_tag sched p frame ~loc tag in
+      let bytes = ev bytes in
+      let req =
+        Comm.post_recv sched.comm ~rank:p.rank ~src ~tag ~bytes ~time:p.clock
+          ~loc ~callpath:p.callpath
+      in
+      p.clock <- p.clock +. net.Network.recv_overhead;
+      let t0 = p.clock in
+      await p [ req ];
+      wait := p.clock -. t0;
+      deps := dep_of_req req
+  | Ast.Isend { dest; tag; bytes; req } ->
+      let dst = ev dest and tag = ev tag and bytes = ev bytes in
+      let sreq =
+        Comm.send sched.comm ~src:p.rank ~dst ~tag ~bytes ~time:p.clock ~loc
+          ~callpath:p.callpath
+      in
+      p.clock <- p.clock +. net.Network.send_overhead;
+      Hashtbl.replace frame.freqs req sreq;
+      sends := [ (dst, tag, bytes) ]
+  | Ast.Irecv { src; tag; bytes; req } ->
+      let src = eval_peer sched p frame ~loc src in
+      let tag = eval_tag sched p frame ~loc tag in
+      let bytes = ev bytes in
+      let rreq =
+        Comm.post_recv sched.comm ~rank:p.rank ~src ~tag ~bytes ~time:p.clock
+          ~loc ~callpath:p.callpath
+      in
+      p.clock <- p.clock +. net.Network.recv_overhead;
+      Hashtbl.replace frame.freqs req rreq
+  | Ast.Wait { req } ->
+      let r = lookup_req frame ~loc req in
+      let t0 = p.clock in
+      await p [ r ];
+      wait := p.clock -. t0;
+      deps := dep_of_req r
+  | Ast.Waitall { reqs } ->
+      let rs = List.map (lookup_req frame ~loc) reqs in
+      let t0 = p.clock in
+      await p rs;
+      wait := p.clock -. t0;
+      deps := List.concat_map dep_of_req rs
+  | Ast.Sendrecv { dest; stag; sbytes; src; rtag; rbytes } ->
+      let dst = ev dest and stag = ev stag and sbytes = ev sbytes in
+      let src = eval_peer sched p frame ~loc src in
+      let rtag = eval_tag sched p frame ~loc rtag in
+      let rbytes = ev rbytes in
+      let sreq =
+        Comm.send sched.comm ~src:p.rank ~dst ~tag:stag ~bytes:sbytes
+          ~time:p.clock ~loc ~callpath:p.callpath
+      in
+      let rreq =
+        Comm.post_recv sched.comm ~rank:p.rank ~src ~tag:rtag ~bytes:rbytes
+          ~time:p.clock ~loc ~callpath:p.callpath
+      in
+      p.clock <-
+        p.clock +. net.Network.send_overhead +. net.Network.recv_overhead;
+      let t0 = p.clock in
+      await p [ sreq; rreq ];
+      wait := p.clock -. t0;
+      sends := [ (dst, stag, sbytes) ];
+      deps := dep_of_req rreq
+  | Ast.Barrier | Ast.Bcast _ | Ast.Reduce _ | Ast.Allreduce _ | Ast.Alltoall _
+  | Ast.Allgather _ ->
+      let bytes =
+        match call with
+        | Ast.Bcast { bytes; _ }
+        | Ast.Reduce { bytes; _ }
+        | Ast.Allreduce { bytes }
+        | Ast.Alltoall { bytes }
+        | Ast.Allgather { bytes } ->
+            ev bytes
+        | _ -> 0
+      in
+      p.coll_seq <- p.coll_seq + 1;
+      let arrive_time = p.clock in
+      let c =
+        Comm.coll_arrive sched.comm ~seq:p.coll_seq ~rank:p.rank
+          ~time:arrive_time ~kind:call ~bytes
+      in
+      if c.Comm.finished then wake_collective sched c;
+      let resume =
+        if c.Comm.finished then c.finish_time
+        else begin
+          p.blocked_since <- p.clock;
+          Effect.perform (Block (Wake_coll c))
+        end
+      in
+      p.clock <- Float.max p.clock resume;
+      wait := Float.max 0.0 (c.start_time -. arrive_time);
+      collective :=
+        Some
+          {
+            Instrument.coll_seq = c.coll_seq;
+            arrive_time;
+            start_time = c.start_time;
+            last_arrival_rank = c.last_arrival_rank;
+          });
+  let exit_time = p.clock in
+  p.mpi_seconds <- p.mpi_seconds +. (exit_time -. enter_time);
+  p.wait_seconds <- p.wait_seconds +. !wait;
+  let ctx_span = { ctx_enter with Instrument.time = enter_time } in
+  let span_overhead =
+    tool_sum sched.cfg (fun tool ->
+        tool.Instrument.on_interval ctx_span ~stop:exit_time
+          (Instrument.Mpi_span { call; wait_seconds = !wait }))
+  in
+  let exit_info =
+    {
+      Instrument.call;
+      enter_time;
+      exit_time;
+      wait_seconds = !wait;
+      deps = !deps;
+      sends = !sends;
+      collective = !collective;
+    }
+  in
+  let ctx_exit = ctx_of p ~loc in
+  let overhead_out =
+    tool_sum sched.cfg (fun tool -> tool.Instrument.on_mpi_exit ctx_exit exit_info)
+  in
+  p.clock <- p.clock +. span_overhead +. overhead_out
+
+(* --- top-level run --- *)
+
+let merge_params (program : Ast.program) overrides =
+  List.map
+    (fun (name, default) ->
+      match List.assoc_opt name overrides with
+      | Some v -> (name, v)
+      | None -> (name, default))
+    program.params
+  @ List.filter
+      (fun (name, _) -> not (List.mem_assoc name program.params))
+      overrides
+
+let handler sched p =
+  {
+    Effect.Deep.retc = (fun () -> p.status <- Finished);
+    exnc = (fun e -> raise e);
+    effc =
+      (fun (type a) (eff : a Effect.t) ->
+        match eff with
+        | Block wake ->
+            Some
+              (fun (k : (a, _) Effect.Deep.continuation) ->
+                match wake with
+                | Wake_reqs reqs ->
+                    p.status <- Blocked (wake, k);
+                    List.iter
+                      (fun (r : Comm.request) ->
+                        if not r.completed then
+                          Hashtbl.replace sched.req_waiter r.req_id p.rank)
+                      reqs;
+                    (* all may have completed between the check in [await]
+                       and here only if await raced — single-threaded, so
+                       no race; but guard anyway *)
+                    if List.for_all (fun (r : Comm.request) -> r.completed) reqs
+                    then on_request_complete sched (List.hd reqs)
+                | Wake_coll c ->
+                    p.status <- Blocked (wake, k);
+                    let waiters =
+                      match Hashtbl.find_opt sched.coll_waiters c.coll_seq with
+                      | Some l -> l
+                      | None ->
+                          let l = ref [] in
+                          Hashtbl.replace sched.coll_waiters c.coll_seq l;
+                          l
+                    in
+                    waiters := p.rank :: !waiters;
+                    if c.finished then wake_collective sched c)
+        | _ -> None);
+  }
+
+let start_fiber sched p =
+  p.status <- Running;
+  Effect.Deep.match_with
+    (fun () ->
+      let main = Ast.main_func sched.program in
+      let frame = { vars = ref []; freqs = Hashtbl.create 4 } in
+      exec_stmts sched p frame main.fbody)
+    () (handler sched p)
+
+let run ?(cfg = config ~nprocs:4 ()) (program : Ast.program) =
+  let comm = Comm.create ~net:cfg.net ~nprocs:cfg.nprocs in
+  let procs =
+    Array.init cfg.nprocs (fun rank ->
+        {
+          rank;
+          clock = 0.0;
+          status = Not_started;
+          callpath = [];
+          coll_seq = 0;
+          blocked_since = 0.0;
+          comp_pmu = Pmu.zero;
+          comp_seconds = 0.0;
+          mpi_seconds = 0.0;
+          wait_seconds = 0.0;
+        })
+  in
+  let sched =
+    {
+      cfg;
+      program;
+      merged_params = merge_params program cfg.params;
+      comm;
+      procs;
+      ready = Heap.create ();
+      req_waiter = Hashtbl.create 64;
+      coll_waiters = Hashtbl.create 16;
+      events = 0;
+    }
+  in
+  Comm.set_on_complete comm (on_request_complete sched);
+  Array.iter (fun p -> Heap.push sched.ready 0.0 p.rank) procs;
+  let rec loop () =
+    match Heap.pop sched.ready with
+    | None -> ()
+    | Some (_, rank) ->
+        let p = procs.(rank) in
+        (match p.status with
+        | Not_started -> start_fiber sched p
+        | Ready (resume, k) ->
+            p.status <- Running;
+            Effect.Deep.continue k resume
+        | Running | Blocked _ | Finished -> ());
+        loop ()
+  in
+  loop ();
+  let stuck =
+    Array.to_list procs
+    |> List.filter (fun p -> p.status <> Finished)
+    |> List.map (fun p -> string_of_int p.rank)
+  in
+  if stuck <> [] then
+    raise
+      (Deadlock
+         (Printf.sprintf "ranks {%s} blocked at end of run\n%s"
+            (String.concat "," stuck)
+            (Comm.pending_summary comm)));
+  let elapsed = Array.fold_left (fun acc p -> Float.max acc p.clock) 0.0 procs in
+  List.iter
+    (fun tool -> tool.Instrument.on_run_end ~nprocs:cfg.nprocs ~elapsed)
+    cfg.tools;
+  {
+    elapsed;
+    rank_finish = Array.map (fun p -> p.clock) procs;
+    comp_seconds = Array.map (fun p -> p.comp_seconds) procs;
+    mpi_seconds = Array.map (fun p -> p.mpi_seconds) procs;
+    wait_seconds = Array.map (fun p -> p.wait_seconds) procs;
+    comp_pmu = Array.map (fun p -> p.comp_pmu) procs;
+    events = sched.events;
+    messages = comm.Comm.messages_sent;
+  }

@@ -1,0 +1,10 @@
+(** Binary min-heap on (float key, int payload); the scheduler's ready
+    queue. *)
+
+type t
+
+val create : unit -> t
+val is_empty : t -> bool
+val length : t -> int
+val push : t -> float -> int -> unit
+val pop : t -> (float * int) option

@@ -1,0 +1,1 @@
+test/test_apps.ml: Alcotest Array Ast Exec Float List Pmu Registry Scalana_apps Scalana_mlang Scalana_runtime Testutil Validate

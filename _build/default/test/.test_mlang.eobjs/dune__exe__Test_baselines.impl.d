@@ -1,0 +1,1 @@
+test/test_baselines.ml: Alcotest Builder Callprof Cct Exec Expr Filename List Loc Replay Scalana Scalana_apps Scalana_baselines Scalana_detect Scalana_mlang Scalana_runtime Testutil Trace_io Tracer

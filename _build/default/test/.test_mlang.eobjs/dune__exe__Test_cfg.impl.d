@@ -1,0 +1,1 @@
+test/test_cfg.ml: Alcotest Array Ast Builder Callgraph Cfg Dominance Expr List Loops Scalana_apps Scalana_cfg Scalana_mlang Scalana_psg String Testutil

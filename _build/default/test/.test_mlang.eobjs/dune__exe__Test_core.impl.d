@@ -1,0 +1,1 @@
+test/test_core.ml: Alcotest Ast Builder Filename Inject List Loc Option Scalana Scalana_apps Scalana_detect Scalana_mlang Scalana_profile Scalana_psg Scalana_runtime Str String Sys Testutil Unix

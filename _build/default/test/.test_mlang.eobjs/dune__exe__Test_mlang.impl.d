@@ -1,0 +1,1 @@
+test/test_mlang.ml: Alcotest Array Ast Builder Expr Lexer List Loc Parser Pretty Printf QCheck2 Scalana_apps Scalana_mlang Str String Testutil Validate

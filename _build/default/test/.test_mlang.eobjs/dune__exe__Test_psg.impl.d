@@ -1,0 +1,1 @@
+test/test_psg.ml: Alcotest Ast Builder Contract Expr Hashtbl Index Inter Intra List Loc Psg QCheck2 Scalana_apps Scalana_mlang Scalana_psg Stats String Testutil Vertex

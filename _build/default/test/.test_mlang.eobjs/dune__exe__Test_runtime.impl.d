@@ -1,0 +1,1 @@
+test/test_runtime.ml: Alcotest Array Ast Builder Costmodel Exec Expr Heap Inject List Loc Network Pmu Printf QCheck2 Scalana_mlang Scalana_runtime Stdlib Testutil Validate

@@ -1,0 +1,1 @@
+test/testutil.ml: Alcotest Array Builder Expr List QCheck2 QCheck_alcotest Scalana_mlang Scalana_profile Scalana_psg Scalana_runtime String

@@ -1,0 +1,262 @@
+(* Tests for the core facade: static analysis step, profiled runs,
+   pipeline, artifacts, experiments, viewer and the Fig. 2 delay
+   injection scenario. *)
+
+open Scalana_mlang
+open Scalana_runtime
+open Testutil
+
+let test_static_analyze () =
+  let prog = fig3_program () in
+  let static = Scalana.Static.analyze prog in
+  check_bool "psg nonempty" true
+    (Scalana_psg.Psg.n_vertices (Scalana.Static.psg static) > 0);
+  check_bool "stats consistent" true
+    (static.stats.Scalana_psg.Stats.vbc >= static.stats.Scalana_psg.Stats.vac)
+
+let test_static_rejects_invalid () =
+  let b = Builder.create ~file:"bad.mmp" ~name:"bad" () in
+  Builder.func b "main" (fun () -> [ Builder.call b "ghost" ]);
+  let prog = Builder.program b in
+  match Scalana.Static.analyze prog with
+  | _ -> Alcotest.fail "expected Invalid_argument"
+  | exception Invalid_argument _ -> ()
+
+let test_static_overhead_measurable () =
+  let prog = (Scalana_apps.Registry.find "cg").make () in
+  let pct = Scalana.Static.static_overhead ~repeat:1 prog in
+  check_bool "positive" true (pct > 0.0);
+  check_bool "below base compile" true (pct < 100.0)
+
+let test_prof_run_and_overhead () =
+  let entry = Scalana_apps.Registry.find "cg" in
+  let static = Scalana.Static.analyze (entry.make ()) in
+  let run =
+    Scalana.Prof.run ~cost:entry.cost ~measure_overhead:true static ~nprocs:8 ()
+  in
+  check_int "nprocs" 8 run.nprocs;
+  (match Scalana.Prof.overhead_percent run with
+  | Some pct ->
+      check_bool "overhead in a sane band" true (pct > 0.0 && pct < 25.0)
+  | None -> Alcotest.fail "overhead requested but missing");
+  check_bool "samples collected" true (run.data.total_samples > 0)
+
+let test_prof_refines_indirect () =
+  let static = Scalana.Static.analyze (recursion_program ()) in
+  let before = Scalana_psg.Psg.n_vertices (Scalana.Static.psg static) in
+  let _run = Scalana.Prof.run static ~nprocs:4 () in
+  let after = Scalana_psg.Psg.n_vertices (Scalana.Static.psg static) in
+  check_bool "PSG refined with runtime targets" true (after > before)
+
+let test_pipeline_end_to_end () =
+  let entry = Scalana_apps.Registry.find "zeusmp" in
+  let pipe =
+    Scalana.Pipeline.run ~cost:entry.cost ~scales:[ 4; 8; 16 ] (entry.make ())
+  in
+  check_int "three runs" 3 (List.length pipe.runs);
+  check_bool "detect cost measured" true (pipe.detect_seconds >= 0.0);
+  check_bool "report nonempty" true (String.length pipe.report > 100);
+  check_bool "root causes found" true (pipe.analysis.causes <> [])
+
+let test_fig2_injected_delay () =
+  (* the motivating example: a delay planted in one process of NPB-CG is
+     traced back to that rank's computation *)
+  let entry = Scalana_apps.Registry.find "cg" in
+  let prog = entry.make () in
+  (* find the spmv comp's source line to target the injection *)
+  let spmv_loc = ref None in
+  Ast.iter_program
+    (fun s ->
+      match s.Ast.node with
+      | Ast.Comp { label = Some "spmv"; _ } -> spmv_loc := Some s.Ast.loc
+      | _ -> ())
+    prog;
+  let loc = Option.get !spmv_loc in
+  let inject = Inject.create [ Inject.delay ~ranks:[ 4 ] ~loc 1.0 ] in
+  let pipe =
+    Scalana.Pipeline.run ~cost:entry.cost ~inject ~scales:[ 8 ] prog
+  in
+  (* the abnormal detector flags the injected rank at the spmv vertex *)
+  let hit =
+    List.exists
+      (fun (f : Scalana_detect.Abnormal.finding) ->
+        let v = Scalana_psg.Psg.vertex (Scalana.Static.psg pipe.static) f.vertex in
+        Loc.equal v.Scalana_psg.Vertex.loc loc && List.mem 4 f.ranks)
+      pipe.analysis.abnormal
+  in
+  check_bool "injected rank flagged at spmv" true hit;
+  (* and a root-cause path terminates on rank 4 *)
+  check_bool "a cause blames rank 4" true
+    (List.exists
+       (fun (c : Scalana_detect.Rootcause.cause) ->
+         List.mem 4 c.culprit_ranks)
+       pipe.analysis.causes)
+
+
+let test_pipeline_accessors () =
+  let entry = Scalana_apps.Registry.find "zeusmp" in
+  let pipe =
+    Scalana.Pipeline.run ~cost:entry.cost ~scales:[ 4; 8 ] (entry.make ())
+  in
+  let locs = Scalana.Pipeline.root_cause_locs pipe in
+  let labels = Scalana.Pipeline.root_cause_labels pipe in
+  check_int "locs match labels" (List.length locs) (List.length labels);
+  List.iter
+    (fun loc ->
+      check_string "locs point into the program" "zeusmp.mmp" (Loc.file loc))
+    locs
+
+let test_param_override () =
+  (* runtime parameter overrides shrink the run proportionally *)
+  let entry = Scalana_apps.Registry.find "ep" in
+  let prog = entry.make () in
+  let t_full = Scalana.Experiment.bare_elapsed prog ~nprocs:4 in
+  let t_small =
+    Scalana.Experiment.bare_elapsed ~params:[ ("m", 9_000_000_000) ] prog
+      ~nprocs:4
+  in
+  check_bool "override shrinks the run" true
+    (t_small < 0.5 *. t_full && t_small > 0.1 *. t_full)
+
+let test_artifact_roundtrip () =
+  let dir = Filename.temp_file "scalana" "" in
+  Sys.remove dir;
+  let entry = Scalana_apps.Registry.find "cg" in
+  let static = Scalana.Static.analyze (entry.make ()) in
+  Scalana.Artifact.save_static dir static;
+  let run = Scalana.Prof.run ~cost:entry.cost static ~nprocs:4 () in
+  Scalana.Artifact.save_run dir run;
+  let run8 = Scalana.Prof.run ~cost:entry.cost static ~nprocs:8 () in
+  Scalana.Artifact.save_run dir run8;
+  let session = Scalana.Artifact.load_session dir in
+  check_int "two runs" 2 (List.length session.runs);
+  Alcotest.(check (list int))
+    "sorted scales" [ 4; 8 ]
+    (List.map fst session.runs);
+  check_bool "program preserved" true
+    (String.equal session.static.program.pname "npb-cg");
+  (* detection works on the reloaded session *)
+  let pipe = Scalana.Pipeline.detect session.static session.runs in
+  check_bool "report renders" true (String.length pipe.report > 0)
+
+let test_artifact_bad_magic () =
+  let f = Filename.temp_file "scalana" ".static" in
+  let oc = open_out f in
+  output_string oc "NOTSCALANA";
+  close_out oc;
+  match (Scalana.Artifact.load_value f : Scalana.Static.t) with
+  | _ -> Alcotest.fail "expected failure"
+  | exception _ -> ()
+
+let test_config_mapping () =
+  let c = { Scalana.Config.default with abnorm_thd = 2.0; sampling_freq = 97.0 } in
+  let ab = Scalana.Config.ab_config c in
+  check_float "thd" 2.0 ab.Scalana_detect.Abnormal.abnorm_thd;
+  let pc = Scalana.Config.profiler_config c in
+  check_float "freq" 97.0 pc.Scalana_profile.Profiler.freq
+
+let test_experiment_speedup_rows () =
+  let entry = Scalana_apps.Registry.find "sst" in
+  let rows =
+    Scalana.Experiment.speedup ~cost:entry.cost ~make:entry.make ~baseline_np:4
+      ~scales:[ 4; 16 ] ()
+  in
+  check_int "two rows" 2 (List.length rows);
+  let r0 = List.hd rows in
+  close "baseline speedup 1" 1.0 r0.Scalana.Experiment.base_speedup;
+  close "baseline opt speedup 1" 1.0 r0.opt_speedup;
+  let r1 = List.nth rows 1 in
+  (* the array->map fix improves SST at scale (the paper's 73%@32) *)
+  check_bool "improvement positive" true (r1.improvement_pct > 10.0);
+  check_bool "opt scales better" true (r1.opt_speedup > r1.base_speedup)
+
+let test_viewer_renders () =
+  let entry = Scalana_apps.Registry.find "zeusmp" in
+  let pipe =
+    Scalana.Pipeline.run ~cost:entry.cost ~scales:[ 4; 8 ] (entry.make ())
+  in
+  let text = Scalana.Viewer.show pipe in
+  check_bool "has source view" true
+    (try
+       ignore (Str.search_forward (Str.regexp_string "source view") text 0);
+       true
+     with Not_found -> false);
+  check_bool "summary lines" true (Scalana.Viewer.summary pipe <> [])
+
+let test_mean_overhead_ordering () =
+  let entry = Scalana_apps.Registry.find "mg" in
+  let means =
+    Scalana.Experiment.mean_overhead ~cost:entry.cost (entry.make ())
+      ~scales:[ 4; 8 ]
+  in
+  let get k = List.assoc k means in
+  check_bool "tracing most expensive" true
+    (get Scalana.Experiment.Tracing_tool > get Scalana.Experiment.Scalana_tool);
+  check_bool "scalana cheap" true (get Scalana.Experiment.Scalana_tool < 10.0)
+
+
+let test_html_report () =
+  let entry = Scalana_apps.Registry.find "zeusmp" in
+  let pipe =
+    Scalana.Pipeline.run ~cost:entry.cost ~scales:[ 4; 8 ] (entry.make ())
+  in
+  let html = Scalana.Htmlreport.render pipe in
+  let has needle =
+    try
+      ignore (Str.search_forward (Str.regexp_string needle) html 0);
+      true
+    with Not_found -> false
+  in
+  check_bool "is html" true (has "<!doctype html>");
+  check_bool "has svg bars" true (has "<svg");
+  check_bool "has causes" true (has "Root causes");
+  check_bool "mentions bval" true (has "bval");
+  (* escaping: raw angle brackets from expressions must not survive *)
+  check_bool "escaped" true (not (has "1 << k"));
+  let path = Filename.temp_file "scalana" ".html" in
+  Scalana.Htmlreport.write pipe ~path;
+  check_bool "file written" true (Sys.file_exists path && (Unix.stat path).Unix.st_size > 1000)
+
+let () =
+  Alcotest.run "core"
+    [
+      ( "static",
+        [
+          Alcotest.test_case "analyze" `Quick test_static_analyze;
+          Alcotest.test_case "rejects invalid" `Quick test_static_rejects_invalid;
+          Alcotest.test_case "overhead measurable" `Slow
+            test_static_overhead_measurable;
+        ] );
+      ( "prof",
+        [
+          Alcotest.test_case "run and overhead" `Quick test_prof_run_and_overhead;
+          Alcotest.test_case "refines indirect calls" `Quick
+            test_prof_refines_indirect;
+        ] );
+      ( "pipeline",
+        [
+          Alcotest.test_case "end to end" `Quick test_pipeline_end_to_end;
+          Alcotest.test_case "fig2 injected delay" `Quick
+            test_fig2_injected_delay;
+          Alcotest.test_case "accessors" `Quick test_pipeline_accessors;
+          Alcotest.test_case "param override" `Quick test_param_override;
+        ] );
+      ( "artifact",
+        [
+          Alcotest.test_case "roundtrip" `Quick test_artifact_roundtrip;
+          Alcotest.test_case "bad magic" `Quick test_artifact_bad_magic;
+        ] );
+      ( "config",
+        [ Alcotest.test_case "mapping" `Quick test_config_mapping ] );
+      ( "experiment",
+        [
+          Alcotest.test_case "speedup rows" `Quick test_experiment_speedup_rows;
+          Alcotest.test_case "mean overhead ordering" `Slow
+            test_mean_overhead_ordering;
+        ] );
+      ( "viewer",
+        [
+          Alcotest.test_case "renders" `Quick test_viewer_renders;
+          Alcotest.test_case "html report" `Quick test_html_report;
+        ] );
+    ]

@@ -1,0 +1,424 @@
+(* Tests for the detection pipeline: aggregation strategies, log-log
+   fitting, non-scalable and abnormal vertex detection, backtracking and
+   root-cause extraction. *)
+
+open Scalana_psg
+open Scalana_ppg
+open Scalana_detect
+open Testutil
+
+(* --- aggregate --- *)
+
+let test_aggregate_basic () =
+  let a = [| 1.0; 2.0; 3.0; 4.0 |] in
+  check_float "mean" 2.5 (Aggregate.apply Aggregate.Mean a);
+  check_float "median even" 2.5 (Aggregate.apply Aggregate.Median a);
+  check_float "median odd" 2.0 (Aggregate.apply Aggregate.Median [| 1.0; 2.0; 3.0 |]);
+  check_float "single" 3.0 (Aggregate.apply (Aggregate.Single 2) a);
+  check_float "single oob" 0.0 (Aggregate.apply (Aggregate.Single 9) a);
+  check_float "empty mean" 0.0 (Aggregate.apply Aggregate.Mean [||]);
+  close "variance weighted"
+    (2.5 +. sqrt 1.25)
+    (Aggregate.apply Aggregate.Variance_weighted a)
+
+let test_kmeans () =
+  (* two clear clusters: 8 small, 2 large *)
+  let a = [| 1.0; 1.1; 0.9; 1.0; 1.05; 0.95; 1.0; 1.0; 10.0; 10.2 |] in
+  let clusters = Aggregate.kmeans ~k:2 a in
+  check_int "two clusters" 2 (Array.length clusters);
+  let sizes = Array.map snd clusters |> Array.to_list |> List.sort compare in
+  Alcotest.(check (list int)) "cluster sizes" [ 2; 8 ] sizes;
+  (* the strategy keeps the heavy (slow) cluster centroid *)
+  let v = Aggregate.apply (Aggregate.Kmeans 2) a in
+  check_bool "heavy cluster" true (v > 9.0 && v < 11.0)
+
+let kmeans_total =
+  qtest ~count:100 "kmeans partitions all points"
+    QCheck2.Gen.(list_size (int_range 1 50) (float_bound_exclusive 100.0))
+    (fun l ->
+      let a = Array.of_list l in
+      let clusters = Aggregate.kmeans ~k:3 a in
+      Array.fold_left (fun acc (_, n) -> acc + n) 0 clusters = Array.length a)
+
+(* --- loglog --- *)
+
+let test_loglog_exact_powerlaw () =
+  (* T = 100 * P^-1 *)
+  let pts = List.map (fun p -> (p, 100.0 /. float_of_int p)) [ 2; 4; 8; 16 ] in
+  let f = Loglog.fit pts in
+  close "slope" (-1.0) f.Loglog.slope;
+  close "r2" 1.0 f.Loglog.r2;
+  close "predict 32" (100.0 /. 32.0) (Loglog.predict f 32)
+
+let test_loglog_flat () =
+  let pts = List.map (fun p -> (p, 7.0)) [ 2; 4; 8; 16 ] in
+  let f = Loglog.fit pts in
+  close "slope 0" 0.0 f.Loglog.slope;
+  close "predict" 7.0 (Loglog.predict f 64)
+
+let test_loglog_degenerate () =
+  check_int "too few points" 1 (Loglog.fit [ (4, 1.0) ]).Loglog.n;
+  check_float "zero slope" 0.0 (Loglog.fit [ (4, 1.0) ]).Loglog.slope;
+  (* non-positive values are dropped *)
+  let f = Loglog.fit [ (2, 0.0); (4, 1.0); (8, 0.5) ] in
+  check_int "dropped zero" 2 f.Loglog.n
+
+let loglog_recovers_slope =
+  qtest ~count:100 "loglog recovers planted slope"
+    QCheck2.Gen.(float_range (-2.0) 1.0)
+    (fun slope ->
+      let pts =
+        List.map
+          (fun p -> (p, 3.0 *. (float_of_int p ** slope)))
+          [ 2; 4; 8; 16; 32 ]
+      in
+      abs_float ((Loglog.fit pts).Loglog.slope -. slope) < 1e-6)
+
+(* --- end-to-end detection fixtures --- *)
+
+let zeus_pipeline =
+  lazy
+    (let entry = Scalana_apps.Registry.find "zeusmp" in
+     Scalana.Pipeline.run ~cost:entry.cost ~scales:[ 4; 8; 16; 32 ]
+       (entry.make ()))
+
+let test_nonscalable_flags_waitall_and_bval () =
+  let pipe = Lazy.force zeus_pipeline in
+  let labels =
+    List.map
+      (fun (f : Nonscalable.finding) ->
+        Vertex.label (Psg.vertex (Scalana.Static.psg pipe.static) f.vertex))
+      pipe.analysis.nonscalable
+  in
+  check_bool "waitall flagged" true
+    (List.exists (fun l -> l = "MPI_Waitall") labels);
+  check_bool "bval flagged" true
+    (List.exists
+       (fun l -> String.length l >= 4 && String.sub l 0 4 = "bval")
+       labels);
+  (* every finding is above the significance floor *)
+  List.iter
+    (fun (f : Nonscalable.finding) ->
+      check_bool "score floor" true (f.score >= 0.25);
+      check_bool "fraction floor" true (f.fraction >= 0.01))
+    pipe.analysis.nonscalable
+
+let test_nonscalable_ignores_scalable_compute () =
+  let pipe = Lazy.force zeus_pipeline in
+  let labels =
+    List.map
+      (fun (f : Nonscalable.finding) ->
+        Vertex.label (Psg.vertex (Scalana.Static.psg pipe.static) f.vertex))
+      pipe.analysis.nonscalable
+  in
+  (* the volume work scales ~1/np and must not be reported *)
+  check_bool "hsmoc not flagged" true
+    (not (List.exists (fun l -> l = "hsmoc_665_body") labels))
+
+let test_abnormal_detection () =
+  let pipe = Lazy.force zeus_pipeline in
+  let ab = pipe.analysis.abnormal in
+  check_bool "findings exist" true (ab <> []);
+  (* the busy-rank bval comps deviate infinitely (median 0) *)
+  let bval =
+    List.filter
+      (fun (f : Abnormal.finding) ->
+        let l = Vertex.label (Psg.vertex (Scalana.Static.psg pipe.static) f.vertex) in
+        try
+          ignore (Str.search_forward (Str.regexp_string "_update") l 0);
+          String.length l >= 4 && String.sub l 0 4 = "bval"
+        with Not_found -> false)
+      ab
+  in
+  check_bool "bval abnormal" true (bval <> []);
+  List.iter
+    (fun (f : Abnormal.finding) ->
+      (* at np=32, exactly the 8 busy ranks deviate *)
+      check_int "busy ranks" 8 (List.length f.ranks);
+      List.iter (fun r -> check_int "mod 4" 0 (r mod 4)) f.ranks)
+    bval
+
+let test_abnormal_threshold_monotone () =
+  let pipe = Lazy.force zeus_pipeline in
+  let _, ppg = Crossscale.largest pipe.crossscale in
+  let count thd =
+    List.length
+      (Abnormal.detect ~config:{ Abnormal.default_config with abnorm_thd = thd } ppg)
+  in
+  check_bool "higher threshold, fewer findings" true (count 5.0 <= count 1.1)
+
+let test_backtracking_reaches_bval () =
+  let pipe = Lazy.force zeus_pipeline in
+  let labels = Scalana.Pipeline.root_cause_labels pipe in
+  check_bool "causes found" true (labels <> []);
+  check_bool "bval is a top cause" true
+    (List.exists
+       (fun l ->
+         try ignore (Str.search_forward (Str.regexp_string "bval") l 0); true
+         with Not_found -> false)
+       (match labels with a :: b :: c :: _ -> [ a; b; c ] | l -> l))
+
+let test_backtracking_paths_cross_processes () =
+  let pipe = Lazy.force zeus_pipeline in
+  check_bool "paths exist" true (pipe.analysis.paths <> []);
+  check_bool "some path spans processes" true
+    (List.exists
+       (fun p -> List.length (Backtrack.ranks_of p) > 1)
+       pipe.analysis.paths);
+  (* every path starts at its start vertex and is acyclic per (rank,vid) *)
+  List.iter
+    (fun path ->
+      let seen = Hashtbl.create 16 in
+      List.iter
+        (fun (s : Backtrack.step) ->
+          let k = (s.rank, s.vertex) in
+          if Hashtbl.mem seen k then Alcotest.fail "cycle in path";
+          Hashtbl.replace seen k ())
+        path)
+    pipe.analysis.paths
+
+let test_backtracking_pruning_matters () =
+  let pipe = Lazy.force zeus_pipeline in
+  let _, ppg = Crossscale.largest pipe.crossscale in
+  (* from a waitall on a waiting rank: pruned walk crosses to the busy
+     rank; unpruned follows some comm edge too, but both terminate *)
+  match pipe.analysis.nonscalable with
+  | [] -> Alcotest.fail "no start vertex"
+  | f :: _ ->
+      let start_rank = Rootcause.start_rank ppg ~vertex:f.vertex in
+      let visited = Hashtbl.create 16 in
+      let pruned =
+        Backtrack.backtrack ppg ~visited ~start_rank ~start_vertex:f.vertex
+      in
+      let visited2 = Hashtbl.create 16 in
+      let unpruned =
+        Backtrack.backtrack
+          ~config:{ Backtrack.default_config with prune_non_wait = false }
+          ppg ~visited:visited2 ~start_rank ~start_vertex:f.vertex
+      in
+      check_bool "pruned path nonempty" true (pruned <> []);
+      check_bool "unpruned path nonempty" true (unpruned <> [])
+
+let test_rootcause_ranking () =
+  let pipe = Lazy.force zeus_pipeline in
+  let causes = pipe.analysis.causes in
+  check_bool "causes exist" true (causes <> []);
+  (* ranking is by (paths, time, imbalance) descending *)
+  let rec check_sorted = function
+    | a :: (b :: _ as rest) ->
+        check_bool "sorted" true
+          ((a : Rootcause.cause).n_paths >= (b : Rootcause.cause).n_paths
+          || a.n_paths = b.n_paths);
+        check_sorted rest
+    | _ -> ()
+  in
+  check_sorted causes
+
+let test_report_renders () =
+  let pipe = Lazy.force zeus_pipeline in
+  let report = pipe.report in
+  check_bool "mentions non-scalable section" true
+    (String.length report > 0
+    && Str.string_match (Str.regexp ".*non-scalable.*") report 0
+       ||
+       try
+         ignore (Str.search_forward (Str.regexp_string "non-scalable") report 0);
+         true
+       with Not_found -> false);
+  (try
+     ignore (Str.search_forward (Str.regexp_string "root causes") report 0)
+   with Not_found -> Alcotest.fail "no root-cause section");
+  try ignore (Str.search_forward (Str.regexp_string "bval") report 0)
+  with Not_found -> Alcotest.fail "bval not in report"
+
+(* detection on a healthy program stays quiet *)
+let test_healthy_program_quiet () =
+  let entry = Scalana_apps.Registry.find "ep" in
+  let pipe =
+    Scalana.Pipeline.run ~cost:entry.cost ~scales:[ 4; 8; 16 ] (entry.make ())
+  in
+  (* EP is embarrassingly parallel: no compute vertex should be flagged *)
+  let compute_findings =
+    List.filter
+      (fun (f : Nonscalable.finding) ->
+        Vertex.is_comp (Psg.vertex (Scalana.Static.psg pipe.static) f.vertex))
+      pipe.analysis.nonscalable
+  in
+  check_int "no non-scalable compute" 0 (List.length compute_findings)
+
+
+(* end-to-end detection on the SST and Nekbone case studies *)
+let case_study_finds name scales expected =
+  let entry = Scalana_apps.Registry.find name in
+  let pipe =
+    Scalana.Pipeline.run ~cost:entry.cost ~scales (entry.make ())
+  in
+  let labels = Scalana.Pipeline.root_cause_labels pipe in
+  let found =
+    List.exists
+      (fun l ->
+        List.exists
+          (fun e ->
+            try
+              ignore (Str.search_forward (Str.regexp_string e) l 0);
+              true
+            with Not_found -> false)
+          expected)
+      labels
+  in
+  if not found then
+    Alcotest.failf "%s: expected one of [%s] among causes [%s]" name
+      (String.concat "," expected)
+      (String.concat "; " labels)
+
+let test_sst_case () =
+  case_study_finds "sst" [ 4; 8; 16; 32 ]
+    [ "satisfyDependency"; "handleEvent" ]
+
+let test_nekbone_case () =
+  case_study_finds "nekbone" [ 4; 8; 16; 32 ] [ "dgemm" ]
+
+
+(* --- critical-path extension --- *)
+
+let traced_run ?(nprocs = 4) prog =
+  let tr = Scalana_baselines.Tracer.create () in
+  let cfg =
+    Scalana_runtime.Exec.config ~nprocs
+      ~tools:[ Scalana_baselines.Tracer.tool tr ] ()
+  in
+  let r = Scalana_runtime.Exec.run ~cfg prog in
+  (Scalana_baselines.Tracer.events tr, r)
+
+let test_critpath_planted_loop () =
+  (* rank 0 computes a long loop before every barrier: the loop must
+     dominate the critical path even though it runs on one rank *)
+  let prog =
+    let open Scalana_mlang in
+    let open Expr.Infix in
+    let b = Builder.create ~file:"cp.mmp" ~name:"cp" () in
+    Builder.func b "main" (fun () ->
+        [
+          Builder.loop b ~var:"s" ~count:(i 5) (fun () ->
+              [
+                Builder.branch b ~cond:(rank = i 0) (fun () ->
+                    [
+                      Builder.comp b ~label:"slow_loop" ~flops:(i 60_000_000)
+                        ~mem:(i 30_000_000) ();
+                    ]);
+                Builder.comp b ~label:"balanced" ~flops:(i 1_000_000)
+                  ~mem:(i 500_000) ();
+                Builder.barrier b;
+              ]);
+        ]);
+    Builder.program b
+  in
+  let events, r = traced_run prog in
+  let cp = Critpath.analyze events in
+  (* the chain covers most of the run (elapsed includes tracing
+     overhead, which is not on the chain) *)
+  check_bool "chain covers the run" true (cp.Critpath.total > 0.5 *. r.elapsed);
+  match Critpath.top ~n:1 cp with
+  | [ (loc, seconds) ] ->
+      check_bool "slow loop tops the chain" true
+        (try
+           ignore (Str.search_forward (Str.regexp_string "slow_loop") loc 0);
+           true
+         with Not_found -> false);
+      check_bool "dominant share" true (seconds > 0.8 *. cp.Critpath.total)
+  | _ -> Alcotest.fail "no top location"
+
+let test_critpath_empty_and_balanced () =
+  let cp = Critpath.analyze [] in
+  check_bool "empty trace" true (cp.Critpath.total = 0.0 && cp.segments = []);
+  (* a balanced ring: the chain is roughly one rank's compute time *)
+  let prog = ring_program ~niter:10 ~work:2_000_000 () in
+  let events, r = traced_run prog in
+  let cp = Critpath.analyze events in
+  check_bool "chain within elapsed" true
+    (cp.Critpath.total <= r.elapsed *. 1.01);
+  check_bool "chain covers most of elapsed" true
+    (cp.Critpath.total > 0.5 *. r.elapsed)
+
+let test_critpath_agrees_with_backtracking () =
+  (* zeus-mp: the bval updates must appear on the critical path, the
+     same code backtracking blames *)
+  let entry = Scalana_apps.Registry.find "zeusmp" in
+  let tr = Scalana_baselines.Tracer.create () in
+  let cfg =
+    Scalana_runtime.Exec.config ~nprocs:8 ~cost:entry.cost
+      ~tools:[ Scalana_baselines.Tracer.tool tr ] ()
+  in
+  ignore (Scalana_runtime.Exec.run ~cfg (entry.make ()));
+  let cp = Critpath.analyze (Scalana_baselines.Tracer.events tr) in
+  let on_chain =
+    List.exists
+      (fun (loc, s) ->
+        s > 0.0
+        &&
+        try
+          ignore (Str.search_forward (Str.regexp_string "bval") loc 0);
+          true
+        with Not_found -> false)
+      cp.Critpath.by_location
+  in
+  check_bool "bval on the chain" true on_chain
+
+let () =
+  Alcotest.run "detect"
+    [
+      ( "aggregate",
+        [
+          Alcotest.test_case "basic strategies" `Quick test_aggregate_basic;
+          Alcotest.test_case "kmeans clusters" `Quick test_kmeans;
+          kmeans_total;
+        ] );
+      ( "loglog",
+        [
+          Alcotest.test_case "exact power law" `Quick test_loglog_exact_powerlaw;
+          Alcotest.test_case "flat series" `Quick test_loglog_flat;
+          Alcotest.test_case "degenerate input" `Quick test_loglog_degenerate;
+          loglog_recovers_slope;
+        ] );
+      ( "nonscalable",
+        [
+          Alcotest.test_case "flags waitall and bval" `Quick
+            test_nonscalable_flags_waitall_and_bval;
+          Alcotest.test_case "ignores scalable compute" `Quick
+            test_nonscalable_ignores_scalable_compute;
+        ] );
+      ( "abnormal",
+        [
+          Alcotest.test_case "busy-rank detection" `Quick
+            test_abnormal_detection;
+          Alcotest.test_case "threshold monotone" `Quick
+            test_abnormal_threshold_monotone;
+        ] );
+      ( "backtrack",
+        [
+          Alcotest.test_case "reaches bval loop" `Quick
+            test_backtracking_reaches_bval;
+          Alcotest.test_case "paths cross processes" `Quick
+            test_backtracking_paths_cross_processes;
+          Alcotest.test_case "pruning config" `Quick
+            test_backtracking_pruning_matters;
+        ] );
+      ( "rootcause",
+        [
+          Alcotest.test_case "ranking" `Quick test_rootcause_ranking;
+          Alcotest.test_case "report renders" `Quick test_report_renders;
+          Alcotest.test_case "healthy program quiet" `Quick
+            test_healthy_program_quiet;
+          Alcotest.test_case "sst case study" `Slow test_sst_case;
+          Alcotest.test_case "nekbone case study" `Slow test_nekbone_case;
+        ] );
+      ( "critpath",
+        [
+          Alcotest.test_case "planted loop dominates" `Quick
+            test_critpath_planted_loop;
+          Alcotest.test_case "empty and balanced" `Quick
+            test_critpath_empty_and_balanced;
+          Alcotest.test_case "agrees with backtracking" `Quick
+            test_critpath_agrees_with_backtracking;
+        ] );
+    ]

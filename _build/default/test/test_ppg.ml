@@ -1,0 +1,158 @@
+(* Tests for PPG construction and the cross-scale container. *)
+
+open Scalana_mlang
+open Scalana_psg
+open Scalana_runtime
+open Scalana_profile
+open Scalana_ppg
+open Testutil
+
+let profile ?(nprocs = 4) ?(record_prob = 1.0) prog =
+  let locals = Intra.build_all prog in
+  let full = Inter.build ~locals prog in
+  let contraction = Contract.run full in
+  let index = Index.build ~full ~contraction in
+  let config = { Profiler.default_config with record_prob } in
+  let profiler = Profiler.create ~config ~index ~nprocs () in
+  let cfg = Exec.config ~nprocs ~tools:[ Profiler.tool profiler ] () in
+  ignore (Exec.run ~cfg prog);
+  (contraction.Contract.psg, Profiler.data profiler)
+
+(* late-sender chain: rank r+1 waits on rank r's send *)
+let chain_program () =
+  let open Expr.Infix in
+  let b = Builder.create ~file:"chain.mmp" ~name:"chain" () in
+  Builder.func b "main" (fun () ->
+      [
+        Builder.loop b ~label:"steps" ~var:"s" ~count:(i 6) (fun () ->
+            [
+              Builder.branch b
+                ~cond:(rank = i 0)
+                (fun () ->
+                  [
+                    Builder.comp b ~label:"origin" ~flops:(i 40_000_000)
+                      ~mem:(i 15_000_000) ();
+                  ]);
+              Builder.branch b
+                ~cond:(rank > i 0)
+                (fun () ->
+                  [
+                    Builder.recv b ~src:(rank - i 1) ~tag:(i 1)
+                      ~bytes:(i 4096) ();
+                  ]);
+              Builder.branch b
+                ~cond:(rank < np - i 1)
+                (fun () ->
+                  [
+                    Builder.send b ~dest:(rank + i 1) ~tag:(i 1)
+                      ~bytes:(i 4096) ();
+                  ]);
+              Builder.allreduce b ~bytes:(i 8);
+            ]);
+      ]);
+  Builder.program b
+
+let test_ppg_comm_edges () =
+  let psg, data = profile (chain_program ()) in
+  let ppg = Ppg.build ~psg data in
+  check_bool "edges exist" true (Ppg.n_comm_edges ppg > 0);
+  (* rank 2's recv has an incoming edge from rank 1 *)
+  let recv_vertex =
+    List.find
+      (fun v ->
+        match v.Vertex.kind with
+        | Vertex.Mpi (Ast.Recv _) -> true
+        | _ -> false)
+      (Psg.find_all Vertex.is_mpi psg)
+  in
+  let edges = Ppg.incoming_edges ppg ~rank:2 ~vertex:recv_vertex.Vertex.id in
+  check_bool "rank2 incoming" true (edges <> []);
+  List.iter
+    (fun (e : Ppg.comm_edge) -> check_int "sender is rank 1" 1 e.send_rank)
+    edges
+
+let test_ppg_waiting_edges_filter () =
+  let psg, data = profile (chain_program ()) in
+  let ppg = Ppg.build ~psg data in
+  let recv_vertex =
+    List.find
+      (fun v ->
+        match v.Vertex.kind with Vertex.Mpi (Ast.Recv _) -> true | _ -> false)
+      (Psg.find_all Vertex.is_mpi psg)
+  in
+  (* rank 1 waits on rank 0's origin delay: critical edge present *)
+  (match Ppg.critical_edge ppg ~rank:1 ~vertex:recv_vertex.Vertex.id with
+  | Some e ->
+      check_int "from rank 0" 0 e.Ppg.send_rank;
+      check_bool "waited" true e.Ppg.has_wait
+  | None -> Alcotest.fail "rank 1 should have a waiting edge");
+  (* waiting_edges is a subset of incoming_edges *)
+  let all = Ppg.incoming_edges ppg ~rank:1 ~vertex:recv_vertex.Vertex.id in
+  let waiting = Ppg.waiting_edges ppg ~rank:1 ~vertex:recv_vertex.Vertex.id in
+  check_bool "subset" true (List.length waiting <= List.length all)
+
+let test_ppg_coll_late_rank () =
+  let psg, data = profile (chain_program ()) in
+  let ppg = Ppg.build ~psg data in
+  let allreduce =
+    List.find
+      (fun v ->
+        match v.Vertex.kind with
+        | Vertex.Mpi (Ast.Allreduce _) -> true
+        | _ -> false)
+      (Psg.find_all Vertex.is_mpi psg)
+  in
+  match Ppg.coll_late_rank ppg ~vertex:allreduce.Vertex.id with
+  | Some late -> check_int "last rank arrives last" 3 late
+  | None -> Alcotest.fail "no collective record"
+
+let test_ppg_times () =
+  let psg, data = profile (chain_program ()) in
+  let ppg = Ppg.build ~psg data in
+  let origin =
+    List.find
+      (fun v ->
+        match v.Vertex.kind with
+        | Vertex.Comp { label = Some "origin"; _ } -> true
+        | _ -> false)
+      (Psg.find_all Vertex.is_comp psg)
+  in
+  let times = Ppg.times_across_ranks ppg ~vertex:origin.Vertex.id in
+  check_bool "rank0 dominates" true
+    (times.(0) > times.(1) && times.(0) > times.(2) && times.(0) > times.(3));
+  check_bool "total positive" true (Ppg.total_time ppg > 0.0)
+
+let test_crossscale () =
+  let prog = chain_program () in
+  let psg, d4 = profile ~nprocs:4 prog in
+  let _, d8 = profile ~nprocs:8 prog in
+  let cs = Crossscale.create ~psg [ (8, d8); (4, d4) ] in
+  Alcotest.(check (list int)) "scales sorted" [ 4; 8 ] (Crossscale.scales cs);
+  let n, _ = Crossscale.largest cs in
+  check_int "largest" 8 n;
+  check_bool "ppg at 4 exists" true (Crossscale.ppg_at cs ~nprocs:4 <> None);
+  check_bool "ppg at 16 missing" true (Crossscale.ppg_at cs ~nprocs:16 = None);
+  let touched = Crossscale.touched_vertices cs in
+  check_bool "touched nonempty" true (touched <> []);
+  (* series per vertex has one entry per scale with per-rank arrays *)
+  let v = List.hd touched in
+  let series = Crossscale.series cs ~vertex:v in
+  check_int "two points" 2 (List.length series);
+  List.iter
+    (fun (n, arr) -> check_int "array width" n (Array.length arr))
+    series
+
+let () =
+  Alcotest.run "ppg"
+    [
+      ( "build",
+        [
+          Alcotest.test_case "comm edges" `Quick test_ppg_comm_edges;
+          Alcotest.test_case "waiting edges" `Quick
+            test_ppg_waiting_edges_filter;
+          Alcotest.test_case "collective late rank" `Quick
+            test_ppg_coll_late_rank;
+          Alcotest.test_case "per-rank times" `Quick test_ppg_times;
+        ] );
+      ("crossscale", [ Alcotest.test_case "container" `Quick test_crossscale ]);
+    ]

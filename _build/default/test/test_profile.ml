@@ -1,0 +1,244 @@
+(* Tests for the ScalAna profiling layer: performance vectors, comm-record
+   compression, sampling attribution and indirect-call resolution. *)
+
+open Scalana_mlang
+open Scalana_psg
+open Scalana_runtime
+open Scalana_profile
+open Testutil
+
+let static_of prog =
+  let locals = Intra.build_all prog in
+  let full = Inter.build ~locals prog in
+  let contraction = Contract.run full in
+  let index = Index.build ~full ~contraction in
+  (locals, full, contraction, index)
+
+let profiled_run ?config ?cost ?(nprocs = 4) prog =
+  let _, _, contraction, index = static_of prog in
+  let profiler = Profiler.create ?config ~index ~nprocs () in
+  let cfg =
+    Exec.config ~nprocs ?cost ~tools:[ Profiler.tool profiler ] ()
+  in
+  let result = Exec.run ~cfg prog in
+  (contraction, index, Profiler.data profiler, result)
+
+(* --- perfvec --- *)
+
+let test_perfvec () =
+  let v = Perfvec.create () in
+  Perfvec.add_sampled v ~time:0.5 ~samples:2 ~pmu:Pmu.zero;
+  Perfvec.add_sampled v ~time:0.25 ~samples:1 ~pmu:Pmu.zero;
+  Perfvec.add_wait v ~wait:0.1;
+  check_float "time" 0.75 v.Perfvec.time;
+  check_int "samples" 3 v.Perfvec.samples;
+  check_float "wait" 0.1 v.Perfvec.wait;
+  check_int "calls" 1 v.Perfvec.calls;
+  let dst = Perfvec.create () in
+  Perfvec.merge_into ~dst v;
+  Perfvec.merge_into ~dst v;
+  check_float "merged time" 1.5 dst.Perfvec.time;
+  check_int "merged samples" 6 dst.Perfvec.samples
+
+(* --- commrec --- *)
+
+let test_commrec_compression () =
+  let t = Commrec.create () in
+  let key =
+    {
+      Commrec.recv_rank = 1;
+      recv_vertex = 10;
+      send_rank = 0;
+      send_vertex = 9;
+      tag = 3;
+      bytes = 1024;
+    }
+  in
+  for _ = 1 to 100 do
+    Commrec.record_p2p t ~key ~waited:false ~wait_seconds:0.0
+  done;
+  Commrec.record_p2p t ~key ~waited:true ~wait_seconds:0.5;
+  check_int "one edge" 1 (Commrec.n_p2p t);
+  let e = List.hd (Commrec.p2p_edges t) in
+  check_int "hits" 101 e.Commrec.hits;
+  check_bool "wait sticky" true e.Commrec.has_wait;
+  check_float "max wait" 0.5 e.Commrec.max_wait;
+  (* compression ratio accounting *)
+  check_bool "compressed smaller" true
+    (Commrec.storage_bytes t < Commrec.uncompressed_bytes t);
+  (* distinct keys create distinct edges *)
+  Commrec.record_p2p t
+    ~key:{ key with Commrec.tag = 4 }
+    ~waited:false ~wait_seconds:0.0;
+  check_int "two edges" 2 (Commrec.n_p2p t)
+
+let test_commrec_collectives () =
+  let t = Commrec.create () in
+  Commrec.record_coll t ~vertex:5 ~last_arrival_rank:2;
+  Commrec.record_coll t ~vertex:5 ~last_arrival_rank:2;
+  Commrec.record_coll t ~vertex:5 ~last_arrival_rank:7;
+  check_int "one record" 1 (Commrec.n_coll t);
+  let r = List.hd (Commrec.coll_records t) in
+  check_int "instances" 3 r.Commrec.instances;
+  check_int "dominant late rank" 2 (Commrec.dominant_late_rank r)
+
+(* --- sampling --- *)
+
+let test_sampling_density () =
+  (* a long single-vertex program: sample count ~ elapsed * freq *)
+  let prog = ring_program ~niter:40 ~work:3_000_000 () in
+  let _, _, data, result = profiled_run ~nprocs:4 prog in
+  let expected = result.Exec.elapsed *. 200.0 *. 4.0 in
+  let got = float_of_int data.Profdata.total_samples in
+  check_bool "sample density"
+    true
+    (got > 0.5 *. expected && got < 1.5 *. expected);
+  check_bool "few unattributed" true
+    (data.Profdata.unattributed_samples * 10 < data.Profdata.total_samples + 10)
+
+let test_attribution_targets_hot_vertex () =
+  let prog = ring_program ~niter:50 ~work:2_000_000 () in
+  let contraction, _, data, _ = profiled_run ~nprocs:4 prog in
+  (* the "work" comp must absorb the bulk of sampled time on rank 0 *)
+  let work_vertex =
+    List.hd
+      (Psg.find_all
+         (fun v ->
+           match v.Vertex.kind with
+           | Vertex.Comp { label = Some "work"; _ } -> true
+           | _ -> false)
+         contraction.Contract.psg)
+  in
+  let total =
+    Hashtbl.fold
+      (fun _ (v : Perfvec.t) acc -> acc +. v.Perfvec.time)
+      data.Profdata.vectors.(0) 0.0
+  in
+  match Profdata.vector_opt data ~rank:0 ~vertex:work_vertex.Vertex.id with
+  | Some v ->
+      check_bool "hot vertex dominates" true (v.Perfvec.time > 0.6 *. total)
+  | None -> Alcotest.fail "work vertex has no data"
+
+let test_wait_recorded_on_mpi_vertex () =
+  let prog =
+    let open Expr.Infix in
+    let b = Builder.create ~file:"w.mmp" ~name:"w" () in
+    Builder.func b "main" (fun () ->
+        [
+          Builder.branch b
+            ~cond:(rank = i 0)
+            (fun () -> [ Builder.comp b ~flops:(i 80_000_000) ~mem:(i 30_000_000) () ]);
+          Builder.barrier b;
+        ]);
+    Builder.program b
+  in
+  let contraction, _, data, _ = profiled_run ~nprocs:4 prog in
+  let barrier_vertex =
+    List.hd (Psg.find_all Vertex.is_mpi contraction.Contract.psg)
+  in
+  (* non-delayed ranks accumulated wait at the barrier *)
+  (match Profdata.vector_opt data ~rank:1 ~vertex:barrier_vertex.Vertex.id with
+  | Some v ->
+      check_bool "rank1 waited" true (v.Perfvec.wait > 0.001);
+      check_int "calls counted" 1 v.Perfvec.calls
+  | None -> Alcotest.fail "barrier vector missing on rank 1");
+  match Profdata.vector_opt data ~rank:0 ~vertex:barrier_vertex.Vertex.id with
+  | Some v -> check_bool "rank0 did not wait" true (v.Perfvec.wait < 0.001)
+  | None -> ()
+
+let test_record_prob_zero () =
+  let prog = ring_program ~niter:10 () in
+  let config = { Profiler.default_config with record_prob = 0.0 } in
+  let _, _, data, _ = profiled_run ~config ~nprocs:4 prog in
+  check_int "no comm records" 0 (Commrec.n_p2p data.Profdata.comm + Commrec.n_coll data.Profdata.comm)
+
+let test_record_prob_one_dependence () =
+  let prog = ring_program ~niter:10 () in
+  let config = { Profiler.default_config with record_prob = 1.0 } in
+  let _, _, data, _ = profiled_run ~config ~nprocs:4 prog in
+  (* every rank's sendrecv edge to its left neighbour is recorded *)
+  check_bool "p2p edges" true (Commrec.n_p2p data.Profdata.comm >= 4);
+  check_int "one collective vertex" 1 (Commrec.n_coll data.Profdata.comm)
+
+let test_icall_resolution () =
+  let prog = recursion_program () in
+  let _, _, data, _ = profiled_run ~nprocs:4 prog in
+  let targets =
+    Profdata.icall_resolutions data
+    |> List.map (fun (r : Profdata.icall_resolution) -> r.target)
+    |> List.sort_uniq compare
+  in
+  (* ranks 0,2 call alpha; ranks 1,3 call beta *)
+  Alcotest.(check (list string)) "both targets" [ "alpha"; "beta" ] targets
+
+let test_storage_accounting () =
+  let prog = ring_program ~niter:10 () in
+  let _, _, data, _ = profiled_run ~nprocs:8 prog in
+  let bytes = Profdata.storage_bytes data in
+  check_bool "positive" true (bytes > 0);
+  (* kilobyte order for a toy program, not megabytes *)
+  check_bool "small" true (bytes < 100_000);
+  check_bool "touched vertices listed" true
+    (List.length (Profdata.touched_vertices data) > 0)
+
+let test_across_ranks () =
+  let prog = ring_program ~niter:10 ~work:2_000_000 () in
+  let contraction, _, data, _ = profiled_run ~nprocs:4 prog in
+  let work_vertex =
+    List.hd
+      (Psg.find_all
+         (fun v ->
+           match v.Vertex.kind with
+           | Vertex.Comp { label = Some "work"; _ } -> true
+           | _ -> false)
+         contraction.Contract.psg)
+  in
+  let per_rank = Profdata.across_ranks data ~vertex:work_vertex.Vertex.id in
+  check_int "one slot per rank" 4 (Array.length per_rank);
+  Array.iter
+    (fun v -> check_bool "every rank sampled the hot loop" true (v <> None))
+    per_rank
+
+(* profiler overhead is charged to the clocks *)
+let test_profiler_overhead_positive () =
+  let prog = ring_program ~niter:30 ~work:2_000_000 () in
+  let bare = run ~nprocs:4 prog in
+  let _, _, _, instrumented = profiled_run ~nprocs:4 prog in
+  check_bool "overhead positive" true
+    (instrumented.Exec.elapsed > bare.Exec.elapsed);
+  check_bool "overhead below 20%" true
+    (instrumented.Exec.elapsed < 1.2 *. bare.Exec.elapsed)
+
+let () =
+  Alcotest.run "profile"
+    [
+      ("perfvec", [ Alcotest.test_case "accumulate/merge" `Quick test_perfvec ]);
+      ( "commrec",
+        [
+          Alcotest.test_case "p2p compression" `Quick test_commrec_compression;
+          Alcotest.test_case "collective histogram" `Quick
+            test_commrec_collectives;
+        ] );
+      ( "sampling",
+        [
+          Alcotest.test_case "density" `Quick test_sampling_density;
+          Alcotest.test_case "hot-vertex attribution" `Quick
+            test_attribution_targets_hot_vertex;
+          Alcotest.test_case "wait on MPI vertex" `Quick
+            test_wait_recorded_on_mpi_vertex;
+        ] );
+      ( "interposition",
+        [
+          Alcotest.test_case "record_prob=0" `Quick test_record_prob_zero;
+          Alcotest.test_case "record_prob=1 dependence" `Quick
+            test_record_prob_one_dependence;
+          Alcotest.test_case "icall resolution" `Quick test_icall_resolution;
+        ] );
+      ( "accounting",
+        [
+          Alcotest.test_case "storage" `Quick test_storage_accounting;
+          Alcotest.test_case "across ranks" `Quick test_across_ranks;
+          Alcotest.test_case "overhead charged" `Quick
+            test_profiler_overhead_positive;
+        ] );
+    ]

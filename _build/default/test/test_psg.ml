@@ -1,0 +1,419 @@
+(* Tests for PSG construction: intra-/inter-procedural analysis,
+   contraction, statistics and the attribution index. *)
+
+open Scalana_mlang
+open Scalana_psg
+open Testutil
+
+let count psg pred = List.length (Psg.find_all pred psg)
+
+(* --- intra --- *)
+
+let test_intra_fig3 () =
+  let prog = fig3_program () in
+  let local_main = Intra.build (Ast.find_func prog "main") in
+  (* root + loop1 + (comp, loop1_1(+comp), loop1_2(+comp), call, bcast) *)
+  check_int "main vertices" 9 (Psg.n_vertices local_main);
+  check_int "loops" 3 (count local_main Vertex.is_loop);
+  check_int "comps" 3 (count local_main Vertex.is_comp);
+  check_int "mpi" 1 (count local_main Vertex.is_mpi);
+  check_int "callsites" 1 (count local_main Vertex.is_callsite);
+  let local_foo = Intra.build (Ast.find_func prog "foo") in
+  check_int "foo branch" 1 (count local_foo Vertex.is_branch);
+  check_int "foo mpi" 2 (count local_foo Vertex.is_mpi)
+
+let test_intra_exec_order () =
+  let prog = fig3_program () in
+  let psg = Intra.build (Ast.find_func prog "main") in
+  (* pre-order: every vertex appears after its parent *)
+  let seen = Hashtbl.create 16 in
+  List.iter
+    (fun id ->
+      (match Psg.parent psg id with
+      | Some parent ->
+          check_bool "parent before child" true (Hashtbl.mem seen parent)
+      | None -> ());
+      Hashtbl.replace seen id ())
+    (Psg.exec_order psg)
+
+let test_sibling_navigation () =
+  let prog = fig3_program () in
+  let psg = Intra.build (Ast.find_func prog "main") in
+  let root = Psg.root psg in
+  match Psg.children psg root with
+  | [ loop1 ] -> (
+      match Psg.children psg loop1 with
+      | first :: second :: _ ->
+          check_bool "prev of first is none" true
+            (Psg.prev_sibling psg first = None);
+          (match Psg.prev_sibling psg second with
+          | Some p -> check_int "prev sibling" first p
+          | None -> Alcotest.fail "second has prev");
+          (match Psg.next_sibling psg first with
+          | Some n -> check_int "next sibling" second n
+          | None -> Alcotest.fail "first has next");
+          (match Psg.last_child psg loop1 with
+          | Some last ->
+              check_bool "last child has no next" true
+                (Psg.next_sibling psg last = None)
+          | None -> Alcotest.fail "loop has children")
+      | _ -> Alcotest.fail "loop1 should have several children")
+  | _ -> Alcotest.fail "root should have exactly loop1"
+
+(* --- inter --- *)
+
+let test_inter_inlines_direct_calls () =
+  let prog = fig3_program () in
+  let full = Inter.build prog in
+  (* foo's branch and MPI pair appear inlined; no unresolved callsites *)
+  check_int "no callsites" 0 (count full Vertex.is_callsite);
+  check_int "branch inlined" 1 (count full Vertex.is_branch);
+  check_int "mpi inlined" 3 (count full Vertex.is_mpi);
+  (* inlined vertices carry the extended callpath *)
+  let branch = List.hd (Psg.find_all Vertex.is_branch full) in
+  check_int "callpath depth" 1 (List.length branch.Vertex.callpath)
+
+let test_inter_recursion_cycle () =
+  let prog = recursion_program () in
+  let full = Inter.build prog in
+  let rec_sites =
+    Psg.find_all
+      (fun v ->
+        match v.Vertex.kind with
+        | Vertex.Callsite { recursive = true; _ } -> true
+        | _ -> false)
+      full
+  in
+  check_int "one recursive callsite" 1 (List.length rec_sites);
+  let site = List.hd rec_sites in
+  (match Psg.cycle_target full site.Vertex.id with
+  | Some _ -> ()
+  | None -> Alcotest.fail "recursive callsite should carry a cycle edge");
+  (* the indirect call remains unresolved *)
+  let indirect =
+    Psg.find_all
+      (fun v ->
+        match v.Vertex.kind with
+        | Vertex.Callsite { callee = None; _ } -> true
+        | _ -> false)
+      full
+  in
+  check_int "one indirect callsite" 1 (List.length indirect)
+
+let test_refine_indirect () =
+  let prog = recursion_program () in
+  let locals = Intra.build_all prog in
+  let full = Inter.build ~locals prog in
+  let site =
+    List.hd
+      (Psg.find_all
+         (fun v ->
+           match v.Vertex.kind with
+           | Vertex.Callsite { callee = None; _ } -> true
+           | _ -> false)
+         full)
+  in
+  let before = Psg.n_vertices full in
+  (match Inter.refine_indirect full ~locals ~callsite:site.Vertex.id ~target:"alpha" with
+  | Some _ -> ()
+  | None -> Alcotest.fail "first refinement should splice");
+  check_bool "vertices grew" true (Psg.n_vertices full > before);
+  (* idempotent *)
+  (match Inter.refine_indirect full ~locals ~callsite:site.Vertex.id ~target:"alpha" with
+  | None -> ()
+  | Some _ -> Alcotest.fail "second refinement should be a no-op");
+  (* second target splices separately *)
+  (match Inter.refine_indirect full ~locals ~callsite:site.Vertex.id ~target:"beta" with
+  | Some _ -> ()
+  | None -> Alcotest.fail "beta should splice");
+  match (Psg.vertex full site.Vertex.id).Vertex.kind with
+  | Vertex.Callsite { targets; _ } ->
+      check_bool "targets recorded" true
+        (List.mem "alpha" targets && List.mem "beta" targets)
+  | _ -> Alcotest.fail "site kind changed unexpectedly"
+
+
+let test_psg_navigation_helpers () =
+  let prog = fig3_program () in
+  let psg = Inter.build prog in
+  (* every non-root vertex has the root among its ancestors *)
+  let root = Psg.root psg in
+  Psg.iter
+    (fun v ->
+      if v.Vertex.id <> root then begin
+        let anc = Psg.ancestors psg v.Vertex.id in
+        check_bool "root is an ancestor" true (List.mem root anc)
+      end)
+    psg;
+  (* loop_depth of a comp inside loop1_1 is 2 *)
+  let sum_comp =
+    List.find
+      (fun v ->
+        match v.Vertex.kind with
+        | Vertex.Comp { label = Some "sum"; _ } -> true
+        | _ -> false)
+      (Psg.find_all Vertex.is_comp psg)
+  in
+  check_int "nested loop depth" 2 (Psg.loop_depth psg sum_comp.Vertex.id);
+  (* the 32-bytes-per-vertex memory model of Section VI-C *)
+  check_int "memory model" (32 * Psg.n_vertices psg) (Psg.memory_bytes psg)
+
+(* --- contraction --- *)
+
+let test_contract_preserves_mpi () =
+  List.iter
+    (fun name ->
+      let entry = Scalana_apps.Registry.find name in
+      let prog = entry.make () in
+      let full = Inter.build prog in
+      let contraction = Contract.run full in
+      let mpi_before = count full Vertex.is_mpi in
+      let mpi_after = count contraction.Contract.psg Vertex.is_mpi in
+      check_int (name ^ " mpi preserved") mpi_before mpi_after;
+      check_bool
+        (name ^ " contraction shrinks")
+        true
+        (Psg.n_vertices contraction.Contract.psg <= Psg.n_vertices full))
+    Scalana_apps.Registry.names
+
+let test_contract_merges_comps () =
+  let prog =
+    let open Expr.Infix in
+    let b = Builder.create ~file:"c.mmp" ~name:"c" () in
+  Builder.func b "main" (fun () ->
+      [
+        Builder.comp b ~flops:(i 1) ~mem:(i 1) ();
+        Builder.comp b ~flops:(i 2) ~mem:(i 2) ();
+        Builder.comp b ~flops:(i 3) ~mem:(i 3) ();
+        Builder.barrier b;
+        Builder.comp b ~flops:(i 4) ~mem:(i 4) ();
+      ]);
+    Builder.program b
+  in
+  let full = Inter.build prog in
+  let c = Contract.run full in
+  (* three leading comps merge into one; the barrier splits the run *)
+  check_int "comps after" 2 (count c.Contract.psg Vertex.is_comp);
+  let merged =
+    Psg.find_all
+      (fun v ->
+        match v.Vertex.kind with
+        | Vertex.Comp { merged; _ } -> merged = 3
+        | _ -> false)
+      c.Contract.psg
+  in
+  check_int "merged count carried" 1 (List.length merged)
+
+let test_contract_max_loop_depth () =
+  let prog =
+    let open Expr.Infix in
+    let b = Builder.create ~file:"d.mmp" ~name:"d" () in
+  Builder.func b "main" (fun () ->
+      [
+        Builder.loop b ~var:"a" ~count:(i 2) (fun () ->
+            [
+              Builder.loop b ~var:"bb" ~count:(i 2) (fun () ->
+                  [
+                    Builder.loop b ~var:"c" ~count:(i 2) (fun () ->
+                        [ Builder.comp b ~flops:(i 1) ~mem:(i 1) () ]);
+                  ]);
+            ]);
+        Builder.barrier b;
+      ]);
+    Builder.program b
+  in
+  let full = Inter.build prog in
+  let deep = Contract.run ~max_loop_depth:10 full in
+  check_int "all loops kept" 3 (count deep.Contract.psg Vertex.is_loop);
+  let shallow = Contract.run ~max_loop_depth:2 full in
+  check_int "third loop collapsed" 2 (count shallow.Contract.psg Vertex.is_loop);
+  let flat = Contract.run ~max_loop_depth:0 full in
+  check_int "no loops kept" 0 (count flat.Contract.psg Vertex.is_loop)
+
+let test_contract_branch_hoists_loops () =
+  let prog =
+    let open Expr.Infix in
+    let b = Builder.create ~file:"h.mmp" ~name:"h" () in
+  Builder.func b "main" (fun () ->
+      [
+        Builder.branch b
+          ~cond:(rank % i 4 = i 0)
+          (fun () ->
+            [
+              Builder.loop b ~label:"inner" ~var:"j" ~count:(i 8) (fun () ->
+                  [ Builder.comp b ~flops:(i 9) ~mem:(i 9) () ]);
+            ]);
+        Builder.barrier b;
+      ]);
+    Builder.program b
+  in
+  let full = Inter.build prog in
+  let c = Contract.run full in
+  (* the MPI-free branch vanishes but its loop survives *)
+  check_int "branch dropped" 0 (count c.Contract.psg Vertex.is_branch);
+  check_int "loop kept" 1 (count c.Contract.psg Vertex.is_loop)
+
+let test_contract_keeps_branch_with_mpi () =
+  let prog = fig3_program () in
+  let full = Inter.build prog in
+  let c = Contract.run full in
+  check_int "branch with MPI kept" 1 (count c.Contract.psg Vertex.is_branch)
+
+let test_orig_to_new_total () =
+  let prog = fig3_program () in
+  let full = Inter.build prog in
+  let c = Contract.run full in
+  (* every original vertex maps to a vertex of the contracted graph *)
+  Psg.iter
+    (fun v ->
+      match Contract.new_id c v.Vertex.id with
+      | Some nid ->
+          check_bool "target exists" true
+            (Psg.vertex_opt c.Contract.psg nid <> None)
+      | None -> Alcotest.failf "vertex %d unmapped" v.Vertex.id)
+    full
+
+(* --- stats --- *)
+
+let test_stats_table2_shape () =
+  let entry = Scalana_apps.Registry.find "zeusmp" in
+  let prog = entry.make () in
+  let full = Inter.build prog in
+  let c = Contract.run full in
+  let stats =
+    Stats.of_psgs ~program:"zeus-mp" ~lines:(Ast.line_count prog) ~full
+      ~contracted:c.Contract.psg
+  in
+  check_bool "vbc >= vac" true (stats.Stats.vbc >= stats.Stats.vac);
+  check_bool "has loops" true (stats.Stats.loops > 0);
+  check_bool "has mpi" true (stats.Stats.mpis > 0);
+  check_bool "kloc positive" true (stats.Stats.kloc > 0.0);
+  check_bool "ratio in [0,1]" true
+    (Stats.contraction_ratio stats >= 0.0 && Stats.contraction_ratio stats <= 1.0)
+
+(* --- index --- *)
+
+let test_index_exact_and_fallback () =
+  let prog = recursion_program () in
+  let locals = Intra.build_all prog in
+  let full = Inter.build ~locals prog in
+  let contraction = Contract.run full in
+  let index = Index.build ~full ~contraction in
+  check_bool "index nonempty" true (Index.size index > 0);
+  (* exact: the comp of walk at depth one *)
+  let walk_comp =
+    Psg.find_all
+      (fun v ->
+        match v.Vertex.kind with
+        | Vertex.Comp { label = Some l; _ } ->
+            String.length l >= 4 && String.sub l 0 4 = "walk"
+        | _ -> false)
+      full
+    |> List.hd
+  in
+  (match
+     Index.exact index ~callpath:walk_comp.Vertex.callpath
+       ~loc:walk_comp.Vertex.loc
+   with
+  | Some _ -> ()
+  | None -> Alcotest.fail "exact lookup failed");
+  (* fallback: a recursive re-entry (extra synthetic frame) still lands *)
+  let deeper = walk_comp.Vertex.callpath @ [ walk_comp.Vertex.loc ] in
+  (match Index.find index ~callpath:deeper ~loc:walk_comp.Vertex.loc with
+  | Some _ -> ()
+  | None -> Alcotest.fail "recursive fallback failed");
+  (* a loc that exists nowhere *)
+  match
+    Index.find index ~callpath:[] ~loc:(Loc.v ~file:"nope.mmp" ~line:1)
+  with
+  | None -> ()
+  | Some _ -> Alcotest.fail "bogus loc should not resolve"
+
+let test_index_after_refinement () =
+  let prog = recursion_program () in
+  let locals = Intra.build_all prog in
+  let full = Inter.build ~locals prog in
+  let contraction = Contract.run full in
+  let index = Index.build ~full ~contraction in
+  let site =
+    List.hd
+      (Psg.find_all
+         (fun v ->
+           match v.Vertex.kind with
+           | Vertex.Callsite { callee = None; _ } -> true
+           | _ -> false)
+         contraction.Contract.psg)
+  in
+  (match
+     Inter.refine_indirect contraction.Contract.psg ~locals
+       ~callsite:site.Vertex.id ~target:"alpha"
+   with
+  | Some sub_root ->
+      Index.index_contracted_subtree index sub_root;
+      (* the alpha comp is now attributable under the icall frame *)
+      let alpha = Ast.find_func prog "alpha" in
+      let comp_loc =
+        match alpha.fbody with s :: _ -> s.Ast.loc | [] -> assert false
+      in
+      let callpath = site.Vertex.callpath @ [ site.Vertex.loc ] in
+      (match Index.find index ~callpath ~loc:comp_loc with
+      | Some _ -> ()
+      | None -> Alcotest.fail "refined vertex not indexed")
+  | None -> Alcotest.fail "refinement failed")
+
+(* property: contraction is idempotent on vertex counts *)
+let contract_idempotent =
+  qtest ~count:20 "contraction idempotent"
+    QCheck2.Gen.(int_range 0 10)
+    (fun depth ->
+      let entry = Scalana_apps.Registry.find "cg" in
+      let prog = entry.make () in
+      let full = Inter.build prog in
+      let once = Contract.run ~max_loop_depth:depth full in
+      let twice = Contract.run ~max_loop_depth:depth once.Contract.psg in
+      Psg.n_vertices once.Contract.psg = Psg.n_vertices twice.Contract.psg)
+
+let () =
+  Alcotest.run "psg"
+    [
+      ( "intra",
+        [
+          Alcotest.test_case "fig3 local graphs" `Quick test_intra_fig3;
+          Alcotest.test_case "pre-order" `Quick test_intra_exec_order;
+          Alcotest.test_case "sibling navigation" `Quick
+            test_sibling_navigation;
+        ] );
+      ( "inter",
+        [
+          Alcotest.test_case "inlines direct calls" `Quick
+            test_inter_inlines_direct_calls;
+          Alcotest.test_case "recursion becomes cycle" `Quick
+            test_inter_recursion_cycle;
+          Alcotest.test_case "indirect refinement" `Quick test_refine_indirect;
+        ] );
+      ( "navigation",
+        [ Alcotest.test_case "ancestors/depth/memory" `Quick
+            test_psg_navigation_helpers ] );
+      ( "contract",
+        [
+          Alcotest.test_case "preserves MPI (all apps)" `Quick
+            test_contract_preserves_mpi;
+          Alcotest.test_case "merges adjacent comps" `Quick
+            test_contract_merges_comps;
+          Alcotest.test_case "MaxLoopDepth" `Quick test_contract_max_loop_depth;
+          Alcotest.test_case "MPI-free branch hoists loops" `Quick
+            test_contract_branch_hoists_loops;
+          Alcotest.test_case "branch with MPI kept" `Quick
+            test_contract_keeps_branch_with_mpi;
+          Alcotest.test_case "orig->new total" `Quick test_orig_to_new_total;
+          contract_idempotent;
+        ] );
+      ("stats", [ Alcotest.test_case "table2 shape" `Quick test_stats_table2_shape ]);
+      ( "index",
+        [
+          Alcotest.test_case "exact and fallback" `Quick
+            test_index_exact_and_fallback;
+          Alcotest.test_case "after refinement" `Quick
+            test_index_after_refinement;
+        ] );
+    ]

@@ -1,0 +1,505 @@
+(* Tests for the discrete-event MPI runtime: heap, network and cost
+   models, message matching, collectives, waits, injection, determinism. *)
+
+open Scalana_mlang
+open Scalana_runtime
+open Testutil
+
+(* --- heap --- *)
+
+let heap_sorted =
+  qtest ~count:200 "heap pops sorted"
+    QCheck2.Gen.(list_size (int_range 0 100) (float_bound_exclusive 1000.0))
+    (fun keys ->
+      let h = Heap.create () in
+      List.iteri (fun i k -> Heap.push h k i) keys;
+      let rec drain acc =
+        match Heap.pop h with
+        | None -> List.rev acc
+        | Some (k, _) -> drain (k :: acc)
+      in
+      let out = drain [] in
+      List.length out = List.length keys
+      && List.sort compare out = out)
+
+let test_heap_empty () =
+  let h = Heap.create () in
+  check_bool "empty" true (Heap.is_empty h);
+  check_bool "pop none" true (Heap.pop h = None);
+  Heap.push h 1.0 7;
+  check_int "length" 1 (Heap.length h);
+  match Heap.pop h with
+  | Some (k, v) ->
+      check_float "key" 1.0 k;
+      check_int "value" 7 v
+  | None -> Alcotest.fail "pop"
+
+(* --- pmu / cost model --- *)
+
+let test_pmu_arith () =
+  let a = { Pmu.tot_ins = 1.0; tot_lst_ins = 2.0; tot_cyc = 3.0; cache_miss = 4.0; fp_ins = 5.0 } in
+  let s = Pmu.add a (Pmu.scale 2.0 a) in
+  check_float "ins" 3.0 s.Pmu.tot_ins;
+  check_float "cyc" 9.0 s.Pmu.tot_cyc;
+  check_bool "zero" true (Pmu.is_zero Pmu.zero);
+  check_float "get" 4.0 (Pmu.get Pmu.Cache_miss a);
+  check_int "metrics" 5 (List.length Pmu.all_metrics)
+
+let test_costmodel () =
+  let w = Ast.workload ~flops:(Expr.Int 1000) ~mem:(Expr.Int 500) ~locality:1.0 () in
+  let env = Expr.env ~rank:0 ~nprocs:4 ~params:[] ~vars:[] in
+  let sec, pmu = Costmodel.comp_cost Costmodel.default ~rank:0 ~env w in
+  (* locality 1.0: no misses; cycles = ins / ipc *)
+  check_float "no misses" 0.0 pmu.Pmu.cache_miss;
+  close "cycles" 750.0 pmu.Pmu.tot_cyc;
+  close "seconds" (750.0 /. 2.5e9) sec;
+  (* locality 0: every access misses, time grows *)
+  let w2 = Ast.workload ~flops:(Expr.Int 1000) ~mem:(Expr.Int 500) ~locality:0.0 () in
+  let sec2, pmu2 = Costmodel.comp_cost Costmodel.default ~rank:0 ~env w2 in
+  check_float "all miss" 500.0 pmu2.Pmu.cache_miss;
+  check_bool "slower" true (sec2 > sec)
+
+let test_heterogeneous_speed () =
+  let cm = Costmodel.heterogeneous () in
+  let speeds = List.init 128 cm.Costmodel.core_speed in
+  let slow = List.filter (fun s -> s > 1.2) speeds in
+  check_bool "some slow cores" true (List.length slow > 0);
+  check_bool "minority slow" true (List.length slow < 32);
+  check_bool "first four fast" true
+    (List.for_all (fun s -> s < 1.2) [ cm.core_speed 0; cm.core_speed 1; cm.core_speed 2; cm.core_speed 3 ])
+
+let test_network_model () =
+  let net = Network.default in
+  check_bool "latency floor" true (Network.transfer_time net 0 >= net.latency);
+  check_bool "monotone" true
+    (Network.transfer_time net 1_000_000 > Network.transfer_time net 1_000);
+  check_bool "eager small" true (Network.is_eager net 100);
+  check_bool "rendezvous large" true (not (Network.is_eager net 10_000_000));
+  check_int "log2_ceil 1" 0 (Network.log2_ceil 1);
+  check_int "log2_ceil 8" 3 (Network.log2_ceil 8);
+  check_int "log2_ceil 9" 4 (Network.log2_ceil 9);
+  let t8 = Network.collective_time net ~nprocs:8 ~bytes:8 (Ast.Allreduce { bytes = Expr.Int 8 }) in
+  let t64 = Network.collective_time net ~nprocs:64 ~bytes:8 (Ast.Allreduce { bytes = Expr.Int 8 }) in
+  check_bool "collectives grow with P" true (t64 > t8);
+  match Network.collective_time net ~nprocs:8 ~bytes:8 (Ast.Send { dest = Expr.Int 0; tag = Expr.Int 0; bytes = Expr.Int 0 }) with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "send is not a collective"
+
+(* --- programs for matching semantics --- *)
+
+let two_rank_program builder_body =
+  let b = Builder.create ~file:"t.mmp" ~name:"t" () in
+  Builder.func b "main" (fun () -> builder_body b);
+  Builder.program b
+
+let test_blocking_pair () =
+  let prog =
+    let open Expr.Infix in
+    two_rank_program (fun b ->
+        [
+          Builder.branch b
+            ~cond:(rank = i 0)
+            ~else_:(fun () ->
+              [ Builder.recv b ~src:(i 0) ~tag:(i 5) ~bytes:(i 1024) () ])
+            (fun () ->
+              [ Builder.send b ~dest:(i 1) ~tag:(i 5) ~bytes:(i 1024) () ]);
+        ])
+  in
+  let r = run ~nprocs:2 prog in
+  check_int "messages" 1 r.Exec.messages;
+  check_bool "recv later than send" true
+    (r.Exec.rank_finish.(1) >= r.Exec.rank_finish.(0))
+
+let test_wildcard_recv () =
+  let prog =
+    let open Expr.Infix in
+    two_rank_program (fun b ->
+        [
+          Builder.branch b
+            ~cond:(rank = i 0)
+            ~else_:(fun () -> [ Builder.recv b ~bytes:(i 64) () ])
+            (fun () ->
+              [ Builder.send b ~dest:(i 1) ~tag:(i 77) ~bytes:(i 64) () ]);
+        ])
+  in
+  ignore (run ~nprocs:2 prog)
+
+let test_tag_selectivity () =
+  (* rank0 sends tag 1 then tag 2; rank1 receives tag 2 first, then 1 *)
+  let prog =
+    let open Expr.Infix in
+    two_rank_program (fun b ->
+        [
+          Builder.branch b
+            ~cond:(rank = i 0)
+            ~else_:(fun () ->
+              [
+                Builder.recv b ~src:(i 0) ~tag:(i 2) ~bytes:(i 10) ();
+                Builder.recv b ~src:(i 0) ~tag:(i 1) ~bytes:(i 10) ();
+              ])
+            (fun () ->
+              [
+                Builder.send b ~dest:(i 1) ~tag:(i 1) ~bytes:(i 10) ();
+                Builder.send b ~dest:(i 1) ~tag:(i 2) ~bytes:(i 10) ();
+              ]);
+        ])
+  in
+  ignore (run ~nprocs:2 prog)
+
+let test_deadlock_detection () =
+  let prog =
+    let open Expr.Infix in
+    two_rank_program (fun b ->
+        [ Builder.recv b ~src:((rank + i 1) % np) ~tag:(i 0) ~bytes:(i 8) () ])
+  in
+  match run ~nprocs:2 prog with
+  | _ -> Alcotest.fail "expected deadlock"
+  | exception Exec.Deadlock _ -> ()
+
+let test_collective_mismatch () =
+  let prog =
+    let open Expr.Infix in
+    two_rank_program (fun b ->
+        [
+          Builder.branch b
+            ~cond:(rank = i 0)
+            ~else_:(fun () -> [ Builder.allreduce b ~bytes:(i 8) ])
+            (fun () -> [ Builder.barrier b ]);
+        ])
+  in
+  match run ~nprocs:2 prog with
+  | _ -> Alcotest.fail "expected mismatch error"
+  | exception Invalid_argument _ -> ()
+
+let test_send_out_of_range () =
+  let prog =
+    let open Expr.Infix in
+    two_rank_program (fun b ->
+        [ Builder.send b ~dest:(i 9) ~tag:(i 0) ~bytes:(i 8) () ])
+  in
+  match run ~nprocs:2 prog with
+  | _ -> Alcotest.fail "expected range error"
+  | exception Invalid_argument _ -> ()
+
+let test_self_send () =
+  let prog =
+    let open Expr.Infix in
+    two_rank_program (fun b ->
+        [
+          Builder.isend b ~dest:rank ~tag:(i 3) ~bytes:(i 32) ~req:"s" ();
+          Builder.recv b ~src:rank ~tag:(i 3) ~bytes:(i 32) ();
+          Builder.wait b ~req:"s";
+        ])
+  in
+  ignore (run ~nprocs:2 prog)
+
+let test_nonblocking_overlap () =
+  (* irecv posted before the matching send exists; wait collects it *)
+  let prog =
+    let open Expr.Infix in
+    two_rank_program (fun b ->
+        [
+          Builder.irecv b ~src:((rank + i 1) % np) ~tag:(i 1) ~bytes:(i 256)
+            ~req:"r" ();
+          Builder.comp b ~flops:(i 200_000) ~mem:(i 100_000) ();
+          Builder.send b
+            ~dest:((rank - i 1 + np) % np)
+            ~tag:(i 1) ~bytes:(i 256) ();
+          Builder.wait b ~req:"r";
+        ])
+  in
+  let r = run ~nprocs:4 prog in
+  check_int "all messages" 4 r.Exec.messages
+
+let test_wait_unposted_request () =
+  let prog = two_rank_program (fun b -> [ Builder.wait b ~req:"nope" ]) in
+  match run ~nprocs:2 prog with
+  | _ -> Alcotest.fail "expected runtime error"
+  | exception Exec.Runtime_error _ -> ()
+
+let test_rendezvous_blocks_sender () =
+  (* a rendezvous-sized send completes only when the receiver posts; the
+     receiver delays by computing first *)
+  let big = 1_000_000 in
+  let prog =
+    let open Expr.Infix in
+    two_rank_program (fun b ->
+        [
+          Builder.branch b
+            ~cond:(rank = i 0)
+            ~else_:(fun () ->
+              [
+                Builder.comp b ~flops:(i 50_000_000) ~mem:(i 10_000_000) ();
+                Builder.recv b ~src:(i 0) ~tag:(i 9) ~bytes:(i big) ();
+              ])
+            (fun () ->
+              [ Builder.send b ~dest:(i 1) ~tag:(i 9) ~bytes:(i big) () ]);
+        ])
+  in
+  let r = run ~nprocs:2 prog in
+  (* sender waited for the receiver's compute phase *)
+  check_bool "sender waited" true (r.Exec.wait_seconds.(0) > 0.001)
+
+let test_eager_sender_not_blocked () =
+  let prog =
+    let open Expr.Infix in
+    two_rank_program (fun b ->
+        [
+          Builder.branch b
+            ~cond:(rank = i 0)
+            ~else_:(fun () ->
+              [
+                Builder.comp b ~flops:(i 50_000_000) ~mem:(i 10_000_000) ();
+                Builder.recv b ~src:(i 0) ~tag:(i 9) ~bytes:(i 100) ();
+              ])
+            (fun () ->
+              [ Builder.send b ~dest:(i 1) ~tag:(i 9) ~bytes:(i 100) () ]);
+        ])
+  in
+  let r = run ~nprocs:2 prog in
+  check_bool "eager sender free" true (r.Exec.wait_seconds.(0) < 0.0001)
+
+let test_collective_synchronizes () =
+  (* rank-dependent work, then a barrier: everyone leaves together *)
+  let prog =
+    let open Expr.Infix in
+    two_rank_program (fun b ->
+        [
+          Builder.comp b
+            ~flops:((rank + i 1) * i 10_000_000)
+            ~mem:((rank + i 1) * i 5_000_000)
+            ();
+          Builder.barrier b;
+        ])
+  in
+  let r = run ~nprocs:4 prog in
+  let finish0 = r.Exec.rank_finish.(0) and finish3 = r.Exec.rank_finish.(3) in
+  close ~eps:1e-3 "finish together" finish0 finish3;
+  (* the fast rank waited, the slow one did not *)
+  check_bool "rank0 waited" true (r.Exec.wait_seconds.(0) > r.Exec.wait_seconds.(3))
+
+let test_injection_accounting () =
+  let prog = ring_program ~niter:5 () in
+  let base = run ~nprocs:4 prog in
+  let inject = Inject.create [ Inject.delay ~ranks:[ 2 ] 0.01 ] in
+  let delayed = run ~nprocs:4 ~inject prog in
+  (* 5 iterations x 0.01s *)
+  close ~eps:0.05 "elapsed grows by 5x10ms"
+    (base.Exec.elapsed +. 0.05)
+    delayed.Exec.elapsed;
+  check_bool "others wait" true (delayed.Exec.wait_seconds.(0) > 0.04)
+
+let test_injection_every () =
+  let inj = Inject.create [ Inject.delay ~every:2 1.0 ] in
+  let loc = Loc.v ~file:"x" ~line:1 in
+  let e1 = Inject.extra inj ~rank:0 ~loc in
+  let e2 = Inject.extra inj ~rank:0 ~loc in
+  let e3 = Inject.extra inj ~rank:0 ~loc in
+  let e4 = Inject.extra inj ~rank:0 ~loc in
+  check_float "1st skipped" 0.0 e1;
+  check_float "2nd applies" 1.0 e2;
+  check_float "3rd skipped" 0.0 e3;
+  check_float "4th applies" 1.0 e4
+
+let test_determinism () =
+  let prog = Testutil.fig3_program () in
+  let r1 = run ~nprocs:8 prog in
+  let r2 = run ~nprocs:8 prog in
+  check_float "same elapsed" r1.Exec.elapsed r2.Exec.elapsed;
+  check_int "same events" r1.Exec.events r2.Exec.events;
+  check_int "same messages" r1.Exec.messages r2.Exec.messages
+
+let test_pmu_accumulation () =
+  let prog =
+    let open Expr.Infix in
+    two_rank_program (fun b ->
+        [
+          Builder.loop b ~var:"k" ~count:(i 10) (fun () ->
+              [ Builder.comp b ~flops:(i 1000) ~mem:(i 500) ~locality:1.0 () ]);
+        ])
+  in
+  let r = run ~nprocs:2 prog in
+  close "flops accumulated" 10_000.0 r.Exec.comp_pmu.(0).Pmu.fp_ins;
+  close "lst accumulated" 5_000.0 r.Exec.comp_pmu.(0).Pmu.tot_lst_ins
+
+let test_recursion_and_icall_run () =
+  let r = run ~nprocs:4 (Testutil.recursion_program ()) in
+  check_bool "finished" true (r.Exec.elapsed > 0.0)
+
+let test_large_scale_smoke () =
+  let prog = ring_program ~niter:2 ~work:1000 () in
+  let r = run ~nprocs:2048 prog in
+  check_int "all ranks" 2048 (Array.length r.Exec.rank_finish);
+  check_int "messages" (2048 * 2) r.Exec.messages
+
+let test_sendrecv_ring_rotation () =
+  let prog = ring_program ~niter:1 () in
+  let r = run ~nprocs:8 prog in
+  (* one sendrecv per rank per iteration: one message each *)
+  check_int "messages" 8 r.Exec.messages
+
+let test_event_budget () =
+  let prog =
+    let open Expr.Infix in
+    two_rank_program (fun b ->
+        [
+          Builder.loop b ~var:"k" ~count:(i 1_000_000) (fun () ->
+              [ Builder.comp b ~flops:(i 1) ~mem:(i 0) () ]);
+        ])
+  in
+  let cfg = Exec.config ~nprocs:2 ~max_events:10_000 () in
+  match Exec.run ~cfg prog with
+  | _ -> Alcotest.fail "expected event budget error"
+  | exception Exec.Runtime_error _ -> ()
+
+
+
+let test_all_collectives_run () =
+  let prog =
+    let open Expr.Infix in
+    two_rank_program (fun b ->
+        [
+          Builder.comp b ~flops:((rank + i 1) * i 5_000_000) ~mem:(i 1_000_000) ();
+          Builder.bcast b ~root:(i 1) ~bytes:(i 4096) ();
+          Builder.reduce b ~root:(i 0) ~bytes:(i 4096) ();
+          Builder.allgather b ~bytes:(i 512);
+          Builder.alltoall b ~bytes:(i 256);
+          Builder.allreduce b ~bytes:(i 8);
+          Builder.barrier b;
+        ])
+  in
+  let r = run ~nprocs:8 prog in
+  (* collectives are synchronizing and send no point-to-point messages *)
+  check_int "no p2p messages" 0 r.Exec.messages;
+  let f0 = r.Exec.rank_finish.(0) and f7 = r.Exec.rank_finish.(7) in
+  close ~eps:1e-3 "ranks finish together" f0 f7;
+  (* six collectives: every rank joins each one *)
+  check_bool "waits recorded on fast ranks" true (r.Exec.wait_seconds.(0) > 0.0)
+
+let test_collective_cost_grows_with_bytes () =
+  let mk bytes =
+    let open Expr.Infix in
+    two_rank_program (fun b -> [ Builder.alltoall b ~bytes:(i bytes) ])
+  in
+  let small = (run ~nprocs:8 (mk 64)).Exec.elapsed in
+  let large = (run ~nprocs:8 (mk 4_000_000)).Exec.elapsed in
+  check_bool "bigger payload, longer collective" true (large > small)
+
+(* Random programs using only deadlock-free communication (collectives)
+   plus local structure must always terminate, deterministically. *)
+let safe_program_gen : Ast.program QCheck2.Gen.t =
+  let open QCheck2.Gen in
+  let leaf =
+    oneof
+      [
+        map
+          (fun n ->
+            `Comp (max 1 n))
+          (int_bound 100_000);
+        return `Barrier;
+        map (fun b -> `Allreduce (max 1 b)) (int_bound 4096);
+        map (fun b -> `Bcast (max 1 b)) (int_bound 4096);
+      ]
+  in
+  let rec build depth =
+    if depth = 0 then map (fun l -> `Leaf l) leaf
+    else
+      oneof
+        [
+          map (fun l -> `Leaf l) leaf;
+          map2 (fun n body -> `Loop (1 + (n mod 3), body))
+            (int_bound 2)
+            (list_size (int_range 1 3) (build (depth - 1)));
+          map2 (fun c body -> `Branch (c, body))
+            (int_bound 3)
+            (list_size (int_range 1 2) (build (depth - 1)));
+        ]
+  in
+  map
+    (fun shapes ->
+      let b = Builder.create ~file:"rand.mmp" ~name:"rand" () in
+      let open Expr.Infix in
+      let fresh =
+        let c = ref 0 in
+        fun () -> incr c; Printf.sprintf "v%d" !c
+      in
+      let rec stmt = function
+        | `Leaf (`Comp n) -> Builder.comp b ~flops:(i n) ~mem:(i Stdlib.(n / 2)) ()
+        | `Leaf `Barrier -> Builder.barrier b
+        | `Leaf (`Allreduce n) -> Builder.allreduce b ~bytes:(i n)
+        | `Leaf (`Bcast n) -> Builder.bcast b ~bytes:(i n) ()
+        | `Loop (n, body) ->
+            Builder.loop b ~var:(fresh ()) ~count:(i n) (fun () ->
+                List.map stmt body)
+        | `Branch (c, body) ->
+            (* rank-dependent branches are fine: collectives inside a
+               rank-dependent branch could deadlock, so the condition
+               here is rank-independent *)
+            Builder.branch b ~cond:(np > i c) (fun () -> List.map stmt body)
+      in
+      Builder.func b "main" (fun () -> List.map stmt shapes);
+      Builder.program b)
+    (list_size (int_range 1 5) (build 2))
+
+let random_programs_terminate =
+  qtest ~count:60 "random collective-safe programs terminate deterministically"
+    safe_program_gen (fun prog ->
+      (match Validate.run prog with Ok () -> () | Error _ -> ());
+      let r1 = run ~nprocs:5 prog in
+      let r2 = run ~nprocs:5 prog in
+      r1.Exec.elapsed = r2.Exec.elapsed && r1.Exec.events = r2.Exec.events)
+
+let () =
+  Alcotest.run "runtime"
+    [
+      ( "heap",
+        [ heap_sorted; Alcotest.test_case "empty/one" `Quick test_heap_empty ] );
+      ( "models",
+        [
+          Alcotest.test_case "pmu arithmetic" `Quick test_pmu_arith;
+          Alcotest.test_case "cost model" `Quick test_costmodel;
+          Alcotest.test_case "heterogeneous cores" `Quick
+            test_heterogeneous_speed;
+          Alcotest.test_case "network" `Quick test_network_model;
+        ] );
+      ( "matching",
+        [
+          Alcotest.test_case "blocking pair" `Quick test_blocking_pair;
+          Alcotest.test_case "wildcard recv" `Quick test_wildcard_recv;
+          Alcotest.test_case "tag selectivity" `Quick test_tag_selectivity;
+          Alcotest.test_case "self send" `Quick test_self_send;
+          Alcotest.test_case "nonblocking overlap" `Quick
+            test_nonblocking_overlap;
+          Alcotest.test_case "rendezvous blocks sender" `Quick
+            test_rendezvous_blocks_sender;
+          Alcotest.test_case "eager sender not blocked" `Quick
+            test_eager_sender_not_blocked;
+          Alcotest.test_case "sendrecv ring" `Quick test_sendrecv_ring_rotation;
+        ] );
+      ( "errors",
+        [
+          Alcotest.test_case "deadlock detection" `Quick test_deadlock_detection;
+          Alcotest.test_case "collective mismatch" `Quick
+            test_collective_mismatch;
+          Alcotest.test_case "send out of range" `Quick test_send_out_of_range;
+          Alcotest.test_case "wait unposted" `Quick test_wait_unposted_request;
+          Alcotest.test_case "event budget" `Quick test_event_budget;
+        ] );
+      ( "semantics",
+        [
+          Alcotest.test_case "collective synchronizes" `Quick
+            test_collective_synchronizes;
+          Alcotest.test_case "injection accounting" `Quick
+            test_injection_accounting;
+          Alcotest.test_case "injection every-n" `Quick test_injection_every;
+          Alcotest.test_case "determinism" `Quick test_determinism;
+          Alcotest.test_case "pmu accumulation" `Quick test_pmu_accumulation;
+          Alcotest.test_case "recursion and icall" `Quick
+            test_recursion_and_icall_run;
+          Alcotest.test_case "2048 ranks smoke" `Quick test_large_scale_smoke;
+          Alcotest.test_case "all collectives" `Quick test_all_collectives_run;
+          Alcotest.test_case "collective payload cost" `Quick
+            test_collective_cost_grows_with_bytes;
+          random_programs_terminate;
+        ] );
+    ]

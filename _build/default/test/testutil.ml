@@ -1,0 +1,128 @@
+(* Shared fixtures and helpers for the test suites. *)
+
+open Scalana_mlang
+
+let check_float = Alcotest.(check (float 1e-9))
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+let check_string = Alcotest.(check string)
+
+let close ?(eps = 1e-6) msg expected actual =
+  if abs_float (expected -. actual) > eps *. (1.0 +. abs_float expected) then
+    Alcotest.failf "%s: expected %.9g, got %.9g" msg expected actual
+
+(* A small ring program: one compute block and a bidirectional shift per
+   iteration, then an allreduce. *)
+let ring_program ?(niter = 10) ?(work = 100_000) () =
+  let open Expr.Infix in
+  let b = Builder.create ~file:"ring.mmp" ~name:"ring" () in
+  Builder.param b "w" work;
+  Builder.param b "niter" niter;
+  Builder.func b "main" (fun () ->
+      [
+        Builder.loop b ~label:"iter" ~var:"it" ~count:(p "niter") (fun () ->
+            [
+              Builder.comp b ~label:"work" ~flops:(p "w") ~mem:(p "w") ();
+              Builder.sendrecv b
+                ~dest:((rank + i 1) % np)
+                ~sbytes:(i 4096)
+                ~src:((rank - i 1 + np) % np)
+                ~rbytes:(i 4096) ();
+            ]);
+        Builder.allreduce b ~bytes:(i 8);
+      ]);
+  Builder.program b
+
+(* Functions, a branch, nested loops, an MPI pair — the Fig. 3 example. *)
+let fig3_program () =
+  let open Expr.Infix in
+  let b = Builder.create ~file:"fig3.mmp" ~name:"fig3" () in
+  Builder.param b "n" 1000;
+  Builder.func b "foo" (fun () ->
+      [
+        Builder.branch b
+          ~cond:(rank % i 2 = i 0)
+          ~else_:(fun () ->
+            [ Builder.recv b ~src:(rank - i 1) ~tag:(i 7) ~bytes:(i 64) () ])
+          (fun () ->
+            [ Builder.send b ~dest:(rank + i 1) ~tag:(i 7) ~bytes:(i 64) () ]);
+      ]);
+  Builder.func b "main" (fun () ->
+      [
+        Builder.loop b ~label:"loop1" ~var:"i" ~count:(p "n" / i 100) (fun () ->
+            [
+              Builder.comp b ~label:"a_init" ~flops:(p "n") ~mem:(p "n") ();
+              Builder.loop b ~label:"loop1_1" ~var:"j" ~count:(i 4) (fun () ->
+                  [ Builder.comp b ~label:"sum" ~flops:(p "n") ~mem:(p "n") () ]);
+              Builder.loop b ~label:"loop1_2" ~var:"k" ~count:(i 4) (fun () ->
+                  [ Builder.comp b ~label:"prod" ~flops:(p "n") ~mem:(p "n") () ]);
+              Builder.call b "foo";
+              Builder.bcast b ~bytes:(i 8) ();
+            ]);
+      ]);
+  Builder.program b
+
+(* Recursive and indirect calls for call-graph / PSG tests. *)
+let recursion_program () =
+  let open Expr.Infix in
+  let b = Builder.create ~file:"rec.mmp" ~name:"rec" () in
+  Builder.func b "alpha" (fun () ->
+      [ Builder.comp b ~label:"alpha_work" ~flops:(i 1000) ~mem:(i 100) () ]);
+  Builder.func b "beta" (fun () ->
+      [ Builder.comp b ~label:"beta_work" ~flops:(i 2000) ~mem:(i 200) () ]);
+  Builder.func b "walk" ~params:[ "d" ] (fun () ->
+      [
+        Builder.comp b ~label:"walk_work" ~flops:(i 500) ~mem:(i 50) ();
+        Builder.branch b
+          ~cond:(v "d" > i 0)
+          (fun () -> [ Builder.call b "walk" ~args:[ ("d", v "d" - i 1) ] ]);
+      ]);
+  Builder.func b "main" (fun () ->
+      [
+        Builder.call b "walk" ~args:[ ("d", i 3) ];
+        Builder.icall b ~selector:(rank % i 2) [ "alpha"; "beta" ];
+        Builder.barrier b;
+      ]);
+  Builder.program b
+
+let run ?(nprocs = 4) ?inject ?cost ?tools program =
+  let cfg =
+    Scalana_runtime.Exec.config ~nprocs ?inject ?cost ?tools ()
+  in
+  Scalana_runtime.Exec.run ~cfg program
+
+let qtest ?(count = 100) name gen prop =
+  QCheck_alcotest.to_alcotest
+    (QCheck2.Test.make ~count ~name gen prop)
+
+(* Per-rank PMU of the (unique) comp vertex carrying [label], measured by
+   a profiled run — the view the paper's Fig. 15/16 plots show. *)
+let per_vertex_pmu ?cost ?(nprocs = 8) ~label prog =
+  let locals = Scalana_psg.Intra.build_all prog in
+  let full = Scalana_psg.Inter.build ~locals prog in
+  let contraction = Scalana_psg.Contract.run full in
+  let index = Scalana_psg.Index.build ~full ~contraction in
+  let profiler = Scalana_profile.Profiler.create ~index ~nprocs () in
+  let cfg =
+    Scalana_runtime.Exec.config ~nprocs ?cost
+      ~tools:[ Scalana_profile.Profiler.tool profiler ] ()
+  in
+  ignore (Scalana_runtime.Exec.run ~cfg prog);
+  let data = Scalana_profile.Profiler.data profiler in
+  let vertex =
+    List.find
+      (fun v ->
+        match v.Scalana_psg.Vertex.kind with
+        | Scalana_psg.Vertex.Comp { label = Some l; _ } -> String.equal l label
+        | _ -> false)
+      (Scalana_psg.Psg.find_all
+         (fun v -> Scalana_psg.Vertex.is_comp v)
+         contraction.Scalana_psg.Contract.psg)
+  in
+  Array.init nprocs (fun rank ->
+      match
+        Scalana_profile.Profdata.vector_opt data ~rank
+          ~vertex:vertex.Scalana_psg.Vertex.id
+      with
+      | Some v -> v.Scalana_profile.Perfvec.pmu
+      | None -> Scalana_runtime.Pmu.zero)
