@@ -95,6 +95,24 @@ let make_tests () =
       (Staged.stage (fun () ->
            Scalana_profile.Profdata.touched_vertices data
            |> List.map (fun v -> Scalana_profile.Profdata.across_ranks data ~vertex:v)));
+    (* 1 vs N domains over the same end-to-end pipeline: the wall-time
+       ratio of these two rows is the multicore speedup *)
+    Test.make ~name:"pipeline_parallel_speedup_domains1"
+      (Staged.stage (fun () ->
+           let config =
+             { Scalana.Config.default with analysis_domains = 1 }
+           in
+           (Scalana.Pipeline.run ~config ~cost:cg_entry.cost
+              ~scales:[ 4; 8; 16 ] cg_prog)
+             .Scalana.Pipeline.detect_seconds));
+    Test.make ~name:"pipeline_parallel_speedup_domains4"
+      (Staged.stage (fun () ->
+           let config =
+             { Scalana.Config.default with analysis_domains = 4 }
+           in
+           (Scalana.Pipeline.run ~config ~cost:cg_entry.cost
+              ~scales:[ 4; 8; 16 ] cg_prog)
+             .Scalana.Pipeline.detect_seconds));
     Test.make ~name:"fig16_kmeans_merge"
       (Staged.stage (fun () ->
            List.iter

@@ -9,7 +9,7 @@
 
 open Cmdliner
 
-let experiments = Experiments.all @ Ablations.all
+let experiments = Experiments.all @ Ablations.all @ Parallel.all
 
 let run only fast no_bech list_only =
   if list_only then begin

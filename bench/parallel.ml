@@ -1,0 +1,67 @@
+(* Multicore-analysis bench: end-to-end pipeline wall time with the
+   sequential path (1 domain) vs the domain-pool path (N domains) on the
+   zeusmp case, written to BENCH_pipeline.json so the perf trajectory is
+   tracked across PRs.
+
+   The detection output is asserted byte-identical between the two runs
+   before any number is reported — a speedup that changes the answer
+   would be worthless. *)
+
+let domains = 4
+
+let timed f =
+  let t0 = Unix.gettimeofday () in
+  let r = f () in
+  (r, Unix.gettimeofday () -. t0)
+
+let run_with ~entry ~scales d =
+  let config = { Scalana.Config.default with analysis_domains = d } in
+  timed (fun () ->
+      Scalana.Pipeline.run ~config
+        ~cost:(entry : Scalana_apps.Registry.entry).cost ~scales
+        (entry.make ()))
+
+let write_json ~path ~program ~scales ~seq_s ~par_s =
+  let oc = open_out path in
+  Printf.fprintf oc
+    "{\n\
+    \  \"bench\": \"pipeline_parallel_speedup\",\n\
+    \  \"program\": %S,\n\
+    \  \"scales\": [%s],\n\
+    \  \"analysis_domains\": %d,\n\
+    \  \"recommended_domain_count\": %d,\n\
+    \  \"sequential_seconds\": %.6f,\n\
+    \  \"parallel_seconds\": %.6f,\n\
+    \  \"speedup\": %.3f\n\
+     }\n"
+    program
+    (String.concat ", " (List.map string_of_int scales))
+    domains
+    (Domain.recommended_domain_count ())
+    seq_s par_s
+    (if par_s > 0.0 then seq_s /. par_s else 0.0);
+  close_out oc
+
+let pipeline_parallel () =
+  Util.section
+    (Printf.sprintf "Pipeline speedup: 1 domain vs %d (zeusmp, end-to-end)"
+       domains);
+  let entry = Scalana_apps.Registry.find "zeusmp" in
+  let scales = Util.scales_for entry ~max_np:32 in
+  let seq, seq_s = run_with ~entry ~scales 1 in
+  let par, par_s = run_with ~entry ~scales domains in
+  if not (String.equal seq.Scalana.Pipeline.report par.Scalana.Pipeline.report)
+  then failwith "parallel report differs from sequential report";
+  Printf.printf "  sequential (1 domain):  %8.3fs\n" seq_s;
+  Printf.printf "  parallel   (%d domains): %8.3fs\n" domains par_s;
+  Printf.printf "  speedup:                %8.2fx  (on %d hardware core%s)\n"
+    (if par_s > 0.0 then seq_s /. par_s else 0.0)
+    (Domain.recommended_domain_count ())
+    (if Domain.recommended_domain_count () = 1 then "" else "s");
+  Util.note "reports byte-identical across both runs";
+  write_json ~path:"BENCH_pipeline.json" ~program:"zeusmp" ~scales ~seq_s
+    ~par_s;
+  Printf.printf "  wrote BENCH_pipeline.json\n%!"
+
+let all : (string * (unit -> unit)) list =
+  [ ("pipeline_parallel_speedup", pipeline_parallel) ]

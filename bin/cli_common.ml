@@ -57,4 +57,14 @@ let abnorm_thd_arg =
     & info [ "abnorm-thd" ] ~docv:"X"
         ~doc:"Abnormal-vertex deviation threshold (AbnormThd).")
 
+let domains_arg =
+  Arg.(
+    value
+    & opt int Scalana.Config.default.analysis_domains
+    & info [ "j"; "domains" ] ~docv:"N"
+        ~doc:
+          "Worker domains for the analysis fan-outs (PPG builds, log-log \
+           fits); 1 forces the sequential path.  Results are identical \
+           either way.")
+
 let exits = Cmd.Exit.defaults

@@ -3,19 +3,24 @@
 
 open Cmdliner
 
-let run session abnorm_thd =
+let run session abnorm_thd domains =
   let s = Scalana.Artifact.load_session session in
   if s.runs = [] then failwith "session has no profiles; run scalana-prof first";
-  let config = { Scalana.Config.default with abnorm_thd } in
+  let config =
+    { Scalana.Config.default with abnorm_thd; analysis_domains = domains }
+  in
   let pipeline = Scalana.Pipeline.detect ~config s.static s.runs in
   print_string pipeline.report;
-  Printf.printf "\npost-mortem detection cost: %.3fs\n"
-    pipeline.detect_seconds
+  Printf.printf "\npost-mortem detection cost: %.3fs (%d domain%s)\n"
+    pipeline.detect_seconds domains
+    (if domains = 1 then "" else "s")
 
 let cmd =
   Cmd.v
     (Cmd.info "scalana-detect"
        ~doc:"Scaling-loss detection and root-cause backtracking (offline)")
-    Term.(const run $ Cli_common.session_arg $ Cli_common.abnorm_thd_arg)
+    Term.(
+      const run $ Cli_common.session_arg $ Cli_common.abnorm_thd_arg
+      $ Cli_common.domains_arg)
 
 let () = exit (Cmd.eval cmd)

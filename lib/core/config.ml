@@ -12,6 +12,7 @@ type t = {
   ns_strategy : Scalana_detect.Aggregate.strategy;
   prune_non_wait : bool;  (* backtracking comm-edge pruning *)
   seed : int;
+  analysis_domains : int;  (* parallelism of the analysis fan-outs *)
 }
 
 let default =
@@ -25,6 +26,7 @@ let default =
     ns_strategy = Scalana_detect.Aggregate.Mean;
     prune_non_wait = true;
     seed = 42;
+    analysis_domains = Pool.default_size ();
   }
 
 let profiler_config t =

@@ -12,6 +12,11 @@ type t = {
   ns_strategy : Scalana_detect.Aggregate.strategy;
   prune_non_wait : bool;
   seed : int;
+  analysis_domains : int;
+      (** Parallelism of the analysis fan-outs (per-scale runs, PPG
+          builds, log-log fits, local PSGs): total domains used,
+          caller included.  Default {!Pool.default_size}; [1] forces the
+          sequential path.  Results are identical either way. *)
 }
 
 val default : t

@@ -19,18 +19,19 @@ type t = {
   report : string;
 }
 
-(* Run detection over already-collected profiles. *)
-let detect ?(config = Config.default) (static : Static.t)
+(* Run detection over already-collected profiles, fanning the PPG builds
+   and per-vertex fits out over [pool]. *)
+let detect_with ?(config = Config.default) ?pool (static : Static.t)
     (runs : (int * Prof.run) list) =
   let t0 = Unix.gettimeofday () in
   let crossscale =
-    Crossscale.create ~psg:(Static.psg static)
+    Crossscale.create ?pool ~psg:(Static.psg static)
       (List.map (fun (n, (r : Prof.run)) -> (n, r.Prof.data)) runs)
   in
   let analysis =
     Rootcause.analyze ~ns_config:(Config.ns_config config)
       ~ab_config:(Config.ab_config config)
-      ~bt_config:(Config.bt_config config) crossscale
+      ~bt_config:(Config.bt_config config) ?pool crossscale
   in
   let detect_seconds = Unix.gettimeofday () -. t0 in
   let report =
@@ -39,17 +40,37 @@ let detect ?(config = Config.default) (static : Static.t)
   in
   { static; runs; crossscale; analysis; detect_seconds; report }
 
+let detect ?(config = Config.default) (static : Static.t)
+    (runs : (int * Prof.run) list) =
+  Pool.with_pool ~size:config.Config.analysis_domains (fun pool ->
+      detect_with ~config ?pool static runs)
+
+(* The per-scale profiled runs are independent — and may therefore fan
+   out — only when nothing couples them: indirect-call programs refine
+   the shared PSG/index as they run (each scale profiles against the
+   graph refined by its predecessors), and injection rules carry `every`
+   counters across runs.  Both are detected here and keep the run stage
+   sequential; everything downstream still parallelizes. *)
+let runs_independent ~inject (program : Ast.program) =
+  Inject.is_empty inject && not (Ast.has_icalls program)
+
 let run ?(config = Config.default) ?(cost = Costmodel.default)
     ?(net = Network.default) ?(inject = Inject.empty) ?(params = [])
     ?(scales = [ 4; 8; 16; 32 ]) (program : Ast.program) =
-  let static = Static.analyze ~max_loop_depth:config.Config.max_loop_depth program in
-  let runs =
-    List.map
-      (fun nprocs ->
-        (nprocs, Prof.run ~config ~cost ~net ~inject ~params static ~nprocs ()))
-      scales
-  in
-  detect ~config static runs
+  Pool.with_pool ~size:config.Config.analysis_domains (fun pool ->
+      let static =
+        Static.analyze ~max_loop_depth:config.Config.max_loop_depth ?pool
+          program
+      in
+      let one nprocs =
+        (nprocs, Prof.run ~config ~cost ~net ~inject ~params static ~nprocs ())
+      in
+      let runs =
+        if runs_independent ~inject program then
+          Pool.parallel_map ?pool one scales
+        else List.map one scales
+      in
+      detect_with ~config ?pool static runs)
 
 (* Locations of the reported root causes, best first. *)
 let root_cause_locs t =

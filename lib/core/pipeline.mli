@@ -16,9 +16,17 @@ type t = {
   report : string;
 }
 
-(** Detection over already-collected profiles. *)
+(** Detection over already-collected profiles.  The PPG builds and
+    per-vertex fits fan out over [config.analysis_domains] worker
+    domains; output is identical to a sequential run. *)
 val detect : ?config:Config.t -> Static.t -> (int * Prof.run) list -> t
 
+(** End to end: static analysis, one profiled run per scale, detection.
+    With [config.analysis_domains >= 2] the local-PSG builds, the
+    per-scale profiled runs (when independent: no injection rules, no
+    indirect calls), the PPG builds and the log-log fits all fan out
+    across domains, and the result — report included — is byte-identical
+    to the sequential pipeline. *)
 val run :
   ?config:Config.t ->
   ?cost:Costmodel.t ->

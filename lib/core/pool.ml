@@ -1,0 +1,5 @@
+(* The domain pool lives in its own bottom-of-the-stack library
+   (Scalana_pool) so that psg/ppg/detect can use it too; this alias puts
+   it at its natural user-facing place, [Scalana.Pool]. *)
+
+include Scalana_pool.Pool

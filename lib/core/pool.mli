@@ -1,0 +1,7 @@
+(** Worker-domain pool for the parallel analysis stages — the facade's
+    alias of {!Scalana_pool.Pool}, which lives at the bottom of the
+    library stack so the psg/ppg/detect layers can share it. *)
+
+include module type of struct
+  include Scalana_pool.Pool
+end

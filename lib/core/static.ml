@@ -21,7 +21,7 @@ type t = {
 
 let psg t = t.contraction.Contract.psg
 
-let analyze ?(max_loop_depth = Contract.default_max_loop_depth)
+let analyze ?(max_loop_depth = Contract.default_max_loop_depth) ?pool
     (program : Ast.program) =
   (match Validate.run program with
   | Ok () -> ()
@@ -29,7 +29,7 @@ let analyze ?(max_loop_depth = Contract.default_max_loop_depth)
       invalid_arg
         ("Static.analyze: invalid program:\n"
         ^ String.concat "\n" (List.map Validate.error_to_string errs)));
-  let locals = Intra.build_all program in
+  let locals = Intra.build_all ?pool program in
   let full = Inter.build ~locals program in
   let contraction = Contract.run ~max_loop_depth full in
   let index = Index.build ~full ~contraction in

@@ -17,8 +17,9 @@ type t = {
 (** The contracted PSG (refined in place by {!Prof.run}). *)
 val psg : t -> Psg.t
 
-(** Raises [Invalid_argument] when the program does not validate. *)
-val analyze : ?max_loop_depth:int -> Ast.program -> t
+(** Raises [Invalid_argument] when the program does not validate.  With
+    [pool], the per-function local-PSG builds run in parallel. *)
+val analyze : ?max_loop_depth:int -> ?pool:Pool.t -> Ast.program -> t
 
 (** The base "compilation": parse + validate + [passes] iterations of the
     CFG/dominance/loop analyses per function (a stand-in for a compiler's

@@ -26,32 +26,35 @@ type config = {
 let default_config =
   { strategy = Aggregate.Mean; min_fraction = 0.01; top_k = 5; min_score = 0.25 }
 
-let detect ?(config = default_config) (cs : Crossscale.t) =
+let detect ?(config = default_config) ?pool (cs : Crossscale.t) =
   let _, largest_ppg = Crossscale.largest cs in
   let total = Ppg.total_time largest_ppg in
+  (* per-vertex work is pure (the PPG caches are frozen at build time),
+     so the aggregation + fit loop fans out across domains; parallel_map
+     preserves input order, keeping the ranking stable *)
+  let eval vertex =
+    let series =
+      List.map
+        (fun (n, per_rank) -> (n, Aggregate.apply config.strategy per_rank))
+        (Crossscale.series cs ~vertex)
+    in
+    let at_largest =
+      Array.fold_left ( +. ) 0.0 (Ppg.times_across_ranks largest_ppg ~vertex)
+    in
+    let fraction = if total > 0.0 then at_largest /. total else 0.0 in
+    if fraction < config.min_fraction then None
+    else begin
+      let fit = Loglog.fit series in
+      if fit.Loglog.n < 2 then None
+      else begin
+        let score = fit.slope -. Loglog.ideal_strong_scaling_slope in
+        Some { vertex; slope = fit.slope; score; fraction; fit; series }
+      end
+    end
+  in
   let findings =
-    List.filter_map
-      (fun vertex ->
-        let series =
-          List.map
-            (fun (n, per_rank) -> (n, Aggregate.apply config.strategy per_rank))
-            (Crossscale.series cs ~vertex)
-        in
-        let at_largest =
-          Array.fold_left ( +. ) 0.0
-            (Ppg.times_across_ranks largest_ppg ~vertex)
-        in
-        let fraction = if total > 0.0 then at_largest /. total else 0.0 in
-        if fraction < config.min_fraction then None
-        else begin
-          let fit = Loglog.fit series in
-          if fit.Loglog.n < 2 then None
-          else begin
-            let score = fit.slope -. Loglog.ideal_strong_scaling_slope in
-            Some { vertex; slope = fit.slope; score; fraction; fit; series }
-          end
-        end)
-      (Crossscale.touched_vertices cs)
+    Scalana_pool.Pool.parallel_map ?pool eval (Crossscale.touched_vertices cs)
+    |> List.filter_map Fun.id
   in
   let ranked =
     List.sort (fun a b -> compare b.score a.score) findings

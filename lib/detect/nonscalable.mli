@@ -20,5 +20,11 @@ type config = {
 
 val default_config : config
 
-val detect : ?config:config -> Scalana_ppg.Crossscale.t -> finding list
+(** With [pool], the per-vertex aggregation + log-log fits run in
+    parallel; the ranking is identical to the sequential one. *)
+val detect :
+  ?config:config ->
+  ?pool:Scalana_pool.Pool.t ->
+  Scalana_ppg.Crossscale.t ->
+  finding list
 val pp_finding : Scalana_psg.Psg.t -> finding Fmt.t

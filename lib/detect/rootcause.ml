@@ -66,10 +66,10 @@ let start_rank ppg ~vertex =
 
 let analyze ?(ns_config = Nonscalable.default_config)
     ?(ab_config = Abnormal.default_config)
-    ?(bt_config = Backtrack.default_config) (cs : Crossscale.t) =
+    ?(bt_config = Backtrack.default_config) ?pool (cs : Crossscale.t) =
   let _, ppg = Crossscale.largest cs in
   let psg = ppg.Ppg.psg in
-  let nonscalable = Nonscalable.detect ~config:ns_config cs in
+  let nonscalable = Nonscalable.detect ~config:ns_config ?pool cs in
   let abnormal = Abnormal.detect ~config:ab_config ppg in
   let visited = Hashtbl.create 256 in
   let paths = ref [] in
@@ -113,13 +113,16 @@ let analyze ?(ns_config = Nonscalable.default_config)
           let cause =
             match Hashtbl.find_opt tbl vid with
             | Some c ->
+                (* accumulated newest-first while grouping; flipped into
+                   first-appearance order when the causes are extracted
+                   (appending per path is quadratic) *)
                 {
                   c with
                   n_paths = c.n_paths + 1;
                   culprit_ranks =
                     (if List.mem s.Backtrack.rank c.culprit_ranks then
                        c.culprit_ranks
-                     else c.culprit_ranks @ [ s.Backtrack.rank ]);
+                     else s.Backtrack.rank :: c.culprit_ranks);
                 }
             | None ->
                 {
@@ -136,7 +139,9 @@ let analyze ?(ns_config = Nonscalable.default_config)
           Hashtbl.replace tbl vid cause)
     paths;
   let causes =
-    Hashtbl.fold (fun _ c acc -> c :: acc) tbl []
+    Hashtbl.fold
+      (fun _ c acc -> { c with culprit_ranks = List.rev c.culprit_ranks } :: acc)
+      tbl []
     |> List.sort (fun a b ->
            (* the paper sorts by execution time and imbalance *)
            compare

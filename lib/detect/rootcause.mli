@@ -30,9 +30,13 @@ val terminal_cause :
 (** The rank spending the most time at a vertex (walk start heuristic). *)
 val start_rank : Scalana_ppg.Ppg.t -> vertex:int -> int
 
+(** With [pool], the non-scalable detection stage fans out across
+    domains (backtracking itself shares a visited set and stays
+    sequential); the analysis is identical to the sequential one. *)
 val analyze :
   ?ns_config:Nonscalable.config ->
   ?ab_config:Abnormal.config ->
   ?bt_config:Backtrack.config ->
+  ?pool:Scalana_pool.Pool.t ->
   Scalana_ppg.Crossscale.t ->
   analysis

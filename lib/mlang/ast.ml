@@ -158,5 +158,13 @@ let stmt_at program loc =
 let line_count program =
   fold_program (fun acc s -> max acc (Loc.line s.loc)) 0 program
 
+(* Programs with indirect calls refine the shared PSG/index at profile
+   time, coupling runs at different scales; callers use this to decide
+   whether per-scale runs are independent. *)
+let has_icalls program =
+  fold_program
+    (fun acc s -> acc || match s.node with Icall _ -> true | _ -> false)
+    false program
+
 let workload ?label ?(ints = Expr.Int 0) ?(locality = 0.9) ~flops ~mem () =
   { label; flops; mem; ints; locality }

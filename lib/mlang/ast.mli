@@ -87,6 +87,11 @@ val stmt_at : program -> Loc.t -> stmt option
 (** Largest source line of the program (the KLoc column of Table II). *)
 val line_count : program -> int
 
+(** Does the program contain indirect call sites?  Profiled runs of such
+    programs refine the shared PSG as they resolve targets, so runs at
+    different scales are order-dependent and must stay sequential. *)
+val has_icalls : program -> bool
+
 val workload :
   ?label:string ->
   ?ints:Expr.t ->

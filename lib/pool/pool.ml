@@ -1,0 +1,170 @@
+(* Fixed domain pool: a shared task queue drained by [size - 1] worker
+   domains plus the calling domain.  Results are written into
+   pre-allocated slots, so a map is order-preserving no matter which
+   domain runs which chunk; with a fixed chunking function the whole
+   scheme is deterministic, which is what lets the parallel analysis
+   promise bit-identical output to the sequential one. *)
+
+type task = unit -> unit
+
+type t = {
+  size : int;  (* total parallelism, caller included *)
+  tasks : task Queue.t;
+  lock : Mutex.t;
+  work : Condition.t;
+  mutable stop : bool;
+  mutable workers : unit Domain.t list;
+}
+
+(* Set in every worker domain: a [parallel_map] issued from inside a
+   worker must not enqueue (all workers could block on a batch nobody
+   drains), so it runs sequentially instead. *)
+let in_worker : bool Domain.DLS.key = Domain.DLS.new_key (fun () -> false)
+
+let default_size () = min 8 (Domain.recommended_domain_count ())
+
+let rec worker_loop t =
+  Mutex.lock t.lock;
+  let rec next () =
+    if t.stop then None
+    else if Queue.is_empty t.tasks then begin
+      Condition.wait t.work t.lock;
+      next ()
+    end
+    else Some (Queue.pop t.tasks)
+  in
+  let task = next () in
+  Mutex.unlock t.lock;
+  match task with
+  | None -> ()
+  | Some task ->
+      task ();
+      worker_loop t
+
+let create ?size () =
+  let size = max 1 (match size with Some s -> s | None -> default_size ()) in
+  let t =
+    {
+      size;
+      tasks = Queue.create ();
+      lock = Mutex.create ();
+      work = Condition.create ();
+      stop = false;
+      workers = [];
+    }
+  in
+  t.workers <-
+    List.init (size - 1) (fun _ ->
+        Domain.spawn (fun () ->
+            Domain.DLS.set in_worker true;
+            worker_loop t));
+  t
+
+let size t = t.size
+
+let shutdown t =
+  Mutex.lock t.lock;
+  t.stop <- true;
+  Condition.broadcast t.work;
+  Mutex.unlock t.lock;
+  List.iter Domain.join t.workers;
+  t.workers <- []
+
+let with_pool ~size f =
+  if size <= 1 then f None
+  else begin
+    let pool = create ~size () in
+    Fun.protect ~finally:(fun () -> shutdown pool) (fun () -> f (Some pool))
+  end
+
+(* Several chunks per unit of parallelism: cheap static load balancing
+   when per-element cost is skewed (e.g. the largest-scale run dominates
+   the per-scale fan-out). *)
+let chunks_per_unit = 4
+
+let parallel_map ?pool f xs =
+  let sequential () = List.map f xs in
+  match pool with
+  | None -> sequential ()
+  | Some t ->
+      if t.size <= 1 || t.stop || Domain.DLS.get in_worker then sequential ()
+      else begin
+        let arr = Array.of_list xs in
+        let n = Array.length arr in
+        if n <= 1 then sequential ()
+        else begin
+          let results = Array.make n None in
+          let batch_lock = Mutex.create () in
+          let batch_done = Condition.create () in
+          let remaining = ref 0 in
+          let failure :
+              (int * exn * Printexc.raw_backtrace) option ref =
+            ref None
+          in
+          let record_failure i e bt =
+            Mutex.lock batch_lock;
+            (match !failure with
+            | Some (j, _, _) when j <= i -> ()
+            | _ -> failure := Some (i, e, bt));
+            Mutex.unlock batch_lock
+          in
+          let run_range lo hi () =
+            (try
+               for i = lo to hi do
+                 match
+                   try Ok (f arr.(i))
+                   with e -> Error (e, Printexc.get_raw_backtrace ())
+                 with
+                 | Ok y -> results.(i) <- Some y
+                 | Error (e, bt) ->
+                     record_failure i e bt;
+                     raise Exit
+               done
+             with Exit -> ());
+            Mutex.lock batch_lock;
+            decr remaining;
+            if !remaining = 0 then Condition.broadcast batch_done;
+            Mutex.unlock batch_lock
+          in
+          let nchunks = min n (t.size * chunks_per_unit) in
+          let chunk = (n + nchunks - 1) / nchunks in
+          let batch = ref [] in
+          let lo = ref 0 in
+          while !lo < n do
+            let hi = min (n - 1) (!lo + chunk - 1) in
+            batch := run_range !lo hi :: !batch;
+            lo := hi + 1
+          done;
+          remaining := List.length !batch;
+          Mutex.lock t.lock;
+          List.iter (fun task -> Queue.add task t.tasks) (List.rev !batch);
+          Condition.broadcast t.work;
+          Mutex.unlock t.lock;
+          (* the caller drains the queue alongside the workers *)
+          let rec help () =
+            Mutex.lock t.lock;
+            let task =
+              if Queue.is_empty t.tasks then None else Some (Queue.pop t.tasks)
+            in
+            Mutex.unlock t.lock;
+            match task with
+            | Some task ->
+                task ();
+                help ()
+            | None -> ()
+          in
+          help ();
+          Mutex.lock batch_lock;
+          while !remaining > 0 do
+            Condition.wait batch_done batch_lock
+          done;
+          Mutex.unlock batch_lock;
+          (match !failure with
+          | Some (_, e, bt) -> Printexc.raise_with_backtrace e bt
+          | None -> ());
+          Array.to_list
+            (Array.map
+               (function Some y -> y | None -> assert false)
+               results)
+        end
+      end

@@ -10,10 +10,13 @@ type t = {
   runs : (int * Ppg.t) list;  (* sorted by nprocs ascending *)
 }
 
-let create ~psg runs =
+(* Each scale's PPG is built from its own private profile against the
+   shared read-only PSG, so the builds fan out across domains. *)
+let create ?pool ~psg runs =
   let runs =
     List.sort (fun (a, _) (b, _) -> compare a b) runs
-    |> List.map (fun (n, data) -> (n, Ppg.build ~psg data))
+    |> Scalana_pool.Pool.parallel_map ?pool (fun (n, data) ->
+           (n, Ppg.build ~psg data))
   in
   { psg; runs }
 

@@ -9,8 +9,14 @@ type t = {
   runs : (int * Ppg.t) list;  (** sorted by nprocs ascending *)
 }
 
-(** Build PPGs from raw profiles and sort by scale. *)
-val create : psg:Scalana_psg.Psg.t -> (int * Profdata.t) list -> t
+(** Build PPGs from raw profiles and sort by scale.  With [pool], the
+    per-scale builds run in parallel (one independent PPG per scale);
+    the result is identical to the sequential build. *)
+val create :
+  ?pool:Scalana_pool.Pool.t ->
+  psg:Scalana_psg.Psg.t ->
+  (int * Profdata.t) list ->
+  t
 
 val of_ppgs : psg:Scalana_psg.Psg.t -> (int * Ppg.t) list -> t
 val scales : t -> int list

@@ -25,10 +25,24 @@ type t = {
   incoming : (int * int, comm_edge list) Hashtbl.t;
   (* collective vertex -> dominant last-arrival rank *)
   coll_late : (int, int) Hashtbl.t;
+  (* per-vertex across-rank arrays, precomputed at build time: the
+     detectors query them in tight loops, and once frozen here they can
+     be read from several domains without synchronization *)
+  times_cache : (int, float array) Hashtbl.t;
+  waits_cache : (int, float array) Hashtbl.t;
 }
 
+let perf t ~rank ~vertex = Profdata.vector_opt t.data ~rank ~vertex
+
+let time_of t ~rank ~vertex =
+  match perf t ~rank ~vertex with Some v -> v.Perfvec.time | None -> 0.0
+
+let wait_of t ~rank ~vertex =
+  match perf t ~rank ~vertex with Some v -> v.Perfvec.wait | None -> 0.0
+
 let build ~(psg : Psg.t) (data : Profdata.t) =
-  let incoming = Hashtbl.create 256 in
+  let p2p = Commrec.p2p_edges data.Profdata.comm in
+  let incoming = Hashtbl.create (max 16 (List.length p2p)) in
   List.iter
     (fun (e : Commrec.p2p_edge) ->
       let k = (e.key.recv_rank, e.key.recv_vertex) in
@@ -41,16 +55,30 @@ let build ~(psg : Psg.t) (data : Profdata.t) =
           hits = e.hits;
         }
       in
-      let existing = try Hashtbl.find incoming k with Not_found -> [] in
+      let existing =
+        match Hashtbl.find_opt incoming k with Some l -> l | None -> []
+      in
       Hashtbl.replace incoming k (edge :: existing))
-    (Commrec.p2p_edges data.Profdata.comm);
+    p2p;
   let coll_late = Hashtbl.create 32 in
   List.iter
     (fun (r : Commrec.coll_rec) ->
       let late = Commrec.dominant_late_rank r in
       if late >= 0 then Hashtbl.replace coll_late r.coll_vertex late)
     (Commrec.coll_records data.Profdata.comm);
-  { psg; nprocs = data.Profdata.nprocs; data; incoming; coll_late }
+  let touched = Profdata.touched_vertices data in
+  let nprocs = data.Profdata.nprocs in
+  let times_cache = Hashtbl.create (max 16 (List.length touched)) in
+  let waits_cache = Hashtbl.create (max 16 (List.length touched)) in
+  let t = { psg; nprocs; data; incoming; coll_late; times_cache; waits_cache } in
+  List.iter
+    (fun vertex ->
+      Hashtbl.replace times_cache vertex
+        (Array.init nprocs (fun rank -> time_of t ~rank ~vertex));
+      Hashtbl.replace waits_cache vertex
+        (Array.init nprocs (fun rank -> wait_of t ~rank ~vertex)))
+    touched;
+  t
 
 let incoming_edges t ~rank ~vertex =
   match Hashtbl.find_opt t.incoming (rank, vertex) with
@@ -74,20 +102,19 @@ let critical_edge t ~rank ~vertex =
 
 let coll_late_rank t ~vertex = Hashtbl.find_opt t.coll_late vertex
 
-let perf t ~rank ~vertex = Profdata.vector_opt t.data ~rank ~vertex
-
-let time_of t ~rank ~vertex =
-  match perf t ~rank ~vertex with Some v -> v.Perfvec.time | None -> 0.0
-
-let wait_of t ~rank ~vertex =
-  match perf t ~rank ~vertex with Some v -> v.Perfvec.wait | None -> 0.0
-
-(* Per-rank values of one vertex (0 when the rank never touched it). *)
+(* Per-rank values of one vertex (0 when the rank never touched it).
+   Touched vertices hit the build-time cache; the returned array is
+   shared, so callers must not mutate it (the aggregators all copy
+   before sorting). *)
 let times_across_ranks t ~vertex =
-  Array.init t.nprocs (fun rank -> time_of t ~rank ~vertex)
+  match Hashtbl.find_opt t.times_cache vertex with
+  | Some a -> a
+  | None -> Array.init t.nprocs (fun rank -> time_of t ~rank ~vertex)
 
 let waits_across_ranks t ~vertex =
-  Array.init t.nprocs (fun rank -> wait_of t ~rank ~vertex)
+  match Hashtbl.find_opt t.waits_cache vertex with
+  | Some a -> a
+  | None -> Array.init t.nprocs (fun rank -> wait_of t ~rank ~vertex)
 
 let total_time t =
   Array.init t.nprocs (fun rank ->

@@ -19,6 +19,9 @@ type t = {
   data : Profdata.t;
   incoming : (int * int, comm_edge list) Hashtbl.t;
   coll_late : (int, int) Hashtbl.t;
+  times_cache : (int, float array) Hashtbl.t;
+      (** per-vertex across-rank times, frozen at build time *)
+  waits_cache : (int, float array) Hashtbl.t;
 }
 
 val build : psg:Psg.t -> Profdata.t -> t
@@ -39,7 +42,9 @@ val perf : t -> rank:int -> vertex:int -> Perfvec.t option
 val time_of : t -> rank:int -> vertex:int -> float
 val wait_of : t -> rank:int -> vertex:int -> float
 
-(** Per-rank times of one vertex (0 where untouched). *)
+(** Per-rank times of one vertex (0 where untouched).  Served from the
+    build-time cache for touched vertices: the returned array is shared
+    and must not be mutated. *)
 val times_across_ranks : t -> vertex:int -> float array
 
 val waits_across_ranks : t -> vertex:int -> float array

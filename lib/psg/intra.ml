@@ -41,11 +41,17 @@ let build (f : Ast.func) =
   add_stmts t ~parent:root ~func:f.fname ~loop_depth:0 f.fbody;
   t
 
-let build_all (program : Ast.program) =
-  let tbl = Hashtbl.create 16 in
-  List.iter
-    (fun (f : Ast.func) -> Hashtbl.replace tbl f.fname (build f))
-    program.funcs;
+(* Each function's local PSG is an independent tree with its own id
+   space, so the builds fan out across domains; the table is filled
+   sequentially afterwards in declaration order. *)
+let build_all ?pool (program : Ast.program) =
+  let built =
+    Scalana_pool.Pool.parallel_map ?pool
+      (fun (f : Ast.func) -> (f.fname, build f))
+      program.funcs
+  in
+  let tbl = Hashtbl.create (max 16 (List.length built)) in
+  List.iter (fun (name, psg) -> Hashtbl.replace tbl name psg) built;
   tbl
 
 (* Cross-validation against the CFG analyses. *)

@@ -4,8 +4,11 @@ open Scalana_mlang
 
 val build : Ast.func -> Psg.t
 
-(** Local PSGs for every function, keyed by name. *)
-val build_all : Ast.program -> (string, Psg.t) Hashtbl.t
+(** Local PSGs for every function, keyed by name.  With [pool], the
+    per-function builds run in parallel (each local PSG has its own id
+    space); the result is identical to the sequential build. *)
+val build_all :
+  ?pool:Scalana_pool.Pool.t -> Ast.program -> (string, Psg.t) Hashtbl.t
 
 (** Validate the local PSG against CFG dominance/natural-loop analyses:
     Loop vertices must match natural loops, Branch vertices must match

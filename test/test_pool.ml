@@ -1,0 +1,164 @@
+(* Tests for the domain pool and the parallel analysis pipeline:
+   ordering, chunking, exception propagation, nested-use fallback, and
+   the determinism guarantee (N domains produce byte-identical reports
+   to the sequential run). *)
+
+open Testutil
+
+module Pool = Scalana_pool.Pool
+
+let with_test_pool size f =
+  let pool = Pool.create ~size () in
+  Fun.protect ~finally:(fun () -> Pool.shutdown pool) (fun () -> f pool)
+
+let ints n = List.init n (fun i -> i)
+
+let test_ordering () =
+  with_test_pool 4 (fun pool ->
+      let xs = ints 200 in
+      let expect = List.map (fun x -> x * x) xs in
+      let got = Pool.parallel_map ~pool (fun x -> x * x) xs in
+      Alcotest.(check (list int)) "order preserved" expect got)
+
+let test_matches_sequential_map () =
+  (* no pool at all: plain List.map *)
+  let xs = ints 17 in
+  Alcotest.(check (list int))
+    "no pool" (List.map succ xs)
+    (Pool.parallel_map succ xs)
+
+let test_pool_size_one () =
+  with_test_pool 1 (fun pool ->
+      check_int "size" 1 (Pool.size pool);
+      let xs = ints 50 in
+      Alcotest.(check (list int))
+        "sequential fallback" (List.map succ xs)
+        (Pool.parallel_map ~pool succ xs))
+
+let test_empty_and_singleton () =
+  with_test_pool 3 (fun pool ->
+      Alcotest.(check (list int)) "empty" [] (Pool.parallel_map ~pool succ []);
+      Alcotest.(check (list int))
+        "singleton" [ 8 ]
+        (Pool.parallel_map ~pool succ [ 7 ]))
+
+let test_exception_propagation () =
+  with_test_pool 4 (fun pool ->
+      match
+        Pool.parallel_map ~pool
+          (fun x -> if x >= 100 then failwith (Printf.sprintf "boom%d" x) else x)
+          (ints 200)
+      with
+      | _ -> Alcotest.fail "expected an exception"
+      | exception Failure msg ->
+          (* deterministic: the smallest failing index wins regardless of
+             which domain hit its chunk first *)
+          check_string "earliest failure" "boom100" msg)
+
+let test_exception_pool_survives () =
+  with_test_pool 4 (fun pool ->
+      (try
+         ignore (Pool.parallel_map ~pool (fun _ -> failwith "die") (ints 32))
+       with Failure _ -> ());
+      (* the pool keeps working after a failed batch *)
+      Alcotest.(check (list int))
+        "pool alive" (List.map succ (ints 32))
+        (Pool.parallel_map ~pool succ (ints 32)))
+
+let test_nested_use_falls_back () =
+  with_test_pool 4 (fun pool ->
+      let got =
+        Pool.parallel_map ~pool
+          (fun x ->
+            (* inner map from (possibly) a worker domain must complete
+               sequentially rather than deadlock on the shared queue *)
+            List.fold_left ( + ) 0 (Pool.parallel_map ~pool succ (ints x)))
+          (ints 20)
+      in
+      let expect =
+        List.map
+          (fun x -> List.fold_left ( + ) 0 (List.map succ (ints x)))
+          (ints 20)
+      in
+      Alcotest.(check (list int)) "nested" expect got)
+
+let test_with_pool () =
+  let r = Pool.with_pool ~size:3 (fun pool -> Pool.parallel_map ?pool succ (ints 10)) in
+  Alcotest.(check (list int)) "with_pool" (List.map succ (ints 10)) r;
+  (* size <= 1: no pool is created at all *)
+  Pool.with_pool ~size:1 (fun pool ->
+      check_bool "no pool for size 1" true (pool = None))
+
+(* --- determinism of the parallel pipeline ------------------------- *)
+
+let pipeline_with_domains name scales domains =
+  let entry = Scalana_apps.Registry.find name in
+  let config = { Scalana.Config.default with analysis_domains = domains } in
+  Scalana.Pipeline.run ~config ~cost:entry.cost ~scales (entry.make ())
+
+let check_deterministic name scales =
+  let seq = pipeline_with_domains name scales 1 in
+  let par = pipeline_with_domains name scales 4 in
+  check_string
+    (name ^ ": report byte-identical")
+    seq.Scalana.Pipeline.report par.Scalana.Pipeline.report;
+  Alcotest.(check (list string))
+    (name ^ ": same causes")
+    (Scalana.Pipeline.root_cause_labels seq)
+    (Scalana.Pipeline.root_cause_labels par);
+  check_int
+    (name ^ ": same path count")
+    (List.length seq.analysis.paths)
+    (List.length par.analysis.paths);
+  List.iter2
+    (fun (s : Scalana_detect.Rootcause.cause)
+         (p : Scalana_detect.Rootcause.cause) ->
+      Alcotest.(check (list int))
+        (name ^ ": same culprit ranks") s.culprit_ranks p.culprit_ranks)
+    seq.analysis.causes par.analysis.causes
+
+let test_determinism_zeusmp () = check_deterministic "zeusmp" [ 4; 8; 16 ]
+let test_determinism_cg () = check_deterministic "cg" [ 4; 8 ]
+
+let test_icall_program_stays_deterministic () =
+  (* indirect calls force the sequential run stage; the rest of the
+     analysis still fans out, and the result must not change *)
+  let prog () = recursion_program () in
+  let run domains =
+    let config = { Scalana.Config.default with analysis_domains = domains } in
+    Scalana.Pipeline.run ~config ~scales:[ 4; 8 ] (prog ())
+  in
+  let seq = run 1 in
+  let par = run 4 in
+  check_string "report byte-identical" seq.Scalana.Pipeline.report
+    par.Scalana.Pipeline.report
+
+let () =
+  Alcotest.run "pool"
+    [
+      ( "parallel_map",
+        [
+          Alcotest.test_case "ordering" `Quick test_ordering;
+          Alcotest.test_case "no pool = List.map" `Quick
+            test_matches_sequential_map;
+          Alcotest.test_case "pool size 1" `Quick test_pool_size_one;
+          Alcotest.test_case "empty and singleton" `Quick
+            test_empty_and_singleton;
+          Alcotest.test_case "exception propagation" `Quick
+            test_exception_propagation;
+          Alcotest.test_case "pool survives failed batch" `Quick
+            test_exception_pool_survives;
+          Alcotest.test_case "nested use falls back" `Quick
+            test_nested_use_falls_back;
+          Alcotest.test_case "with_pool" `Quick test_with_pool;
+        ] );
+      ( "determinism",
+        [
+          Alcotest.test_case "zeusmp 4 domains = 1 domain" `Quick
+            test_determinism_zeusmp;
+          Alcotest.test_case "cg 4 domains = 1 domain" `Quick
+            test_determinism_cg;
+          Alcotest.test_case "icall program stays deterministic" `Quick
+            test_icall_program_stays_deterministic;
+        ] );
+    ]
