@@ -3,11 +3,16 @@
 
 open Cmdliner
 
-let run session abnorm_thd domains =
+let run session abnorm_thd domains follow_def_use =
   let s = Scalana.Artifact.load_session session in
   if s.runs = [] then failwith "session has no profiles; run scalana-prof first";
   let config =
-    { Scalana.Config.default with abnorm_thd; analysis_domains = domains }
+    {
+      Scalana.Config.default with
+      abnorm_thd;
+      analysis_domains = domains;
+      follow_def_use;
+    }
   in
   let pipeline = Scalana.Pipeline.detect ~config s.static s.runs in
   print_string pipeline.report;
@@ -15,12 +20,21 @@ let run session abnorm_thd domains =
     pipeline.detect_seconds domains
     (if domains = 1 then "" else "s")
 
+let follow_def_use_arg =
+  Arg.(
+    value & flag
+    & info [ "follow-def-use" ]
+        ~doc:
+          "Backtrack along the explicit def-use data-dependence edges where \
+           available instead of sibling order (default: the paper's \
+           Algorithm 1).")
+
 let cmd =
   Cmd.v
     (Cmd.info "scalana-detect"
        ~doc:"Scaling-loss detection and root-cause backtracking (offline)")
     Term.(
       const run $ Cli_common.session_arg $ Cli_common.abnorm_thd_arg
-      $ Cli_common.domains_arg)
+      $ Cli_common.domains_arg $ follow_def_use_arg)
 
 let () = exit (Cmd.eval cmd)

@@ -1,0 +1,56 @@
+(* scalana-lint: run the static scaling-loss linter over a program and
+   print the findings.  Exits 1 when findings exist (for CI use), 0 when
+   the program is clean. *)
+
+open Cmdliner
+
+let parse_rule s =
+  List.find_opt (fun r -> String.equal (Lint.rule_name r) s) Lint.all_rules
+
+let run program_name file rules quiet =
+  let program, _cost = Cli_common.load_program ~program_name ~file in
+  let selected =
+    match rules with
+    | [] -> Lint.all_rules
+    | names ->
+        List.map
+          (fun n ->
+            match parse_rule n with
+            | Some r -> r
+            | None ->
+                failwith
+                  (Printf.sprintf "unknown rule %S (known: %s)" n
+                     (String.concat ", " (List.map Lint.rule_name Lint.all_rules))))
+          names
+  in
+  let findings =
+    List.filter (fun (f : Lint.finding) -> List.mem f.rule selected)
+      (Lint.run program)
+  in
+  if not quiet then Fmt.pr "%a" Lint.pp_report findings;
+  if findings = [] then 0 else 1
+
+let rules_arg =
+  Arg.(
+    value
+    & opt_all string []
+    & info [ "r"; "rule" ] ~docv:"RULE"
+        ~doc:
+          (Printf.sprintf
+             "Run only this rule (repeatable).  Known rules: %s."
+             (String.concat ", " (List.map Lint.rule_name Lint.all_rules))))
+
+let quiet_arg =
+  Arg.(
+    value & flag
+    & info [ "q"; "quiet" ] ~doc:"Suppress output; only the exit code.")
+
+let cmd =
+  Cmd.v
+    (Cmd.info "scalana-lint"
+       ~doc:"Static scaling-loss linter (exit 1 on findings)")
+    Term.(
+      const run $ Cli_common.program_arg $ Cli_common.file_arg $ rules_arg
+      $ quiet_arg)
+
+let () = exit (Cmd.eval' cmd)

@@ -1,9 +1,11 @@
 (* scalana-static: compile-time step — build and contract the PSG, store
-   it in the session directory, print Table II-style statistics. *)
+   it in the session directory, print Table II-style statistics (now
+   including the def-use dataflow counts).  With --lint, also run the
+   static scaling-loss linter and exit 1 on findings. *)
 
 open Cmdliner
 
-let run program_name file session max_loop_depth dump =
+let run program_name file session max_loop_depth dump lint =
   let program, _cost = Cli_common.load_program ~program_name ~file in
   let static = Scalana.Static.analyze ~max_loop_depth program in
   Scalana.Artifact.save_static session static;
@@ -15,16 +17,30 @@ let run program_name file session max_loop_depth dump =
   if dump then begin
     print_endline "-- contracted PSG --";
     Fmt.pr "%a@." Scalana_psg.Psg.pp (Scalana.Static.psg static)
+  end;
+  if lint then begin
+    let findings = Lint.run program in
+    print_endline "-- static lint --";
+    Fmt.pr "%a" Lint.pp_report findings;
+    if findings = [] then 0 else 1
   end
+  else 0
 
 let dump_arg =
   Arg.(value & flag & info [ "dump-psg" ] ~doc:"Print the contracted PSG.")
+
+let lint_arg =
+  Arg.(
+    value & flag
+    & info [ "lint" ]
+        ~doc:"Run the static scaling-loss linter too; exit 1 on findings.")
 
 let cmd =
   Cmd.v
     (Cmd.info "scalana-static" ~doc:"Static PSG construction (compile time)")
     Term.(
       const run $ Cli_common.program_arg $ Cli_common.file_arg
-      $ Cli_common.session_arg $ Cli_common.max_loop_depth_arg $ dump_arg)
+      $ Cli_common.session_arg $ Cli_common.max_loop_depth_arg $ dump_arg
+      $ lint_arg)
 
-let () = exit (Cmd.eval cmd)
+let () = exit (Cmd.eval' cmd)

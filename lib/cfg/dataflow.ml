@@ -1,0 +1,74 @@
+(* Generic iterative dataflow over CFGs.
+
+   A classic worklist solver: the client supplies a join-semilattice of
+   facts and a per-block transfer function; the solver propagates facts
+   forward (from the entry, over successor edges) or backward (from the
+   exit, over predecessor edges) until a fixed point.  Blocks are seeded
+   in reverse postorder (postorder for backward problems), which reaches
+   the fixed point in a handful of sweeps on the reducible graphs
+   {!Cfg.of_func} produces.  {!Defuse} instantiates it with reaching
+   definitions and live variables. *)
+
+type direction = Forward | Backward
+
+module type LATTICE = sig
+  type t
+
+  val bottom : t  (* initial fact everywhere; must be a join identity *)
+  val equal : t -> t -> bool
+  val join : t -> t -> t
+end
+
+module Solver (L : LATTICE) = struct
+  type result = {
+    input : L.t array;  (* fact entering each block (in its direction) *)
+    output : L.t array;  (* fact leaving each block *)
+  }
+
+  let solve ~direction ?(entry_fact = L.bottom) ~transfer (cfg : Cfg.t) =
+    let n = Cfg.n_blocks cfg in
+    let preds = Cfg.predecessors cfg in
+    (* [prevs id] are the blocks whose output joins into [id]'s input;
+       [nexts id] are the blocks to requeue when [id]'s output changes. *)
+    let prevs, nexts, boundary, order =
+      match direction with
+      | Forward ->
+          ( (fun id -> preds.(id)),
+            Cfg.successors cfg,
+            cfg.Cfg.entry,
+            Cfg.reverse_postorder cfg )
+      | Backward ->
+          ( Cfg.successors cfg,
+            (fun id -> preds.(id)),
+            cfg.Cfg.exit_,
+            List.rev (Cfg.reverse_postorder cfg) )
+    in
+    let input = Array.make n L.bottom in
+    let output = Array.make n L.bottom in
+    let queue = Queue.create () in
+    let queued = Array.make n false in
+    let push id =
+      if not queued.(id) then begin
+        queued.(id) <- true;
+        Queue.add id queue
+      end
+    in
+    List.iter push order;
+    while not (Queue.is_empty queue) do
+      let id = Queue.pop queue in
+      queued.(id) <- false;
+      let in_fact =
+        List.fold_left
+          (fun acc p -> L.join acc output.(p))
+          (if id = boundary then entry_fact else L.bottom)
+          (prevs id)
+      in
+      input.(id) <- in_fact;
+      let out_fact = transfer id in_fact in
+      if not (L.equal out_fact output.(id)) then begin
+        output.(id) <- out_fact;
+        List.iter push (nexts id)
+      end
+    done;
+    { input; output }
+end

@@ -1,0 +1,35 @@
+(** Generic iterative dataflow over {!Cfg.t}: a worklist solver with a
+    pluggable join-semilattice and per-block transfer function, running
+    forward (entry → successors) or backward (exit → predecessors).
+    {!Defuse} instantiates it with reaching definitions and live
+    variables. *)
+
+type direction = Forward | Backward
+
+module type LATTICE = sig
+  type t
+
+  val bottom : t
+  (** Initial fact everywhere; must be a join identity. *)
+
+  val equal : t -> t -> bool
+  val join : t -> t -> t
+end
+
+module Solver (L : LATTICE) : sig
+  type result = {
+    input : L.t array;  (** fact entering each block (in its direction) *)
+    output : L.t array;  (** fact leaving each block *)
+  }
+
+  (** [solve ~direction ~transfer cfg] iterates [transfer id input] to a
+      fixed point.  [entry_fact] seeds the boundary block (the entry for
+      forward problems, the exit for backward ones); default
+      [L.bottom]. *)
+  val solve :
+    direction:direction ->
+    ?entry_fact:L.t ->
+    transfer:(Cfg.node_id -> L.t -> L.t) ->
+    Cfg.t ->
+    result
+end

@@ -1,0 +1,72 @@
+(** Definitions and uses of MiniMPI names, with the two {!Dataflow}
+    instances built on them: reaching definitions (distilled into
+    per-function def-use chains) and live variables.
+
+    Two namespaces carry dataflow: scalar bindings (loop variables, [let]
+    bindings, function parameters — all referenced through [Expr.Var])
+    and MPI request handles ([Isend]/[Irecv] define a handle,
+    [Wait]/[Waitall] use it).  Program parameters ([Expr.Param]) are
+    compile-time constants and are excluded. *)
+
+open Scalana_mlang
+
+type sym =
+  | Var of string  (** loop variable, [let] binding or function parameter *)
+  | Req of string  (** MPI request handle *)
+
+val sym_name : sym -> string
+(** Display form; request handles are prefixed with ["&"]. *)
+
+val compare_sym : sym -> sym -> int
+
+val mpi_uses : Ast.mpi_call -> sym list
+val mpi_defs : Ast.mpi_call -> sym list
+
+val stmt_uses : Ast.stmt -> sym list
+(** Symbols a statement reads, shallowly: a [Loop] uses its trip count, a
+    [Branch] its condition; bodies are not entered. *)
+
+val stmt_defs : Ast.stmt -> sym list
+(** Symbols a statement writes: [Let] and [Loop] bind their variable,
+    [Isend]/[Irecv] their request handle. *)
+
+(** Def-use chains of one function, computed from the reaching-definitions
+    solution.  Definition sites are identified by [(sym, Loc.t)]; function
+    parameters are defined at the function's own location. *)
+module Chains : sig
+  type t
+
+  val of_func : Ast.func -> t
+
+  val uses_at : t -> Loc.t -> (sym * Loc.t list) list
+  (** Symbols used by the statement at [loc], each with the sorted
+      definition sites reaching that use (several when control flow
+      merges). *)
+
+  val defs_reaching : t -> loc:Loc.t -> sym -> Loc.t list
+  (** Definition sites of [sym] reaching its use at [loc]. *)
+
+  val all_defs : t -> (sym * Loc.t) list
+  (** Every definition site, source order, parameters first. *)
+
+  val unused_defs : t -> (sym * Loc.t) list
+  (** Definition sites no use is reached by — for request handles, an
+      [Isend]/[Irecv] that is never waited on. *)
+
+  val n_defs : t -> int
+  val n_uses : t -> int
+end
+
+(** Live variables (backward dataflow): a symbol is live when some path
+    reaches a use before any redefinition. *)
+module Live : sig
+  type t
+
+  val compute : Cfg.t -> t
+
+  val live_in : t -> Cfg.node_id -> sym list
+  (** Symbols live on entry to a block. *)
+
+  val live_out : t -> Cfg.node_id -> sym list
+  (** Symbols live on exit from a block. *)
+end

@@ -11,6 +11,9 @@ type t = {
   ns_min_fraction : float;  (* time-share filter for candidates *)
   ns_strategy : Scalana_detect.Aggregate.strategy;
   prune_non_wait : bool;  (* backtracking comm-edge pruning *)
+  follow_def_use : bool;
+      (* backtrack along explicit def-use edges where available instead
+         of sibling order; off = paper-faithful Algorithm 1 *)
   seed : int;
   analysis_domains : int;  (* parallelism of the analysis fan-outs *)
 }
@@ -25,6 +28,7 @@ let default =
     ns_min_fraction = 0.01;
     ns_strategy = Scalana_detect.Aggregate.Mean;
     prune_non_wait = true;
+    follow_def_use = false;
     seed = 42;
     analysis_domains = Pool.default_size ();
   }
@@ -49,4 +53,8 @@ let ab_config t =
   { Scalana_detect.Abnormal.default_config with abnorm_thd = t.abnorm_thd }
 
 let bt_config t =
-  { Scalana_detect.Backtrack.default_config with prune_non_wait = t.prune_non_wait }
+  {
+    Scalana_detect.Backtrack.default_config with
+    prune_non_wait = t.prune_non_wait;
+    follow_def_use = t.follow_def_use;
+  }

@@ -11,6 +11,9 @@ type t = {
   ns_min_fraction : float;
   ns_strategy : Scalana_detect.Aggregate.strategy;
   prune_non_wait : bool;
+  follow_def_use : bool;
+      (** backtrack along explicit def-use edges where available instead
+          of sibling order (off = paper-faithful Algorithm 1) *)
   seed : int;
   analysis_domains : int;
       (** Parallelism of the analysis fan-outs (per-scale runs, PPG

@@ -84,20 +84,37 @@ let render (pipe : Pipeline.t) =
     pipe.detect_seconds
     (List.length pipe.analysis.paths);
 
+  let lint_locs = List.map (fun (f : Lint.finding) -> f.Lint.loc) pipe.lint in
   out "<h2>Non-scalable vertices</h2><table><tr><th>vertex</th><th>location</th>\
-       <th>slope</th><th>share</th><th>series</th></tr>";
+       <th>slope</th><th>share</th><th>series</th>\
+       <th>predicted statically</th></tr>";
   List.iter
     (fun (f : Nonscalable.finding) ->
       let v = Psg.vertex psg f.vertex in
-      out "<tr><td>%s</td><td>%s</td><td>%+.2f</td><td>%.1f%%</td><td>%s</td></tr>"
+      out
+        "<tr><td>%s</td><td>%s</td><td>%+.2f</td><td>%.1f%%</td><td>%s</td>\
+         <td>%s</td></tr>"
         (esc (Vertex.label v))
         (esc (Loc.to_string v.Vertex.loc))
         f.slope (100.0 *. f.fraction)
         (esc
            (String.concat " → "
-              (List.map (fun (n, t) -> Printf.sprintf "%d:%.3fs" n t) f.series))))
+              (List.map (fun (n, t) -> Printf.sprintf "%d:%.3fs" n t) f.series)))
+        (if Report.predicted ~psg ~locs:lint_locs f.vertex then "yes" else "—"))
     pipe.analysis.nonscalable;
   out "</table>";
+  if pipe.lint <> [] then begin
+    out "<h2>Static lint findings</h2><table><tr><th>rule</th>\
+         <th>location</th><th>function</th><th>finding</th></tr>";
+    List.iter
+      (fun (f : Lint.finding) ->
+        out "<tr><td>%s</td><td>%s</td><td>%s</td><td>%s</td></tr>"
+          (esc (Lint.rule_name f.Lint.rule))
+          (esc (Loc.to_string f.Lint.loc))
+          (esc f.Lint.func) (esc f.Lint.msg))
+      pipe.lint;
+    out "</table>"
+  end;
 
   out "<h2>Abnormal vertices</h2>";
   List.iteri

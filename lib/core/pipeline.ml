@@ -15,6 +15,7 @@ type t = {
   runs : (int * Prof.run) list;
   crossscale : Crossscale.t;
   analysis : Rootcause.analysis;
+  lint : Lint.finding list;  (* static scaling-loss predictions *)
   detect_seconds : float;
   report : string;
 }
@@ -34,11 +35,13 @@ let detect_with ?(config = Config.default) ?pool (static : Static.t)
       ~bt_config:(Config.bt_config config) ?pool crossscale
   in
   let detect_seconds = Unix.gettimeofday () -. t0 in
+  let lint = Lint.run static.Static.program in
   let report =
-    Report.render ~program:static.Static.program ~psg:(Static.psg static)
-      analysis
+    Report.render ~program:static.Static.program
+      ~predicted_locs:(List.map (fun (f : Lint.finding) -> f.Lint.loc) lint)
+      ~psg:(Static.psg static) analysis
   in
-  { static; runs; crossscale; analysis; detect_seconds; report }
+  { static; runs; crossscale; analysis; lint; detect_seconds; report }
 
 let detect ?(config = Config.default) (static : Static.t)
     (runs : (int * Prof.run) list) =

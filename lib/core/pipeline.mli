@@ -12,6 +12,9 @@ type t = {
   runs : (int * Prof.run) list;
   crossscale : Crossscale.t;
   analysis : Rootcause.analysis;
+  lint : Lint.finding list;
+      (** static scaling-loss predictions; non-scalable vertices they
+          anticipate are marked in the report *)
   detect_seconds : float;
   report : string;
 }

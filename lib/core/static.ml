@@ -16,6 +16,7 @@ type t = {
   full : Psg.t;
   contraction : Contract.result;
   mutable index : Index.t;
+  datadep : Datadep.summary;
   stats : Stats.t;
 }
 
@@ -33,11 +34,14 @@ let analyze ?(max_loop_depth = Contract.default_max_loop_depth) ?pool
   let full = Inter.build ~locals program in
   let contraction = Contract.run ~max_loop_depth full in
   let index = Index.build ~full ~contraction in
+  let datadep = Datadep.annotate ?pool ~full ~contraction program in
   let stats =
-    Stats.of_psgs ~program:program.pname ~lines:(Ast.line_count program) ~full
-      ~contracted:contraction.Contract.psg
+    Stats.of_psgs ~defs:datadep.Datadep.defs ~uses:datadep.Datadep.uses
+      ~dd_edges:datadep.Datadep.edges ~program:program.pname
+      ~lines:(Ast.line_count program) ~full
+      ~contracted:contraction.Contract.psg ()
   in
-  { program; locals; full; contraction; index; stats }
+  { program; locals; full; contraction; index; datadep; stats }
 
 (* The base "compilation": parse + validate + per-function middle-end
    analyses.  A production compiler runs a long pass pipeline over the

@@ -11,6 +11,7 @@ type t = {
   full : Psg.t;
   contraction : Contract.result;
   mutable index : Index.t;
+  datadep : Datadep.summary;  (** def-use counts; edges live in the PSG *)
   stats : Stats.t;
 }
 

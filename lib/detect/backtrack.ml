@@ -22,6 +22,7 @@ type via =
   | Coll_jump of { from_rank : int }  (* to the last-arrival rank *)
   | Control_dep  (* into a loop/branch body *)
   | Data_dep
+  | Def_use  (* explicit def-use edge (Datadep annotation) *)
 
 type step = { rank : int; vertex : int; via : via }
 type path = step list
@@ -29,9 +30,13 @@ type path = step list
 type config = {
   prune_non_wait : bool;  (* keep only comm edges with a wait (paper: on) *)
   max_steps : int;
+  follow_def_use : bool;
+      (* step along recorded def-use edges instead of sibling order when
+         the vertex has one (off = paper-faithful Algorithm 1) *)
 }
 
-let default_config = { prune_non_wait = true; max_steps = 4096 }
+let default_config =
+  { prune_non_wait = true; max_steps = 4096; follow_def_use = false }
 
 let via_name = function
   | Start -> "start"
@@ -39,13 +44,34 @@ let via_name = function
   | Coll_jump { from_rank } -> Printf.sprintf "coll<-r%d" from_rank
   | Control_dep -> "control"
   | Data_dep -> "data"
+  | Def_use -> "defuse"
 
 (* Previous component in execution order; falls back to the enclosing
-   structure when the vertex heads its body. *)
-let data_dep psg vid =
-  match Psg.prev_sibling psg vid with
-  | Some p -> Some p
-  | None -> Psg.parent psg vid
+   structure when the vertex heads its body.  With [follow_def_use], a
+   vertex carrying an explicit data-dependence edge steps to its nearest
+   preceding definition instead (vertex ids are assigned in execution
+   order, so "nearest preceding" is the largest defining id below
+   [vid]). *)
+let data_dep ~config psg vid =
+  let def_use =
+    if config.follow_def_use then
+      List.fold_left
+        (fun acc d ->
+          if d < vid && (match acc with Some m -> d > m | None -> true) then
+            Some d
+          else acc)
+        None (Psg.data_deps psg vid)
+    else None
+  in
+  match def_use with
+  | Some d -> Some (d, Def_use)
+  | None -> (
+      match Psg.prev_sibling psg vid with
+      | Some p -> Some (p, Data_dep)
+      | None -> (
+          match Psg.parent psg vid with
+          | Some p -> Some (p, Data_dep)
+          | None -> None))
 
 let backtrack ?(config = default_config) (ppg : Ppg.t) ~visited ~start_rank
     ~start_vertex =
@@ -113,8 +139,8 @@ let backtrack ?(config = default_config) (ppg : Ppg.t) ~visited ~start_rank
           continue_data rank vid steps
     end
   and continue_data rank vid steps =
-    match data_dep psg vid with
-    | Some next -> go rank next Data_dep (steps + 1)
+    match data_dep ~config psg vid with
+    | Some (next, via) -> go rank next via (steps + 1)
     | None -> ()
   in
   go start_rank start_vertex Start 0;

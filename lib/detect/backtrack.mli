@@ -10,6 +10,7 @@ type via =
   | Coll_jump of { from_rank : int }
   | Control_dep
   | Data_dep
+  | Def_use  (** explicit def-use edge recorded by the Datadep pass *)
 
 type step = { rank : int; vertex : int; via : via }
 type path = step list
@@ -17,6 +18,9 @@ type path = step list
 type config = {
   prune_non_wait : bool;  (** keep only comm edges that waited (paper) *)
   max_steps : int;
+  follow_def_use : bool;
+      (** step along recorded def-use edges instead of sibling order
+          when the vertex has one (off = paper-faithful Algorithm 1) *)
 }
 
 val default_config : config

@@ -35,13 +35,32 @@ let pp_cause ~psg ?program ppf (i, (c : Rootcause.cause)) =
   Fmt.pf ppf "    backtracking path:@.      %a@."
     (Backtrack.pp_path psg) c.example_path
 
-let render ?program (analysis : Rootcause.analysis) ~psg =
+(* Was this vertex (or an enclosing structure) flagged by the static
+   linter?  The lint anchors at source statements — often the loop
+   around the communication the dynamic analysis blames — so the
+   vertex's own location and its ancestors' locations both count. *)
+let predicted ~psg ~locs vid =
+  locs <> []
+  &&
+  let module Loc = Scalana_mlang.Loc in
+  let matches id =
+    let v = Psg.vertex psg id in
+    List.exists (Loc.equal v.Vertex.loc) locs
+  in
+  matches vid || List.exists matches (Psg.ancestors psg vid)
+
+let render ?program ?(predicted_locs = []) (analysis : Rootcause.analysis)
+    ~psg =
   let buf = Buffer.create 2048 in
   let ppf = Fmt.with_buffer buf in
   Fmt.pf ppf "=== ScalAna scaling-loss report ===@.";
   Fmt.pf ppf "@.-- non-scalable vertices (log-log slope ranking) --@.";
   List.iter
-    (fun f -> Fmt.pf ppf "  %a@." (Nonscalable.pp_finding psg) f)
+    (fun (f : Nonscalable.finding) ->
+      Fmt.pf ppf "  %a%s@." (Nonscalable.pp_finding psg) f
+        (if predicted ~psg ~locs:predicted_locs f.Nonscalable.vertex then
+           "  [predicted statically]"
+         else ""))
     analysis.Rootcause.nonscalable;
   Fmt.pf ppf "@.-- abnormal vertices (AbnormThd deviation) --@.";
   List.iter

@@ -8,8 +8,17 @@ val pp_cause :
   int * Rootcause.cause ->
   unit
 
+(** [predicted ~psg ~locs vid]: was vertex [vid] — or an enclosing
+    structure — flagged at one of the static-lint locations [locs]? *)
+val predicted :
+  psg:Scalana_psg.Psg.t -> locs:Scalana_mlang.Loc.t list -> int -> bool
+
+(** [render analysis ~psg] — with [predicted_locs] (static-lint hit
+    locations), non-scalable vertices the linter anticipated are marked
+    ["[predicted statically]"]. *)
 val render :
   ?program:Scalana_mlang.Ast.program ->
+  ?predicted_locs:Scalana_mlang.Loc.t list ->
   Rootcause.analysis ->
   psg:Scalana_psg.Psg.t ->
   string

@@ -156,6 +156,12 @@ let rec depends_on_rank = function
   | Bin (_, a, b) -> depends_on_rank a || depends_on_rank b
   | Neg a | Not a | Log2 a | Isqrt a -> depends_on_rank a
 
+let rec depends_on_nprocs = function
+  | Int _ | Param _ | Rank | Var _ -> false
+  | Nprocs -> true
+  | Bin (_, a, b) -> depends_on_nprocs a || depends_on_nprocs b
+  | Neg a | Not a | Log2 a | Isqrt a -> depends_on_nprocs a
+
 let prec = function
   | Or -> 1
   | And -> 2

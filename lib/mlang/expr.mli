@@ -64,6 +64,11 @@ val params : t -> string list
 val is_static : t -> bool
 
 val depends_on_rank : t -> bool
+
+(** True when [Nprocs] appears anywhere in the expression — the syntactic
+    trigger of the static scaling-loss lints. *)
+val depends_on_nprocs : t -> bool
+
 val binop_name : binop -> string
 val equal : t -> t -> bool
 val pp : t Fmt.t

@@ -36,7 +36,17 @@ let check_tag ctx loc ~bound = function
   | Ast.Any_tag -> ()
   | Ast.Tag e -> check_expr ctx loc ~bound e
 
-let check_mpi ctx loc ~bound ~live_reqs call =
+(* Request-handle state threaded through a function body: [posted] is
+   every handle an Isend/Irecv has named so far (monotone), [pending]
+   the handles posted but not yet waited on.  Branch arms evolve
+   [pending] from a copy and merge by union, so a handle still pending
+   on any path counts as pending. *)
+type reqstate = {
+  mutable posted : string list;
+  mutable pending : string list;
+}
+
+let check_mpi ctx loc ~bound ~reqs:rs call =
   let e = check_expr ctx loc ~bound in
   (match call with
   | Ast.Send { dest; tag; bytes } ->
@@ -70,25 +80,38 @@ let check_mpi ctx loc ~bound ~live_reqs call =
     ->
       e bytes);
   (* Request discipline: a wait must name a request posted earlier in the
-     same function body (syntactic approximation of MPI's handle rules). *)
+     same function body, a handle must not be re-posted while a previous
+     operation on it is still in flight, and a waitall must not complete
+     the same handle twice (syntactic approximation of MPI's rules). *)
+  let complete r = rs.pending <- List.filter (fun p -> p <> r) rs.pending in
   match call with
   | Ast.Wait { req } ->
-      if not (List.mem req !live_reqs) then
-        add ctx loc "MPI_Wait on request %S never posted in this function" req
+      if not (List.mem req rs.posted) then
+        add ctx loc "MPI_Wait on request %S never posted in this function" req;
+      complete req
   | Ast.Waitall { reqs } ->
-      List.iter
-        (fun r ->
-          if not (List.mem r !live_reqs) then
+      List.fold_left
+        (fun seen r ->
+          if not (List.mem r rs.posted) then
             add ctx loc "MPI_Waitall on request %S never posted in this function"
-              r)
-        reqs
+              r;
+          if List.mem r seen then
+            add ctx loc "MPI_Waitall lists request %S twice" r;
+          complete r;
+          r :: seen)
+        [] reqs
+      |> ignore
   | Ast.Isend { req; _ } | Ast.Irecv { req; _ } ->
-      live_reqs := req :: !live_reqs
+      if List.mem req rs.pending then
+        add ctx loc "%s re-uses request %S while it is still pending"
+          (Ast.mpi_name call) req;
+      if not (List.mem req rs.posted) then rs.posted <- req :: rs.posted;
+      rs.pending <- req :: rs.pending
   | Ast.Send _ | Ast.Recv _ | Ast.Sendrecv _ | Ast.Barrier | Ast.Bcast _
   | Ast.Reduce _ | Ast.Allreduce _ | Ast.Alltoall _ | Ast.Allgather _ ->
       ()
 
-let rec check_stmts ctx ~bound ~live_reqs stmts =
+let rec check_stmts ctx ~bound ~reqs stmts =
   List.fold_left
     (fun bound (s : Ast.stmt) ->
       match s.node with
@@ -101,12 +124,18 @@ let rec check_stmts ctx ~bound ~live_reqs stmts =
           bound
       | Ast.Loop l ->
           check_expr ctx s.loc ~bound l.count;
-          ignore (check_stmts ctx ~bound:(l.var :: bound) ~live_reqs l.body);
+          ignore (check_stmts ctx ~bound:(l.var :: bound) ~reqs l.body);
           bound
       | Ast.Branch b ->
           check_expr ctx s.loc ~bound b.cond;
-          ignore (check_stmts ctx ~bound ~live_reqs b.then_);
-          ignore (check_stmts ctx ~bound ~live_reqs b.else_);
+          (* each arm evolves the pending set from the same starting
+             point; afterwards a handle pending on either path counts *)
+          let before = reqs.pending in
+          ignore (check_stmts ctx ~bound ~reqs b.then_);
+          let after_then = reqs.pending in
+          reqs.pending <- before;
+          ignore (check_stmts ctx ~bound ~reqs b.else_);
+          reqs.pending <- List.sort_uniq compare (after_then @ reqs.pending);
           bound
       | Ast.Call { callee; args } ->
           (match Ast.find_func_opt ctx.program callee with
@@ -141,7 +170,7 @@ let rec check_stmts ctx ~bound ~live_reqs stmts =
             targets;
           bound
       | Ast.Mpi call ->
-          check_mpi ctx s.loc ~bound ~live_reqs call;
+          check_mpi ctx s.loc ~bound ~reqs call;
           bound
       | Ast.Let { var; value } ->
           check_expr ctx s.loc ~bound value;
@@ -150,8 +179,8 @@ let rec check_stmts ctx ~bound ~live_reqs stmts =
   |> ignore
 
 let check_func ctx (f : Ast.func) =
-  let live_reqs = ref [] in
-  check_stmts ctx ~bound:f.fparams ~live_reqs f.fbody
+  let reqs = { posted = []; pending = [] } in
+  check_stmts ctx ~bound:f.fparams ~reqs f.fbody
 
 let duplicates names =
   let seen = Hashtbl.create 16 in

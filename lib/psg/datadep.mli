@@ -1,0 +1,24 @@
+(** Data-dependence annotation of the contracted PSG: maps the
+    per-function def-use chains of {!Scalana_cfg.Defuse} onto PSG
+    vertices and records them with {!Psg.add_data_dep}.  Chains through
+    vertex-less statements ([let] bindings, function parameters) are
+    followed transitively, and both endpoints are projected through the
+    contraction before the edge is stored. *)
+
+open Scalana_mlang
+
+type summary = {
+  defs : int;  (** definition sites across all functions *)
+  uses : int;  (** use occurrences across all functions *)
+  edges : int;  (** distinct data-dependence edges in the contracted PSG *)
+}
+
+(** [annotate ~full ~contraction program] computes def-use chains for
+    every function (in parallel under [pool]) and adds the induced
+    data-dependence edges to [contraction]'s PSG, in place. *)
+val annotate :
+  ?pool:Scalana_pool.Pool.t ->
+  full:Psg.t ->
+  contraction:Contract.result ->
+  Ast.program ->
+  summary

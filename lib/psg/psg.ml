@@ -13,6 +13,9 @@ type t = {
   children : (int, int list) Hashtbl.t;  (* stored reversed during build *)
   parent : (int, int) Hashtbl.t;
   cycle : (int, int) Hashtbl.t;  (* recursive callsite -> entry vertex *)
+  datadep : (int, int list) Hashtbl.t;
+      (* use vertex -> defining vertices, stored reversed *)
+  mutable n_datadep : int;
   mutable next_id : int;
   mutable root : int;
 }
@@ -23,6 +26,8 @@ let create () =
     children = Hashtbl.create 64;
     parent = Hashtbl.create 64;
     cycle = Hashtbl.create 4;
+    datadep = Hashtbl.create 16;
+    n_datadep = 0;
     next_id = 0;
     root = -1;
   }
@@ -58,6 +63,24 @@ let set_kind t id kind =
 
 let add_cycle_edge t ~callsite ~entry = Hashtbl.replace t.cycle callsite entry
 let cycle_target t callsite = Hashtbl.find_opt t.cycle callsite
+
+(* Explicit data-dependence edges from the def-use analysis (Datadep):
+   vertex [use] reads a value defined at vertex [def]. *)
+let add_data_dep t ~use ~def =
+  if use <> def then begin
+    let cur = Option.value ~default:[] (Hashtbl.find_opt t.datadep use) in
+    if not (List.mem def cur) then begin
+      Hashtbl.replace t.datadep use (def :: cur);
+      t.n_datadep <- t.n_datadep + 1
+    end
+  end
+
+let data_deps t use =
+  match Hashtbl.find_opt t.datadep use with
+  | Some l -> List.rev l
+  | None -> []
+
+let n_data_dep_edges t = t.n_datadep
 let root t = t.root
 let vertex t id = Hashtbl.find t.verts id
 let vertex_opt t id = Hashtbl.find_opt t.verts id

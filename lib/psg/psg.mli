@@ -27,6 +27,17 @@ val set_kind : t -> int -> Vertex.kind -> unit
 
 val add_cycle_edge : t -> callsite:int -> entry:int -> unit
 val cycle_target : t -> int -> int option
+
+(** Record an explicit data-dependence edge from the def-use analysis:
+    vertex [use] reads a value defined at vertex [def].  Self edges and
+    duplicates are ignored. *)
+val add_data_dep : t -> use:int -> def:int -> unit
+
+(** Defining vertices of [use]'s recorded data dependences, in insertion
+    order; empty when the def-use pass has not annotated the graph. *)
+val data_deps : t -> int -> int list
+
+val n_data_dep_edges : t -> int
 val root : t -> int
 val vertex : t -> int -> Vertex.t
 val vertex_opt : t -> int -> Vertex.t option

@@ -1,4 +1,5 @@
-(** PSG statistics: the columns of the paper's Table II. *)
+(** PSG statistics: the columns of the paper's Table II, extended with
+    the def-use dataflow counts. *)
 
 type t = {
   program : string;
@@ -10,10 +11,21 @@ type t = {
   comps : int;
   mpis : int;
   calls : int;
+  defs : int;  (** definition sites across all functions *)
+  uses : int;  (** use occurrences across all functions *)
+  dd_edges : int;  (** data-dependence edges in the contracted PSG *)
 }
 
 val of_psgs :
-  program:string -> lines:int -> full:Psg.t -> contracted:Psg.t -> t
+  ?defs:int ->
+  ?uses:int ->
+  ?dd_edges:int ->
+  program:string ->
+  lines:int ->
+  full:Psg.t ->
+  contracted:Psg.t ->
+  unit ->
+  t
 
 (** Fraction of vertices removed by contraction (paper: 68% on average). *)
 val contraction_ratio : t -> float

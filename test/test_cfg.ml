@@ -132,6 +132,125 @@ let test_rpo_starts_at_entry () =
   | first :: _ -> check_int "entry first" cfg.entry first
   | [] -> Alcotest.fail "empty RPO"
 
+(* --- dataflow --- *)
+
+module BoolLattice = struct
+  type t = bool
+
+  let bottom = false
+  let equal = Bool.equal
+  let join = ( || )
+end
+
+module BoolSolver = Dataflow.Solver (BoolLattice)
+
+let diamond_program () =
+  let open Expr.Infix in
+  let b = Builder.create ~file:"df.mmp" ~name:"df" () in
+  Builder.func b "main" (fun () ->
+      [
+        Builder.comp b ~flops:(i 1) ~mem:(i 1) ();
+        Builder.branch b
+          ~cond:(rank = i 0)
+          ~else_:(fun () -> [ Builder.comp b ~flops:(i 2) ~mem:(i 2) () ])
+          (fun () -> [ Builder.comp b ~flops:(i 3) ~mem:(i 3) () ]);
+        Builder.barrier b;
+      ]);
+  Builder.program b
+
+let test_solver_reachability () =
+  (* identity transfer with a [true] boundary fact: forward marks every
+     block reachable from the entry, backward every block reaching the
+     exit — on a diamond that is all of them, in both directions *)
+  let cfg = Cfg.of_func (func_of (diamond_program ()) "main") in
+  let fwd =
+    BoolSolver.solve ~direction:Dataflow.Forward ~entry_fact:true
+      ~transfer:(fun _ fact -> fact)
+      cfg
+  in
+  Array.iteri
+    (fun id reached -> check_bool (Printf.sprintf "fwd block %d" id) true reached)
+    fwd.BoolSolver.output;
+  let bwd =
+    BoolSolver.solve ~direction:Dataflow.Backward ~entry_fact:true
+      ~transfer:(fun _ fact -> fact)
+      cfg
+  in
+  Array.iteri
+    (fun id reaches -> check_bool (Printf.sprintf "bwd block %d" id) true reaches)
+    bwd.BoolSolver.output
+
+let test_defuse_primitives () =
+  let isend =
+    Ast.Isend { dest = Expr.Int 0; tag = Expr.Int 0; bytes = Expr.Int 8; req = "r" }
+  in
+  check_bool "isend defs its request" true
+    (Defuse.mpi_defs isend = [ Defuse.Req "r" ]);
+  check_bool "isend uses no request" true
+    (List.for_all
+       (function Defuse.Req _ -> false | Defuse.Var _ -> true)
+       (Defuse.mpi_uses isend));
+  check_bool "wait uses its request" true
+    (Defuse.mpi_uses (Ast.Wait { req = "r" }) = [ Defuse.Req "r" ]);
+  check_bool "waitall uses all requests" true
+    (Defuse.mpi_uses (Ast.Waitall { reqs = [ "a"; "b" ] })
+    = [ Defuse.Req "a"; Defuse.Req "b" ]);
+  check_int "sym ordering is total" 0
+    (Defuse.compare_sym (Defuse.Var "x") (Defuse.Var "x"))
+
+(* let n = 4; loop j < n { comp(j) }; isend r0; wait r0; isend r1 *)
+let chains_fixture () =
+  let open Expr.Infix in
+  let b = Builder.create ~file:"ch.mmp" ~name:"ch" () in
+  Builder.func b "main" (fun () ->
+      [
+        Builder.let_ b "n" (i 4);
+        Builder.loop b ~var:"j" ~count:(v "n") (fun () ->
+            [ Builder.comp b ~flops:(v "j") ~mem:(i 1) () ]);
+        Builder.isend b ~dest:(i 0) ~bytes:(i 8) ~req:"r0" ();
+        Builder.wait b ~req:"r0";
+        Builder.isend b ~dest:(i 0) ~bytes:(i 8) ~req:"r1" ();
+      ]);
+  Ast.find_func (Builder.program b) "main"
+
+let test_reaching_chains () =
+  let f = chains_fixture () in
+  match f.Ast.fbody with
+  | [ slet; sloop; sisend; swait; sisend2 ] ->
+      let scomp =
+        match sloop.Ast.node with
+        | Ast.Loop l -> List.hd l.body
+        | _ -> Alcotest.fail "expected loop"
+      in
+      let ch = Defuse.Chains.of_func f in
+      check_int "defs: n, j, r0, r1" 4 (Defuse.Chains.n_defs ch);
+      check_int "uses: count, flops, wait" 3 (Defuse.Chains.n_uses ch);
+      check_bool "loop count use reaches the let" true
+        (Defuse.Chains.defs_reaching ch ~loc:sloop.Ast.loc (Defuse.Var "n")
+        = [ slet.Ast.loc ]);
+      check_bool "comp use of j reaches the loop header" true
+        (Defuse.Chains.defs_reaching ch ~loc:scomp.Ast.loc (Defuse.Var "j")
+        = [ sloop.Ast.loc ]);
+      check_bool "wait reaches its isend" true
+        (Defuse.Chains.defs_reaching ch ~loc:swait.Ast.loc (Defuse.Req "r0")
+        = [ sisend.Ast.loc ]);
+      check_bool "r1 never waited" true
+        (Defuse.Chains.unused_defs ch
+        = [ (Defuse.Req "r1", sisend2.Ast.loc) ])
+  | _ -> Alcotest.fail "unexpected fixture shape"
+
+let test_live_variables () =
+  let f = chains_fixture () in
+  let cfg = Cfg.of_func f in
+  let lv = Defuse.Live.compute cfg in
+  let out = Defuse.Live.live_out lv cfg.entry in
+  check_bool "n live out of the entry block" true
+    (List.mem (Defuse.Var "n") out);
+  check_bool "j dead before its loop" true
+    (not (List.mem (Defuse.Var "j") out));
+  check_bool "nothing live at the exit" true
+    (Defuse.Live.live_out lv cfg.exit_ = [])
+
 (* --- call graph --- *)
 
 let test_callgraph_edges () =
@@ -223,6 +342,14 @@ let () =
           Alcotest.test_case "fig3 loop depths" `Quick test_loop_depths;
           Alcotest.test_case "natural loops match AST (all apps)" `Quick
             test_natural_loops_match_ast;
+        ] );
+      ( "dataflow",
+        [
+          Alcotest.test_case "solver reachability" `Quick
+            test_solver_reachability;
+          Alcotest.test_case "def/use primitives" `Quick test_defuse_primitives;
+          Alcotest.test_case "reaching chains" `Quick test_reaching_chains;
+          Alcotest.test_case "live variables" `Quick test_live_variables;
         ] );
       ( "callgraph",
         [

@@ -279,6 +279,61 @@ let test_nekbone_case () =
   case_study_finds "nekbone" [ 4; 8; 16; 32 ] [ "dgemm" ]
 
 
+(* --- def-use backtracking --- *)
+
+let test_follow_def_use_changes_step () =
+  (* loop it { barrier; let w = it*100; comp(w) }: the comp's value
+     chains through the let to the loop variable, so with the flag on
+     the walk steps comp -> loop along the recorded def-use edge; with
+     it off (paper-faithful) it steps to the previous sibling, the
+     barrier *)
+  let prog =
+    let open Scalana_mlang in
+    let open Expr.Infix in
+    let b = Builder.create ~file:"fd.mmp" ~name:"fd" () in
+    Builder.func b "main" (fun () ->
+        [
+          Builder.loop b ~var:"it" ~count:(i 4) (fun () ->
+              [
+                Builder.barrier b;
+                Builder.let_ b "w" (v "it" * i 1_000_000);
+                Builder.comp b ~flops:(v "w" + i 1_000_000) ~mem:(i 1000) ();
+              ]);
+        ]);
+    Builder.program b
+  in
+  let pipe = Scalana.Pipeline.run ~scales:[ 2; 4 ] prog in
+  let psg = Scalana.Static.psg pipe.static in
+  let _, ppg = Crossscale.largest pipe.crossscale in
+  let one pred name =
+    match Psg.find_all pred psg with
+    | [ v ] -> v.Vertex.id
+    | _ -> Alcotest.failf "expected one %s vertex" name
+  in
+  let comp = one Vertex.is_comp "comp" in
+  let loop = one Vertex.is_loop "loop" in
+  let barrier = one Vertex.is_mpi "barrier" in
+  check_bool "def-use edge recorded" true
+    (List.mem loop (Psg.data_deps psg comp));
+  let walk follow_def_use =
+    Backtrack.backtrack
+      ~config:{ Backtrack.default_config with follow_def_use }
+      ppg
+      ~visited:(Hashtbl.create 16)
+      ~start_rank:0 ~start_vertex:comp
+  in
+  let second path =
+    match (path : Backtrack.path) with
+    | _ :: (s : Backtrack.step) :: _ -> (s.vertex, s.via)
+    | _ -> Alcotest.fail "walk too short"
+  in
+  let v_off, via_off = second (walk false) in
+  check_int "flag off: previous sibling" barrier v_off;
+  check_bool "flag off: sibling-order step" true (via_off = Backtrack.Data_dep);
+  let v_on, via_on = second (walk true) in
+  check_int "flag on: def-use target" loop v_on;
+  check_bool "flag on: def-use step" true (via_on = Backtrack.Def_use)
+
 (* --- critical-path extension --- *)
 
 let traced_run ?(nprocs = 4) prog =
@@ -400,6 +455,8 @@ let () =
             test_backtracking_reaches_bval;
           Alcotest.test_case "paths cross processes" `Quick
             test_backtracking_paths_cross_processes;
+          Alcotest.test_case "def-use flag changes step" `Quick
+            test_follow_def_use_changes_step;
           Alcotest.test_case "pruning config" `Quick
             test_backtracking_pruning_matters;
         ] );

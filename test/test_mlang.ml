@@ -472,6 +472,41 @@ let test_validate_errors () =
          Builder.func b "main" (fun () ->
              [ Builder.icall b ~selector:(i 0) [] ])))
 
+let test_validate_request_discipline () =
+  let open Expr.Infix in
+  let isend b req = Builder.isend b ~dest:(i 0) ~bytes:(i 8) ~req () in
+  expect_invalid "twice"
+    (build_prog (fun b ->
+         Builder.func b "main" (fun () ->
+             [ isend b "r0"; Builder.waitall b ~reqs:[ "r0"; "r0" ] ])));
+  expect_invalid "still pending"
+    (build_prog (fun b ->
+         Builder.func b "main" (fun () -> [ isend b "r0"; isend b "r0" ])));
+  (* a handle left pending by one branch arm is still pending after it *)
+  expect_invalid "still pending"
+    (build_prog (fun b ->
+         Builder.func b "main" (fun () ->
+             [
+               Builder.branch b ~cond:(rank = i 0) (fun () -> [ isend b "r0" ]);
+               isend b "r0";
+             ])));
+  (* completion releases the handle for re-posting *)
+  match
+    Validate.run
+      (build_prog (fun b ->
+           Builder.func b "main" (fun () ->
+               [
+                 isend b "r0";
+                 Builder.wait b ~req:"r0";
+                 isend b "r0";
+                 Builder.waitall b ~reqs:[ "r0" ];
+               ])))
+  with
+  | Ok () -> ()
+  | Error es ->
+      Alcotest.failf "re-post after wait should validate: %s"
+        (Validate.error_to_string (List.hd es))
+
 let test_validate_ok () =
   List.iter
     (fun prog ->
@@ -556,6 +591,8 @@ let () =
       ( "validate",
         [
           Alcotest.test_case "error classes" `Quick test_validate_errors;
+          Alcotest.test_case "request discipline" `Quick
+            test_validate_request_discipline;
           Alcotest.test_case "valid fixtures" `Quick test_validate_ok;
         ] );
       ("ast", [ Alcotest.test_case "helpers" `Quick test_ast_helpers ]);

@@ -273,6 +273,135 @@ let test_orig_to_new_total () =
       | None -> Alcotest.failf "vertex %d unmapped" v.Vertex.id)
     full
 
+let test_contract_edge_cases () =
+  let open Expr.Infix in
+  (* MPI directly under root, plus a loop whose body is pure compute *)
+  let prog =
+    let b = Builder.create ~file:"e.mmp" ~name:"e" () in
+    Builder.func b "main" (fun () ->
+        [
+          Builder.barrier b;
+          Builder.loop b ~var:"k" ~count:(i 8) (fun () ->
+              [
+                Builder.comp b ~flops:(i 1) ~mem:(i 1) ();
+                Builder.comp b ~flops:(i 2) ~mem:(i 2) ();
+              ]);
+          Builder.allreduce b ~bytes:(i 8);
+        ]);
+    Builder.program b
+  in
+  let full = Inter.build prog in
+  let assert_total c =
+    Psg.iter
+      (fun v ->
+        match Contract.new_id c v.Vertex.id with
+        | Some nid ->
+            check_bool "mapped vertex exists" true
+              (Option.is_some (Psg.vertex_opt c.Contract.psg nid))
+        | None -> Alcotest.failf "vertex %d unmapped" v.Vertex.id)
+      full
+  in
+  let deep = Contract.run full in
+  check_int "mpi under root survives" 2 (count deep.Contract.psg Vertex.is_mpi);
+  (* the two comps merge: the loop body contracts to a single vertex *)
+  check_int "loop body fully merged" 1 (count deep.Contract.psg Vertex.is_comp);
+  assert_total deep;
+  (* with depth 0 the loop itself is contracted away too *)
+  let flat = Contract.run ~max_loop_depth:0 full in
+  check_int "no loops at depth 0" 0 (count flat.Contract.psg Vertex.is_loop);
+  check_int "mpi still preserved" 2 (count flat.Contract.psg Vertex.is_mpi);
+  assert_total flat
+
+let test_crosscheck_all_registry () =
+  (* CFG-side structure recovery agrees with the PSG on every shipped
+     app, not just the spot-checked ones *)
+  List.iter
+    (fun (e : Scalana_apps.Registry.entry) ->
+      let prog = e.make () in
+      List.iter
+        (fun (f : Ast.func) ->
+          match Intra.crosscheck f with
+          | Ok () -> ()
+          | Error msg -> Alcotest.failf "%s/%s: %s" e.name f.fname msg)
+        prog.funcs)
+    Scalana_apps.Registry.all
+
+(* --- data-dependence annotation --- *)
+
+let datadep_fixture () =
+  let open Expr.Infix in
+  let b = Builder.create ~file:"dd.mmp" ~name:"dd" () in
+  Builder.func b "main" (fun () ->
+      [
+        Builder.isend b ~dest:(rank + i 1) ~bytes:(i 8) ~req:"r0" ();
+        Builder.irecv b ~bytes:(i 8) ~req:"r1" ();
+        Builder.comp b ~flops:(i 1000) ~mem:(i 100) ();
+        Builder.waitall b ~reqs:[ "r0"; "r1" ];
+      ]);
+  Builder.program b
+
+let test_datadep_edges () =
+  let prog = datadep_fixture () in
+  let full = Inter.build prog in
+  let contraction = Contract.run full in
+  let summary = Datadep.annotate ~full ~contraction prog in
+  let psg = contraction.Contract.psg in
+  check_bool "edges recorded" true (summary.Datadep.edges >= 2);
+  check_int "edge counter matches" summary.Datadep.edges
+    (Psg.n_data_dep_edges psg);
+  let find label =
+    match
+      Psg.find_all (fun v -> Vertex.label v = label) psg
+    with
+    | [ v ] -> v.Vertex.id
+    | _ -> Alcotest.failf "expected one %s vertex" label
+  in
+  let isend = find "MPI_Isend" in
+  let irecv = find "MPI_Irecv" in
+  let waitall = find "MPI_Waitall" in
+  let deps = Psg.data_deps psg waitall in
+  check_bool "waitall depends on its isend" true (List.mem isend deps);
+  check_bool "waitall depends on its irecv" true (List.mem irecv deps);
+  (* the intervening comp carries no value into the waitall *)
+  List.iter
+    (fun (v : Vertex.t) ->
+      check_bool "comp not a dependency" true (not (List.mem v.Vertex.id deps)))
+    (Psg.find_all Vertex.is_comp psg)
+
+let test_datadep_chains_through_let () =
+  let open Expr.Infix in
+  (* the let produces no vertex: the use must chain through it to the
+     defining loop header *)
+  let prog =
+    let b = Builder.create ~file:"dl.mmp" ~name:"dl" () in
+    Builder.func b "main" (fun () ->
+        [
+          Builder.loop b ~var:"it" ~count:(i 4) (fun () ->
+              [
+                Builder.barrier b;
+                Builder.let_ b "w" (v "it" * i 100);
+                Builder.comp b ~flops:(v "w") ~mem:(i 1) ();
+              ]);
+        ]);
+    Builder.program b
+  in
+  let full = Inter.build prog in
+  let contraction = Contract.run full in
+  ignore (Datadep.annotate ~full ~contraction prog);
+  let psg = contraction.Contract.psg in
+  let loop =
+    match Psg.find_all Vertex.is_loop psg with
+    | [ v ] -> v.Vertex.id
+    | _ -> Alcotest.fail "expected one loop"
+  in
+  let comp =
+    match Psg.find_all Vertex.is_comp psg with
+    | [ v ] -> v.Vertex.id
+    | _ -> Alcotest.fail "expected one comp"
+  in
+  check_bool "comp chains through the let to the loop" true
+    (List.mem loop (Psg.data_deps psg comp))
+
 (* --- stats --- *)
 
 let test_stats_table2_shape () =
@@ -282,7 +411,7 @@ let test_stats_table2_shape () =
   let c = Contract.run full in
   let stats =
     Stats.of_psgs ~program:"zeus-mp" ~lines:(Ast.line_count prog) ~full
-      ~contracted:c.Contract.psg
+      ~contracted:c.Contract.psg ()
   in
   check_bool "vbc >= vac" true (stats.Stats.vbc >= stats.Stats.vac);
   check_bool "has loops" true (stats.Stats.loops > 0);
@@ -406,7 +535,19 @@ let () =
           Alcotest.test_case "branch with MPI kept" `Quick
             test_contract_keeps_branch_with_mpi;
           Alcotest.test_case "orig->new total" `Quick test_orig_to_new_total;
+          Alcotest.test_case "edge cases" `Quick test_contract_edge_cases;
           contract_idempotent;
+        ] );
+      ( "crosscheck",
+        [
+          Alcotest.test_case "all registry apps" `Quick
+            test_crosscheck_all_registry;
+        ] );
+      ( "datadep",
+        [
+          Alcotest.test_case "waitall edges" `Quick test_datadep_edges;
+          Alcotest.test_case "chains through let" `Quick
+            test_datadep_chains_through_let;
         ] );
       ("stats", [ Alcotest.test_case "table2 shape" `Quick test_stats_table2_shape ]);
       ( "index",
