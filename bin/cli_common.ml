@@ -3,6 +3,33 @@
 open Cmdliner
 open Scalana_mlang
 
+(* Exit codes shared by every scalana-* executable (documented in
+   README.md): 0 success, 1 findings reported, 2 bad input or corrupt
+   artifact, 3 internal error. *)
+let exit_ok = 0
+let exit_findings = 1
+let exit_bad_input = 2
+let exit_internal = 3
+
+(* Wrap a CLI body: user-caused failures (bad flags, unparsable sources,
+   missing or damaged artifacts) exit 2 with a one-line message; anything
+   unexpected exits 3 so scripts can tell our bugs from their inputs. *)
+let run_cli body =
+  let bad msg =
+    Printf.eprintf "scalana: error: %s\n%!" msg;
+    exit_bad_input
+  in
+  try body () with
+  | Scalana.Artifact.Error e -> bad (Scalana.Artifact.error_message e)
+  | Parser.Parse_error { line; msg } ->
+      bad (Printf.sprintf "parse error at line %d: %s" line msg)
+  | Lexer.Lex_error { line; msg } ->
+      bad (Printf.sprintf "lex error at line %d: %s" line msg)
+  | Failure msg | Invalid_argument msg | Sys_error msg -> bad msg
+  | e ->
+      Printf.eprintf "scalana: internal error: %s\n%!" (Printexc.to_string e);
+      exit_internal
+
 let load_program ~program_name ~file =
   match (program_name, file) with
   | Some name, None ->
@@ -67,4 +94,10 @@ let domains_arg =
            fits); 1 forces the sequential path.  Results are identical \
            either way.")
 
-let exits = Cmd.Exit.defaults
+let exits =
+  Cmd.Exit.info exit_ok ~doc:"on success."
+  :: Cmd.Exit.info exit_findings ~doc:"when findings are reported."
+  :: Cmd.Exit.info exit_bad_input
+       ~doc:"on bad input or a corrupt/missing artifact."
+  :: Cmd.Exit.info exit_internal ~doc:"on an internal error."
+  :: Cmd.Exit.defaults

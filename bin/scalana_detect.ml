@@ -1,10 +1,19 @@
 (* scalana-detect: offline step — build PPGs from the session's profiles,
-   detect problematic vertices and backtrack to root causes. *)
+   detect problematic vertices and backtrack to root causes.
+
+   Exit codes: 0 clean run with no root causes, 1 root causes found,
+   2 bad input or damaged artifacts (the report still renders, over what
+   was salvaged), 3 internal error. *)
 
 open Cmdliner
 
 let run session abnorm_thd domains follow_def_use =
+  Cli_common.run_cli @@ fun () ->
   let s = Scalana.Artifact.load_session session in
+  List.iter
+    (fun i ->
+      Printf.eprintf "scalana: warning: %s\n%!" (Scalana.Artifact.issue_message i))
+    s.issues;
   if s.runs = [] then failwith "session has no profiles; run scalana-prof first";
   let config =
     {
@@ -14,11 +23,16 @@ let run session abnorm_thd domains follow_def_use =
       follow_def_use;
     }
   in
-  let pipeline = Scalana.Pipeline.detect ~config s.static s.runs in
+  let pipeline = Scalana.Pipeline.detect_session ~config s in
   print_string pipeline.report;
   Printf.printf "\npost-mortem detection cost: %.3fs (%d domain%s)\n"
     pipeline.detect_seconds domains
-    (if domains = 1 then "" else "s")
+    (if domains = 1 then "" else "s");
+  (* damaged inputs dominate the exit code: a degraded verdict must not
+     pass for a clean one in CI *)
+  if Scalana.Pipeline.degraded pipeline then Cli_common.exit_bad_input
+  else if pipeline.analysis.causes <> [] then Cli_common.exit_findings
+  else Cli_common.exit_ok
 
 let follow_def_use_arg =
   Arg.(
@@ -31,10 +45,10 @@ let follow_def_use_arg =
 
 let cmd =
   Cmd.v
-    (Cmd.info "scalana-detect"
+    (Cmd.info "scalana-detect" ~exits:Cli_common.exits
        ~doc:"Scaling-loss detection and root-cause backtracking (offline)")
     Term.(
       const run $ Cli_common.session_arg $ Cli_common.abnorm_thd_arg
       $ Cli_common.domains_arg $ follow_def_use_arg)
 
-let () = exit (Cmd.eval cmd)
+let () = exit (Cmd.eval' cmd)

@@ -8,6 +8,7 @@ let parse_rule s =
   List.find_opt (fun r -> String.equal (Lint.rule_name r) s) Lint.all_rules
 
 let run program_name file rules quiet =
+  Cli_common.run_cli @@ fun () ->
   let program, _cost = Cli_common.load_program ~program_name ~file in
   let selected =
     match rules with
@@ -28,7 +29,7 @@ let run program_name file rules quiet =
       (Lint.run program)
   in
   if not quiet then Fmt.pr "%a" Lint.pp_report findings;
-  if findings = [] then 0 else 1
+  if findings = [] then Cli_common.exit_ok else Cli_common.exit_findings
 
 let rules_arg =
   Arg.(
@@ -47,7 +48,7 @@ let quiet_arg =
 
 let cmd =
   Cmd.v
-    (Cmd.info "scalana-lint"
+    (Cmd.info "scalana-lint" ~exits:Cli_common.exits
        ~doc:"Static scaling-loss linter (exit 1 on findings)")
     Term.(
       const run $ Cli_common.program_arg $ Cli_common.file_arg $ rules_arg

@@ -5,6 +5,7 @@
 open Cmdliner
 
 let run session nprocs freq measure_overhead =
+  Cli_common.run_cli @@ fun () ->
   let static = Scalana.Artifact.load_static session in
   let entry_cost =
     (* built-in workloads carry their preferred machine model *)
@@ -28,9 +29,10 @@ let run session nprocs freq measure_overhead =
   Printf.printf "np=%d elapsed=%.4fs samples=%d mpi_calls=%d storage=%dB\n"
     nprocs run.result.elapsed run.data.total_samples run.data.mpi_calls_seen
     (Scalana_profile.Profdata.storage_bytes run.data);
-  match Scalana.Prof.overhead_percent run with
+  (match Scalana.Prof.overhead_percent run with
   | Some pct -> Printf.printf "runtime overhead: %.2f%%\n" pct
-  | None -> ()
+  | None -> ());
+  Cli_common.exit_ok
 
 let np_arg =
   Arg.(
@@ -51,8 +53,9 @@ let overhead_arg =
 
 let cmd =
   Cmd.v
-    (Cmd.info "scalana-prof" ~doc:"Sampling-based profiling run (runtime)")
+    (Cmd.info "scalana-prof" ~exits:Cli_common.exits
+       ~doc:"Sampling-based profiling run (runtime)")
     Term.(
       const run $ Cli_common.session_arg $ np_arg $ freq_arg $ overhead_arg)
 
-let () = exit (Cmd.eval cmd)
+let () = exit (Cmd.eval' cmd)

@@ -6,6 +6,7 @@
 open Cmdliner
 
 let run program_name file session max_loop_depth dump lint =
+  Cli_common.run_cli @@ fun () ->
   let program, _cost = Cli_common.load_program ~program_name ~file in
   let static = Scalana.Static.analyze ~max_loop_depth program in
   Scalana.Artifact.save_static session static;
@@ -22,9 +23,9 @@ let run program_name file session max_loop_depth dump lint =
     let findings = Lint.run program in
     print_endline "-- static lint --";
     Fmt.pr "%a" Lint.pp_report findings;
-    if findings = [] then 0 else 1
+    if findings = [] then Cli_common.exit_ok else Cli_common.exit_findings
   end
-  else 0
+  else Cli_common.exit_ok
 
 let dump_arg =
   Arg.(value & flag & info [ "dump-psg" ] ~doc:"Print the contracted PSG.")
@@ -37,7 +38,8 @@ let lint_arg =
 
 let cmd =
   Cmd.v
-    (Cmd.info "scalana-static" ~doc:"Static PSG construction (compile time)")
+    (Cmd.info "scalana-static" ~exits:Cli_common.exits
+       ~doc:"Static PSG construction (compile time)")
     Term.(
       const run $ Cli_common.program_arg $ Cli_common.file_arg
       $ Cli_common.session_arg $ Cli_common.max_loop_depth_arg $ dump_arg

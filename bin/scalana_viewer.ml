@@ -1,17 +1,24 @@
 (* scalana-viewer: render the detection result with source snippets (the
-   text rendering of the Fig. 9 GUI). *)
+   text rendering of the Fig. 9 GUI).  Exits 0 on success, 2 on a
+   missing or corrupt session. *)
 
 open Cmdliner
 
 let run session context html =
+  Cli_common.run_cli @@ fun () ->
   let s = Scalana.Artifact.load_session session in
+  List.iter
+    (fun i ->
+      Printf.eprintf "scalana: warning: %s\n%!" (Scalana.Artifact.issue_message i))
+    s.issues;
   if s.runs = [] then failwith "session has no profiles; run scalana-prof first";
-  let pipeline = Scalana.Pipeline.detect s.static s.runs in
-  match html with
+  let pipeline = Scalana.Pipeline.detect_session s in
+  (match html with
   | Some path ->
       Scalana.Htmlreport.write pipeline ~path;
       Printf.printf "HTML report written to %s\n" path
-  | None -> print_string (Scalana.Viewer.show ~snippet_context:context pipeline)
+  | None -> print_string (Scalana.Viewer.show ~snippet_context:context pipeline));
+  Cli_common.exit_ok
 
 let context_arg =
   Arg.(
@@ -27,7 +34,8 @@ let html_arg =
 
 let cmd =
   Cmd.v
-    (Cmd.info "scalana-viewer" ~doc:"Root-cause source viewer")
+    (Cmd.info "scalana-viewer" ~exits:Cli_common.exits
+       ~doc:"Root-cause source viewer")
     Term.(const run $ Cli_common.session_arg $ context_arg $ html_arg)
 
-let () = exit (Cmd.eval cmd)
+let () = exit (Cmd.eval' cmd)

@@ -1,0 +1,69 @@
+(* Fault tolerance end to end: kill a rank mid-run, truncate a profile
+   on disk, and watch the pipeline degrade instead of dying — the report
+   still lands on Zeus-MP's planted boundary-value loops, now with a
+   data-quality section quantifying what was lost.
+
+     dune exec examples/fault_tolerance.exe                            *)
+
+open Scalana_runtime
+open Scalana_detect
+
+let section title = Printf.printf "\n=== %s ===\n" title
+
+let () =
+  let entry = Scalana_apps.Registry.find "zeusmp" in
+
+  (* --- 1. a rank dies halfway through the job --- *)
+  section "rank kill at half progress";
+  let half = Scalana.Experiment.bare_elapsed ~cost:entry.cost (entry.make ()) ~nprocs:8 *. 0.5 in
+  Printf.printf "killing rank 3 after %.3fs of simulated time\n" half;
+  let faults = Faults.plan [ Faults.kill_rank ~rank:3 ~after:half () ] in
+  let pipe =
+    Scalana.Pipeline.run ~cost:entry.cost ~faults ~scales:[ 4; 8; 16 ]
+      (entry.make ())
+  in
+  List.iter
+    (fun (r : Quality.run_issue) ->
+      Printf.printf "  np=%d: killed ranks {%s}, stranded {%s}, %d attempt(s)\n"
+        r.Quality.ri_nprocs
+        (String.concat "," (List.map string_of_int r.Quality.ri_killed))
+        (String.concat "," (List.map string_of_int r.Quality.ri_stranded))
+        r.Quality.ri_attempts)
+    pipe.quality.Quality.run_issues;
+  Printf.printf "  rank coverage: %.1f%%\n"
+    (100.0 *. pipe.quality.Quality.rank_coverage);
+  (match pipe.analysis.causes with
+  | c :: _ ->
+      Printf.printf "  root cause still found: %s @%s\n" c.Rootcause.cause_label
+        (Scalana_mlang.Loc.to_string c.Rootcause.cause_loc)
+  | [] -> print_endline "  (no cause ranked over the surviving ranks)");
+
+  (* --- 2. a profile file is truncated on disk --- *)
+  section "artifact truncation and salvage";
+  let dir = Filename.temp_file "scalana-ft" "" in
+  Sys.remove dir;
+  let static = Scalana.Static.analyze (entry.make ()) in
+  Scalana.Artifact.save_static dir static;
+  List.iter
+    (fun nprocs ->
+      Scalana.Artifact.save_run dir
+        (Scalana.Prof.run ~cost:entry.cost static ~nprocs ()))
+    [ 4; 8; 16 ];
+  let victim = Scalana.Artifact.run_path dir 16 in
+  Printf.printf "truncating %s to 100 bytes (a writer died mid-record)\n"
+    (Filename.basename victim);
+  Faults.truncate_file victim ~at_byte:100;
+  let session = Scalana.Artifact.load_session dir in
+  List.iter
+    (fun i -> Printf.printf "  salvage: %s\n" (Scalana.Artifact.issue_message i))
+    session.issues;
+  let pipe2 = Scalana.Pipeline.detect_session session in
+  Printf.printf "  detection ran over surviving scales: %s\n"
+    (String.concat ", " (List.map (fun (n, _) -> string_of_int n) pipe2.runs));
+
+  (* --- 3. the degraded report announces itself --- *)
+  section "degraded report";
+  print_string pipe2.report;
+  Printf.printf
+    "\nclean inputs produce byte-identical reports with no data-quality \
+     section;\nsee docs/robustness.md for the format and fault taxonomy\n"

@@ -3,32 +3,222 @@
    The three user-facing steps of Section V are separate executables
    (scalana-static, scalana-prof, scalana-detect); a session directory
    carries the static artifact and one profile per job scale between
-   them.  Serialization is OCaml Marshal over plain data. *)
+   them.
+
+   Durable format (v2): production runs fill disks and die mid-write, so
+   raw Marshal is wrapped in a versioned, checksummed record stream:
+
+     header  = "SCALANA2" (8 bytes) ++ format version (1 byte)
+     record  = payload length (4-byte big-endian)
+            ++ CRC-32 of payload (4-byte big-endian)
+            ++ payload (Marshal of one value)
+
+   Writers append one record per run, so a profile file carries every
+   save of its scale and the newest intact record wins.  The salvage
+   reader walks the stream and recovers the valid prefix of a truncated
+   or bit-flipped file, reporting what was lost as a typed {!error}
+   instead of crashing the whole analysis. *)
 
 type session = {
   static : Static.t;
   mutable runs : (int * Prof.run) list;
+  issues : issue list;  (* artifact damage found while loading *)
 }
 
-let magic = "SCALANA1"
+and error =
+  | Missing of { path : string }
+  | Bad_magic of { path : string }
+  | Bad_version of { path : string; version : int }
+  | Truncated of { path : string; records_ok : int; at_byte : int }
+  | Checksum_mismatch of { path : string; record : int }
+  | Decode_failure of { path : string; record : int; reason : string }
+  | Empty of { path : string }
+
+and issue = { issue_path : string; kept : int; error : error }
+
+exception Error of error
+
+let error_path = function
+  | Missing { path }
+  | Bad_magic { path }
+  | Bad_version { path; _ }
+  | Truncated { path; _ }
+  | Checksum_mismatch { path; _ }
+  | Decode_failure { path; _ }
+  | Empty { path } ->
+      path
+
+let error_detail = function
+  | Missing _ -> "no such artifact"
+  | Bad_magic _ -> "not a ScalAna artifact"
+  | Bad_version { version; _ } ->
+      Printf.sprintf "unsupported artifact format version %d" version
+  | Truncated { records_ok; at_byte; _ } ->
+      Printf.sprintf "truncated at byte %d (%d intact record%s before it)"
+        at_byte records_ok
+        (if records_ok = 1 then "" else "s")
+  | Checksum_mismatch { record; _ } ->
+      Printf.sprintf "checksum mismatch in record %d" record
+  | Decode_failure { record; reason; _ } ->
+      Printf.sprintf "record %d does not decode (%s)" record reason
+  | Empty _ -> "no intact records"
+
+let error_message e = error_path e ^ ": " ^ error_detail e
+
+let issue_message i =
+  Printf.sprintf "%s (%d record%s salvaged)" (error_message i.error) i.kept
+    (if i.kept = 1 then "" else "s")
+
+let () =
+  Printexc.register_printer (function
+    | Error e -> Some ("Scalana.Artifact.Error: " ^ error_message e)
+    | _ -> None)
+
+let magic = "SCALANA2"
+let format_version = 2
+let header_bytes = String.length magic + 1
+
+(* --- CRC-32 (IEEE 802.3, the zlib polynomial) --- *)
+
+let crc_table =
+  lazy
+    (Array.init 256 (fun n ->
+         let c = ref n in
+         for _ = 0 to 7 do
+           c := if !c land 1 = 1 then 0xEDB88320 lxor (!c lsr 1) else !c lsr 1
+         done;
+         !c))
+
+let crc32 s =
+  let table = Lazy.force crc_table in
+  let c = ref 0xFFFFFFFF in
+  String.iter
+    (fun ch -> c := table.((!c lxor Char.code ch) land 0xff) lxor (!c lsr 8))
+    s;
+  !c lxor 0xFFFFFFFF
+
+(* --- writers --- *)
+
+let write_header oc =
+  output_string oc magic;
+  output_byte oc format_version
+
+let write_record oc v =
+  let payload = Marshal.to_string v [] in
+  output_binary_int oc (String.length payload);
+  output_binary_int oc (crc32 payload);
+  output_string oc payload
 
 let save_value path v =
   let oc = open_out_bin path in
   Fun.protect
     ~finally:(fun () -> close_out oc)
     (fun () ->
-      output_string oc magic;
-      Marshal.to_channel oc v [])
+      write_header oc;
+      write_record oc v)
 
+let append_value path v =
+  (* an empty pre-created file still needs its header *)
+  let has_header =
+    Sys.file_exists path
+    &&
+    let ic = open_in_bin path in
+    Fun.protect
+      ~finally:(fun () -> close_in ic)
+      (fun () -> in_channel_length ic > 0)
+  in
+  if not has_header then save_value path v
+  else begin
+    let oc = open_out_gen [ Open_wronly; Open_append; Open_binary ] 0o644 path in
+    Fun.protect
+      ~finally:(fun () -> close_out oc)
+      (fun () -> write_record oc v)
+  end
+
+(* --- salvage reader --- *)
+
+type 'a salvage = { values : 'a list; damage : error option }
+
+(* Walk the record stream, keeping every intact record; the first sign of
+   damage (short read, bad checksum, undecodable payload) stops the walk
+   and is reported — the valid prefix survives. *)
+let read_stream path : 'a salvage =
+  if not (Sys.file_exists path) then
+    { values = []; damage = Some (Missing { path }) }
+  else begin
+    let ic = open_in_bin path in
+    Fun.protect
+      ~finally:(fun () -> close_in ic)
+      (fun () ->
+        let len = in_channel_length ic in
+        if len < header_bytes then
+          let prefix = really_input_string ic (min len (String.length magic)) in
+          if String.equal prefix (String.sub magic 0 (String.length prefix))
+          then
+            { values = []; damage = Some (Truncated { path; records_ok = 0; at_byte = len }) }
+          else { values = []; damage = Some (Bad_magic { path }) }
+        else begin
+          let m = really_input_string ic (String.length magic) in
+          if not (String.equal m magic) then
+            { values = []; damage = Some (Bad_magic { path }) }
+          else begin
+            let version = input_byte ic in
+            if version <> format_version then
+              { values = []; damage = Some (Bad_version { path; version }) }
+            else begin
+              let rec loop acc n pos =
+                if pos = len then { values = List.rev acc; damage = None }
+                else if len - pos < 8 then
+                  {
+                    values = List.rev acc;
+                    damage = Some (Truncated { path; records_ok = n; at_byte = pos });
+                  }
+                else begin
+                  let plen = input_binary_int ic in
+                  let crc = input_binary_int ic land 0xFFFFFFFF in
+                  if plen < 0 || pos + 8 + plen > len then
+                    {
+                      values = List.rev acc;
+                      damage =
+                        Some (Truncated { path; records_ok = n; at_byte = pos });
+                    }
+                  else begin
+                    let payload = really_input_string ic plen in
+                    if crc32 payload <> crc then
+                      {
+                        values = List.rev acc;
+                        damage = Some (Checksum_mismatch { path; record = n });
+                      }
+                    else
+                      match Marshal.from_string payload 0 with
+                      | v -> loop (v :: acc) (n + 1) (pos + 8 + plen)
+                      | exception e ->
+                          {
+                            values = List.rev acc;
+                            damage =
+                              Some
+                                (Decode_failure
+                                   {
+                                     path;
+                                     record = n;
+                                     reason = Printexc.to_string e;
+                                   });
+                          }
+                  end
+                end
+              in
+              loop [] 0 header_bytes
+            end
+          end
+        end)
+  end
+
+(* Strict single-value read: the first record, or a typed {!Error}. *)
 let load_value path =
-  let ic = open_in_bin path in
-  Fun.protect
-    ~finally:(fun () -> close_in ic)
-    (fun () ->
-      let m = really_input_string ic (String.length magic) in
-      if not (String.equal m magic) then
-        failwith (path ^ ": not a ScalAna artifact");
-      Marshal.from_channel ic)
+  match read_stream path with
+  | { values = v :: _; _ } -> v
+  | { values = []; damage = Some e } -> raise (Error e)
+  | { values = []; damage = None } -> raise (Error (Empty { path }))
 
 let static_path dir = Filename.concat dir "session.static"
 let run_path dir nprocs = Filename.concat dir (Printf.sprintf "run_%04d.prof" nprocs)
@@ -44,21 +234,48 @@ let save_static dir (static : Static.t) =
 
 let load_static dir : Static.t = load_value (static_path dir)
 
+(* Profiles append: re-profiling a scale adds a record, and the newest
+   intact one wins at load time. *)
 let save_run dir (run : Prof.run) =
   ensure_dir dir;
-  save_value (run_path dir run.Prof.nprocs) run;
-  (* the static artifact may have been refined by this run *)
-  ()
+  append_value (run_path dir run.Prof.nprocs) run
+
+let rec last = function [ x ] -> Some x | _ :: rest -> last rest | [] -> None
+
+(* Load every profile, salvaging what damaged files still carry.  A file
+   whose magic matches but whose payload fails to decode is surfaced as
+   an issue naming the file — never silently dropped, never a crash. *)
+let load_runs_salvage dir =
+  let runs = ref [] and issues = ref [] in
+  Sys.readdir dir |> Array.to_list |> List.sort compare
+  |> List.iter (fun f ->
+         if Filename.check_suffix f ".prof" then begin
+           let path = Filename.concat dir f in
+           let s : Prof.run salvage = read_stream path in
+           (match s.damage with
+           | Some error ->
+               issues :=
+                 { issue_path = path; kept = List.length s.values; error }
+                 :: !issues
+           | None ->
+               if s.values = [] then
+                 issues :=
+                   { issue_path = path; kept = 0; error = Empty { path } }
+                   :: !issues);
+           match last s.values with
+           | Some run -> runs := (run.Prof.nprocs, run) :: !runs
+           | None -> ()
+         end);
+  ( List.sort (fun (a, _) (b, _) -> compare a b) !runs,
+    List.rev !issues )
 
 let load_runs dir : (int * Prof.run) list =
-  Sys.readdir dir |> Array.to_list
-  |> List.filter_map (fun f ->
-         if Filename.check_suffix f ".prof" then begin
-           let run : Prof.run = load_value (Filename.concat dir f) in
-           Some (run.Prof.nprocs, run)
-         end
-         else None)
-  |> List.sort (fun (a, _) (b, _) -> compare a b)
+  let runs, issues = load_runs_salvage dir in
+  List.iter
+    (fun i -> Printf.eprintf "scalana: warning: %s\n%!" (issue_message i))
+    issues;
+  runs
 
 let load_session dir =
-  { static = load_static dir; runs = load_runs dir }
+  let runs, issues = load_runs_salvage dir in
+  { static = load_static dir; runs; issues }

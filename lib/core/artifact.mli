@@ -1,15 +1,84 @@
 (** On-disk session artifacts shared by the scalana-static / -prof /
-    -detect executables (Marshal over plain data). *)
+    -detect executables.
 
-type session = { static : Static.t; mutable runs : (int * Prof.run) list }
+    Format v2 wraps [Marshal] payloads in a durable record stream:
+    ["SCALANA2"] magic + version byte, then per record a 4-byte
+    big-endian payload length, a 4-byte big-endian CRC-32 and the
+    payload.  Runs are appended record-by-record, and the salvage
+    reader recovers the valid prefix of a truncated or corrupted file,
+    reporting damage as a typed {!error}. *)
 
+type session = {
+  static : Static.t;
+  mutable runs : (int * Prof.run) list;
+  issues : issue list;  (** artifact damage found while loading *)
+}
+
+and error =
+  | Missing of { path : string }
+  | Bad_magic of { path : string }
+  | Bad_version of { path : string; version : int }
+  | Truncated of { path : string; records_ok : int; at_byte : int }
+  | Checksum_mismatch of { path : string; record : int }
+  | Decode_failure of { path : string; record : int; reason : string }
+  | Empty of { path : string }
+
+and issue = { issue_path : string; kept : int; error : error }
+
+exception Error of error
+
+val error_path : error -> string
+val error_detail : error -> string
+
+(** [error_path ^ ": " ^ error_detail]. *)
+val error_message : error -> string
+
+val issue_message : issue -> string
+
+val magic : string
+val format_version : int
+
+(** CRC-32 (IEEE 802.3 / zlib polynomial) of a string. *)
+val crc32 : string -> int
+
+(** [save_value path v]: write header plus one record (truncates). *)
 val save_value : string -> 'a -> unit
 
-(** Raises [Failure] when the file does not carry the artifact magic. *)
+(** [append_value path v]: append one record, creating the file (with
+    header) if needed. *)
+val append_value : string -> 'a -> unit
+
+(** First record of the stream.  Raises {!Error} on missing, foreign,
+    truncated or corrupt files. *)
 val load_value : string -> 'a
 
+type 'a salvage = {
+  values : 'a list;  (** the intact record prefix *)
+  damage : error option;  (** what stopped the read, if anything *)
+}
+
+(** Salvage read: every intact record before the first damage. *)
+val read_stream : string -> 'a salvage
+
+val static_path : string -> string
+val run_path : string -> int -> string
 val save_static : string -> Static.t -> unit
+
+(** Raises {!Error} when the static artifact is missing or damaged. *)
 val load_static : string -> Static.t
+
+(** Appends a record to the scale's profile; the newest intact record
+    wins at load time. *)
 val save_run : string -> Prof.run -> unit
+
+(** Salvaging run loader: per scale, the newest intact record of its
+    profile, plus one {!issue} per damaged file (a file with valid
+    magic but no decodable record is reported, never dropped). *)
+val load_runs_salvage : string -> (int * Prof.run) list * issue list
+
+(** {!load_runs_salvage} with issues printed as warnings on stderr. *)
 val load_runs : string -> (int * Prof.run) list
+
+(** Raises {!Error} when the static artifact is unreadable; run damage
+    is salvaged into [issues] instead. *)
 val load_session : string -> session

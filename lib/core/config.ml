@@ -16,6 +16,7 @@ type t = {
          of sibling order; off = paper-faithful Algorithm 1 *)
   seed : int;
   analysis_domains : int;  (* parallelism of the analysis fan-outs *)
+  max_run_retries : int;  (* extra profiling attempts for fault-killed runs *)
 }
 
 let default =
@@ -31,6 +32,7 @@ let default =
     follow_def_use = false;
     seed = 42;
     analysis_domains = Pool.default_size ();
+    max_run_retries = 2;
   }
 
 let profiler_config t =

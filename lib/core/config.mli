@@ -20,6 +20,9 @@ type t = {
           builds, log-log fits, local PSGs): total domains used,
           caller included.  Default {!Pool.default_size}; [1] forces the
           sequential path.  Results are identical either way. *)
+  max_run_retries : int;
+      (** Extra profiling attempts (fresh fault draws) granted to a run
+          that lost ranks to injected faults.  Default 2. *)
 }
 
 val default : t

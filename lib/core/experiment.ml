@@ -23,9 +23,13 @@ type measurement = {
 }
 
 (* Run [program] once per tool at [nprocs] and compare elapsed time and
-   measurement-data size. *)
+   measurement-data size.  A [faults] plan degrades the ScalAna run the
+   same way the pipeline does (bounded retry with fresh draws); the
+   baseline tools run clean so overhead stays an apples-to-apples
+   comparison. *)
 let tool_comparison ?(config = Config.default) ?(cost = Costmodel.default)
-    ?(net = Network.default) ?(params = []) (program : Ast.program) ~nprocs =
+    ?(net = Network.default) ?(faults = Faults.empty) ?(params = [])
+    (program : Ast.program) ~nprocs =
   let base_cfg tools = Exec.config ~nprocs ~params ~cost ~net ~tools () in
   let bare = Exec.run ~cfg:(base_cfg []) program in
   let base = bare.Exec.elapsed in
@@ -34,7 +38,10 @@ let tool_comparison ?(config = Config.default) ?(cost = Costmodel.default)
   in
   let scalana =
     let static = Static.analyze ~max_loop_depth:config.Config.max_loop_depth program in
-    let r = Prof.run ~config ~cost ~net ~params static ~nprocs () in
+    let r =
+      Prof.run_with_retry ~retries:config.Config.max_run_retries ~config
+        ~cost ~net ~faults ~params static ~nprocs ()
+    in
     {
       tool = Scalana_tool;
       nprocs;
@@ -68,7 +75,7 @@ let tool_comparison ?(config = Config.default) ?(cost = Costmodel.default)
   [ tracing; callpath; scalana ]
 
 (* Mean overhead of each tool across several scales (Fig. 10's bars). *)
-let mean_overhead ?config ?cost ?net ?params program ~scales =
+let mean_overhead ?config ?cost ?net ?faults ?params program ~scales =
   let by_tool = Hashtbl.create 4 in
   List.iter
     (fun nprocs ->
@@ -76,7 +83,7 @@ let mean_overhead ?config ?cost ?net ?params program ~scales =
         (fun m ->
           let l = try Hashtbl.find by_tool m.tool with Not_found -> [] in
           Hashtbl.replace by_tool m.tool (m.overhead_pct :: l))
-        (tool_comparison ?config ?cost ?net ?params program ~nprocs))
+        (tool_comparison ?config ?cost ?net ?faults ?params program ~nprocs))
     scales;
   List.map
     (fun tool ->

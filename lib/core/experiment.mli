@@ -18,11 +18,14 @@ type measurement = {
 }
 
 (** One run per tool at [nprocs], plus the bare run they are compared
-    against. Returns tracing, call-path and ScalAna measurements. *)
+    against.  Returns tracing, call-path and ScalAna measurements.  A
+    [faults] plan degrades the ScalAna run (with bounded retry); the
+    baseline tools stay clean. *)
 val tool_comparison :
   ?config:Config.t ->
   ?cost:Costmodel.t ->
   ?net:Network.t ->
+  ?faults:Faults.plan ->
   ?params:(string * int) list ->
   Ast.program ->
   nprocs:int ->
@@ -33,6 +36,7 @@ val mean_overhead :
   ?config:Config.t ->
   ?cost:Costmodel.t ->
   ?net:Network.t ->
+  ?faults:Faults.plan ->
   ?params:(string * int) list ->
   Ast.program ->
   scales:int list ->

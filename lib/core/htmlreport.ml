@@ -39,6 +39,11 @@ white-space:pre;overflow-x:auto;border-radius:4px}
 
 (* Per-rank bar chart as inline SVG; deviating ranks highlighted. *)
 let svg_bars ?(width = 640) ?(height = 80) ~hot values =
+  (* quarantined values (NaN / negative) render as empty bars instead of
+     breaking the SVG geometry *)
+  let values =
+    Array.map (fun v -> if Float.is_nan v || v < 0.0 then 0.0 else v) values
+  in
   let n = Array.length values in
   if n = 0 then ""
   else begin
@@ -83,6 +88,53 @@ let render (pipe : Pipeline.t) =
        (List.map string_of_int (Scalana_ppg.Crossscale.scales pipe.crossscale)))
     pipe.detect_seconds
     (List.length pipe.analysis.paths);
+
+  (* degraded inputs announce themselves before any verdict; clean
+     pipelines skip the section entirely *)
+  let q = pipe.Pipeline.quality in
+  if not (Quality.is_clean q) then begin
+    out "<h2>Data quality</h2>";
+    out "<p class=\"meta\">rank coverage %.1f%%</p>" (100.0 *. q.Quality.rank_coverage);
+    if q.Quality.artifact_issues <> [] then begin
+      out "<table><tr><th>artifact</th><th>damage</th>\
+           <th>records salvaged</th></tr>";
+      List.iter
+        (fun (a : Quality.artifact_issue) ->
+          out "<tr><td>%s</td><td>%s</td><td>%d</td></tr>"
+            (esc (Filename.basename a.Quality.ai_path))
+            (esc a.Quality.ai_detail) a.Quality.ai_kept)
+        q.Quality.artifact_issues;
+      out "</table>"
+    end;
+    if q.Quality.run_issues <> [] then begin
+      out "<table><tr><th>scale</th><th>killed ranks</th>\
+           <th>stranded ranks</th><th>attempts</th></tr>";
+      List.iter
+        (fun (r : Quality.run_issue) ->
+          let ranks = function
+            | [] -> "—"
+            | rs -> String.concat "," (List.map string_of_int rs)
+          in
+          out "<tr><td>%d</td><td>%s</td><td>%s</td><td>%d</td></tr>"
+            r.Quality.ri_nprocs
+            (esc (ranks r.Quality.ri_killed))
+            (esc (ranks r.Quality.ri_stranded))
+            r.Quality.ri_attempts)
+        q.Quality.run_issues;
+      out "</table>"
+    end;
+    if q.Quality.dropped_scales <> [] then
+      out "<p class=\"meta\">dropped scales: %s</p>"
+        (esc
+           (String.concat ", "
+              (List.map string_of_int q.Quality.dropped_scales)));
+    if q.Quality.quarantined_values > 0 then
+      out "<p class=\"meta\">quarantined values: %d</p>"
+        q.Quality.quarantined_values;
+    if q.Quality.insufficient_vertices > 0 then
+      out "<p class=\"meta\">vertices with insufficient data: %d</p>"
+        q.Quality.insufficient_vertices
+  end;
 
   let lint_locs = List.map (fun (f : Lint.finding) -> f.Lint.loc) pipe.lint in
   out "<h2>Non-scalable vertices</h2><table><tr><th>vertex</th><th>location</th>\

@@ -3,7 +3,15 @@
    Static analysis once, profiled runs at several job scales, PPG
    construction, problematic-vertex detection and backtracking root-cause
    identification, and the final report.  The detection step is timed
-   (Table IV's post-mortem detection cost). *)
+   (Table IV's post-mortem detection cost).
+
+   The pipeline degrades instead of dying: damaged artifacts are
+   salvaged, fault-killed runs retried with fresh draws and analyzed
+   over their surviving ranks, and everything lost is accounted in a
+   {!Scalana_detect.Quality.t} that prepends a data-quality section to
+   the report.  With clean inputs the quality record is
+   {!Scalana_detect.Quality.clean} and the report is byte-identical to a
+   pipeline without the resilience layer. *)
 
 open Scalana_mlang
 open Scalana_runtime
@@ -16,13 +24,58 @@ type t = {
   crossscale : Crossscale.t;
   analysis : Rootcause.analysis;
   lint : Lint.finding list;  (* static scaling-loss predictions *)
+  quality : Quality.t;  (* what degraded inputs lost (clean = nothing) *)
   detect_seconds : float;
   report : string;
 }
 
+(* Everything the inputs lost, in one record: artifact damage handed in
+   by the loader, runs that lost ranks or needed retries, scales that
+   never ran, and the analysis' own quarantine counts. *)
+let assemble_quality ~artifact_issues ~dropped_scales runs
+    (analysis : Rootcause.analysis) =
+  let run_issues =
+    List.filter_map
+      (fun (n, (r : Prof.run)) ->
+        let killed = List.sort compare r.Prof.result.Exec.killed_ranks in
+        let stranded = List.sort compare r.Prof.result.Exec.stranded_ranks in
+        if killed <> [] || stranded <> [] || r.Prof.attempts > 1 then
+          Some
+            {
+              Quality.ri_nprocs = n;
+              ri_killed = killed;
+              ri_stranded = stranded;
+              ri_attempts = r.Prof.attempts;
+            }
+        else None)
+      runs
+  in
+  let rank_coverage =
+    List.fold_left
+      (fun acc (_, (r : Prof.run)) ->
+        let total = r.Prof.nprocs in
+        let lost =
+          List.length r.Prof.result.Exec.killed_ranks
+          + List.length r.Prof.result.Exec.stranded_ranks
+        in
+        if total > 0 then min acc (float_of_int (total - lost) /. float_of_int total)
+        else acc)
+      1.0 runs
+  in
+  {
+    Quality.artifact_issues;
+    run_issues;
+    dropped_scales = List.sort compare dropped_scales;
+    quarantined_values = analysis.Rootcause.quarantined_values;
+    insufficient_vertices = List.length analysis.Rootcause.insufficient;
+    rank_coverage;
+  }
+
 (* Run detection over already-collected profiles, fanning the PPG builds
    and per-vertex fits out over [pool]. *)
-let detect_with ?(config = Config.default) ?pool (static : Static.t)
+let detect_with ?(config = Config.default) ?pool
+    ?(artifact_issues : Quality.artifact_issue list = [])
+    ?(dropped_scales = []) (static : Static.t)
     (runs : (int * Prof.run) list) =
   let t0 = Unix.gettimeofday () in
   let crossscale =
@@ -36,44 +89,72 @@ let detect_with ?(config = Config.default) ?pool (static : Static.t)
   in
   let detect_seconds = Unix.gettimeofday () -. t0 in
   let lint = Lint.run static.Static.program in
+  let quality = assemble_quality ~artifact_issues ~dropped_scales runs analysis in
   let report =
     Report.render ~program:static.Static.program
       ~predicted_locs:(List.map (fun (f : Lint.finding) -> f.Lint.loc) lint)
+      ~quality
       ~psg:(Static.psg static) analysis
   in
-  { static; runs; crossscale; analysis; lint; detect_seconds; report }
+  { static; runs; crossscale; analysis; lint; quality; detect_seconds; report }
 
-let detect ?(config = Config.default) (static : Static.t)
-    (runs : (int * Prof.run) list) =
+let detect ?(config = Config.default) ?artifact_issues ?dropped_scales
+    (static : Static.t) (runs : (int * Prof.run) list) =
   Pool.with_pool ~size:config.Config.analysis_domains (fun pool ->
-      detect_with ~config ?pool static runs)
+      detect_with ~config ?pool ?artifact_issues ?dropped_scales static runs)
+
+(* Detection over a loaded session: salvage issues found by the artifact
+   reader become data-quality entries. *)
+let detect_session ?config (session : Artifact.session) =
+  let artifact_issues =
+    List.map
+      (fun (i : Artifact.issue) ->
+        {
+          Quality.ai_path = i.Artifact.issue_path;
+          ai_kept = i.Artifact.kept;
+          ai_detail = Artifact.error_detail i.Artifact.error;
+        })
+      session.Artifact.issues
+  in
+  detect ?config ~artifact_issues session.Artifact.static
+    session.Artifact.runs
 
 (* The per-scale profiled runs are independent — and may therefore fan
    out — only when nothing couples them: indirect-call programs refine
    the shared PSG/index as they run (each scale profiles against the
    graph refined by its predecessors), and injection rules carry `every`
    counters across runs.  Both are detected here and keep the run stage
-   sequential; everything downstream still parallelizes. *)
+   sequential; everything downstream still parallelizes.  Fault plans do
+   not couple runs: every draw is keyed on (seed, nprocs, attempt). *)
 let runs_independent ~inject (program : Ast.program) =
   Inject.is_empty inject && not (Ast.has_icalls program)
 
 let run ?(config = Config.default) ?(cost = Costmodel.default)
-    ?(net = Network.default) ?(inject = Inject.empty) ?(params = [])
-    ?(scales = [ 4; 8; 16; 32 ]) (program : Ast.program) =
+    ?(net = Network.default) ?(inject = Inject.empty)
+    ?(faults = Faults.empty) ?(params = []) ?(scales = [ 4; 8; 16; 32 ])
+    (program : Ast.program) =
   Pool.with_pool ~size:config.Config.analysis_domains (fun pool ->
       let static =
         Static.analyze ~max_loop_depth:config.Config.max_loop_depth ?pool
           program
       in
+      let dropped_scales, kept_scales =
+        List.partition (fun n -> Faults.drops_scale faults ~nprocs:n) scales
+      in
       let one nprocs =
-        (nprocs, Prof.run ~config ~cost ~net ~inject ~params static ~nprocs ())
+        ( nprocs,
+          Prof.run_with_retry ~retries:config.Config.max_run_retries ~config
+            ~cost ~net ~inject ~faults ~params static ~nprocs () )
       in
       let runs =
         if runs_independent ~inject program then
-          Pool.parallel_map ?pool one scales
-        else List.map one scales
+          Pool.parallel_map ?pool one kept_scales
+        else List.map one kept_scales
       in
-      detect_with ~config ?pool static runs)
+      detect_with ~config ?pool ~dropped_scales static runs)
+
+(* Did anything degrade this pipeline's inputs? *)
+let degraded t = not (Quality.is_clean t.quality)
 
 (* Locations of the reported root causes, best first. *)
 let root_cause_locs t =

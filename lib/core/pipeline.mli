@@ -1,6 +1,12 @@
 (** ScalAna-detect: the end-to-end pipeline — static analysis, profiled
     runs at several job scales, PPG construction, detection and the
-    report; the detection step is timed (Table IV). *)
+    report; the detection step is timed (Table IV).
+
+    The pipeline degrades instead of dying: salvaged artifacts,
+    fault-killed runs and poisoned metrics are analyzed over what
+    survives, with the loss quantified in [quality].  Clean inputs yield
+    {!Scalana_detect.Quality.clean} and a report byte-identical to a
+    pipeline without the resilience layer. *)
 
 open Scalana_mlang
 open Scalana_runtime
@@ -15,30 +21,52 @@ type t = {
   lint : Lint.finding list;
       (** static scaling-loss predictions; non-scalable vertices they
           anticipate are marked in the report *)
+  quality : Quality.t;
+      (** what degraded inputs lost ({!Scalana_detect.Quality.clean}
+          when nothing did) *)
   detect_seconds : float;
   report : string;
 }
 
 (** Detection over already-collected profiles.  The PPG builds and
     per-vertex fits fan out over [config.analysis_domains] worker
-    domains; output is identical to a sequential run. *)
-val detect : ?config:Config.t -> Static.t -> (int * Prof.run) list -> t
+    domains; output is identical to a sequential run.  [artifact_issues]
+    (damage found while loading) and [dropped_scales] (scales that never
+    ran) flow into [quality]. *)
+val detect :
+  ?config:Config.t ->
+  ?artifact_issues:Quality.artifact_issue list ->
+  ?dropped_scales:int list ->
+  Static.t ->
+  (int * Prof.run) list ->
+  t
+
+(** Detection over a loaded session; salvage issues recorded by
+    {!Artifact.load_session} become data-quality entries. *)
+val detect_session : ?config:Config.t -> Artifact.session -> t
 
 (** End to end: static analysis, one profiled run per scale, detection.
     With [config.analysis_domains >= 2] the local-PSG builds, the
     per-scale profiled runs (when independent: no injection rules, no
     indirect calls), the PPG builds and the log-log fits all fan out
     across domains, and the result — report included — is byte-identical
-    to the sequential pipeline. *)
+    to the sequential pipeline.  A [faults] plan injects deterministic
+    failures: dropped scales never run, fault-killed runs get up to
+    [config.max_run_retries] fresh attempts, and whatever still degrades
+    is analyzed over the surviving ranks. *)
 val run :
   ?config:Config.t ->
   ?cost:Costmodel.t ->
   ?net:Network.t ->
   ?inject:Inject.t ->
+  ?faults:Faults.plan ->
   ?params:(string * int) list ->
   ?scales:int list ->
   Ast.program ->
   t
+
+(** [not (Quality.is_clean t.quality)]. *)
+val degraded : t -> bool
 
 val root_cause_locs : t -> Loc.t list
 val root_cause_labels : t -> string list

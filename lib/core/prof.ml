@@ -3,7 +3,13 @@
    Runs the simulator with the ScalAna tool attached, then applies the
    runtime refinements to the static artifact: indirect-call resolutions
    are spliced into the contracted PSG and indexed, so later runs and the
-   detector see the refined graph (Section III-B3). *)
+   detector see the refined graph (Section III-B3).
+
+   Faults (a {!Scalana_runtime.Faults.plan}) are armed per attempt:
+   rank kills and clock skew act inside the simulator, metric poisoning
+   corrupts the recorded vectors afterwards.  [run_with_retry] re-draws
+   probabilistic faults with a fresh attempt number, bounding how many
+   times a killed run is re-profiled. *)
 
 open Scalana_psg
 open Scalana_runtime
@@ -14,6 +20,7 @@ type run = {
   data : Profdata.t;
   result : Exec.result;
   baseline_elapsed : float option;  (* same run, no tools *)
+  attempts : int;  (* profiling attempts consumed (>= 1) *)
 }
 
 let overhead_percent r =
@@ -21,6 +28,10 @@ let overhead_percent r =
   | Some base when base > 0.0 ->
       Some (100.0 *. (r.result.Exec.elapsed -. base) /. base)
   | _ -> None
+
+(* A run degraded when any rank died or was left blocked by a dead peer. *)
+let degraded r =
+  r.result.Exec.killed_ranks <> [] || r.result.Exec.stranded_ranks <> []
 
 let apply_refinements (static : Static.t) (data : Profdata.t) =
   List.iter
@@ -40,30 +51,70 @@ let apply_refinements (static : Static.t) (data : Profdata.t) =
       | Some _ | None -> ())
     (Profdata.icall_resolutions data)
 
+(* Corrupt recorded vectors per the armed poison faults: a NaN or a
+   negative time where a sane value stood, exactly what a glitching
+   counter hands a real profiler. *)
+let apply_poison armed (data : Profdata.t) =
+  if not (Faults.is_none armed) then
+    Array.iteri
+      (fun rank per_rank ->
+        Hashtbl.iter
+          (fun vertex (vec : Perfvec.t) ->
+            match Faults.poison armed ~rank ~vertex with
+            | Some `Nan -> vec.Perfvec.time <- Float.nan
+            | Some `Negative ->
+                vec.Perfvec.time <- -.Float.abs vec.Perfvec.time -. 1e-9
+            | None -> ())
+          per_rank)
+      data.Profdata.vectors
+
 let run ?(config = Config.default) ?(cost = Costmodel.default)
-    ?(net = Network.default) ?(inject = Inject.empty) ?(params = [])
+    ?(net = Network.default) ?(inject = Inject.empty)
+    ?(faults = Faults.empty) ?(attempt = 1) ?(params = [])
     ?(measure_overhead = false) ?(extra_tools = []) (static : Static.t)
     ~nprocs () =
+  let armed = Faults.arm faults ~nprocs ~attempt in
   let profiler =
     Profiler.create
       ~config:(Config.profiler_config config)
       ~index:static.Static.index ~nprocs ()
   in
-  let mk_cfg tools =
-    Exec.config ~nprocs ~params ~cost ~net ~inject ~tools ()
+  let mk_cfg ~faults tools =
+    Exec.config ~nprocs ~params ~cost ~net ~inject ~faults ~tools ()
   in
   let baseline_elapsed =
     if measure_overhead then begin
-      let r = Exec.run ~cfg:(mk_cfg []) static.Static.program in
+      (* the baseline measures tool overhead, not fault behavior *)
+      let r =
+        Exec.run ~cfg:(mk_cfg ~faults:Faults.none []) static.Static.program
+      in
       Some r.Exec.elapsed
     end
     else None
   in
   let result =
     Exec.run
-      ~cfg:(mk_cfg (Profiler.tool profiler :: extra_tools))
+      ~cfg:(mk_cfg ~faults:armed (Profiler.tool profiler :: extra_tools))
       static.Static.program
   in
   let data = Profiler.data profiler in
+  apply_poison armed data;
   apply_refinements static data;
-  { nprocs; data; result; baseline_elapsed }
+  { nprocs; data; result; baseline_elapsed; attempts = attempt }
+
+(* Profile a scale, re-drawing probabilistic faults on each retry: a run
+   that lost ranks is attempted again with a fresh attempt number (same
+   plan seed, so the whole sequence is reproducible) up to [retries]
+   extra times.  The last attempt is returned even if still degraded —
+   the detector then works with the surviving ranks. *)
+let run_with_retry ?(retries = 0) ?config ?cost ?net ?inject
+    ?(faults = Faults.empty) ?params ?measure_overhead ?extra_tools static
+    ~nprocs () =
+  let rec go attempt =
+    let r =
+      run ?config ?cost ?net ?inject ~faults ~attempt ?params
+        ?measure_overhead ?extra_tools static ~nprocs ()
+    in
+    if degraded r && attempt <= retries then go (attempt + 1) else r
+  in
+  go 1

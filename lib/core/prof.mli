@@ -1,6 +1,8 @@
 (** ScalAna-prof: run an instrumented program at one job scale and apply
     the runtime refinements (indirect-call splicing) to the static
-    artifact. *)
+    artifact.  Faults from a {!Scalana_runtime.Faults.plan} are armed per
+    attempt; {!run_with_retry} re-profiles a degraded run with fresh
+    fault draws, bounded by [retries]. *)
 
 open Scalana_runtime
 open Scalana_profile
@@ -10,10 +12,14 @@ type run = {
   data : Profdata.t;
   result : Exec.result;
   baseline_elapsed : float option;  (** same run without tools *)
+  attempts : int;  (** profiling attempts consumed (>= 1) *)
 }
 
 (** Available when the run was made with [~measure_overhead:true]. *)
 val overhead_percent : run -> float option
+
+(** Did any rank die or get stranded in this run? *)
+val degraded : run -> bool
 
 (** Splice observed indirect-call targets into the contracted PSG and
     refresh the index (done automatically by {!run}). *)
@@ -24,6 +30,26 @@ val run :
   ?cost:Costmodel.t ->
   ?net:Network.t ->
   ?inject:Inject.t ->
+  ?faults:Faults.plan ->
+  ?attempt:int ->
+  ?params:(string * int) list ->
+  ?measure_overhead:bool ->
+  ?extra_tools:Instrument.t list ->
+  Static.t ->
+  nprocs:int ->
+  unit ->
+  run
+
+(** Like {!run}, retrying (with attempt numbers 2, 3, …) while the run is
+    {!degraded}, up to [retries] extra attempts; the last attempt is
+    returned even if still degraded. *)
+val run_with_retry :
+  ?retries:int ->
+  ?config:Config.t ->
+  ?cost:Costmodel.t ->
+  ?net:Network.t ->
+  ?inject:Inject.t ->
+  ?faults:Faults.plan ->
   ?params:(string * int) list ->
   ?measure_overhead:bool ->
   ?extra_tools:Instrument.t list ->

@@ -25,7 +25,11 @@ let default_config = { abnorm_thd = 1.3; min_seconds = 1e-4 }
 
 let detect_vertex ?(config = default_config) ppg ~vertex =
   let times = Ppg.times_across_ranks ppg ~vertex in
-  let max_time = Array.fold_left Float.max 0.0 times in
+  (* poisoned values are quarantined from the statistics; the deviation
+     scan below skips them naturally (NaN/negative never exceed a
+     positive threshold), so a faulted rank can't be flagged on garbage *)
+  let clean, _ = Aggregate.sanitize times in
+  let max_time = Array.fold_left Float.max 0.0 clean in
   if max_time < config.min_seconds then None
   else begin
     let med = Aggregate.median times in

@@ -17,11 +17,28 @@ let strategy_name = function
   | Variance_weighted -> "variance"
   | Kmeans k -> Printf.sprintf "kmeans(%d)" k
 
+(* Poisoned values (NaN from a broken counter, negative garbage) are
+   quarantined before any merging: [sanitize] returns the surviving
+   values and how many were dropped.  Clean input comes back physically
+   unchanged, so the no-fault paths behave exactly as before. *)
+let quarantined x = Float.is_nan x || x < 0.0
+
+let sanitize a =
+  if Array.exists quarantined a then begin
+    let keep =
+      Array.to_list a |> List.filter (fun x -> not (quarantined x))
+    in
+    (Array.of_list keep, Array.length a - List.length keep)
+  end
+  else (a, 0)
+
 let mean a =
+  let a, _ = sanitize a in
   if Array.length a = 0 then 0.0
   else Array.fold_left ( +. ) 0.0 a /. float_of_int (Array.length a)
 
 let median a =
+  let a, _ = sanitize a in
   let n = Array.length a in
   if n = 0 then 0.0
   else begin
@@ -31,6 +48,7 @@ let median a =
   end
 
 let variance a =
+  let a, _ = sanitize a in
   let m = mean a in
   if Array.length a = 0 then 0.0
   else
@@ -88,11 +106,15 @@ let kmeans ~k a =
 
 let apply strategy values =
   match strategy with
-  | Single r -> if r < Array.length values then values.(r) else 0.0
+  | Single r ->
+      if r < Array.length values && not (quarantined values.(r)) then
+        values.(r)
+      else 0.0
   | Mean -> mean values
   | Median -> median values
   | Variance_weighted -> mean values +. stddev values
   | Kmeans k -> (
+      let values, _ = sanitize values in
       let clusters = kmeans ~k values in
       (* centroid of the heaviest (largest-time) populated cluster: the
          "busy group" drives the scaling behaviour *)

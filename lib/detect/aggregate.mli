@@ -10,6 +10,15 @@ type strategy =
   | Kmeans of int  (** centroid of the heaviest populated cluster *)
 
 val strategy_name : strategy -> string
+
+(** Is this value quarantined (NaN or negative — a poisoned metric)? *)
+val quarantined : float -> bool
+
+(** Drop quarantined values; returns the survivors and the count dropped.
+    Clean input comes back physically unchanged.  Every merging function
+    below sanitizes its input first. *)
+val sanitize : float array -> float array * int
+
 val mean : float array -> float
 val median : float array -> float
 val variance : float array -> float

@@ -1,0 +1,78 @@
+(* Data-quality accounting for degraded-mode analysis.
+
+   Production runs produce imperfect data — ranks die, artifact files get
+   truncated, counters return garbage, scale points go missing.  The
+   pipeline degrades instead of dying, and this record quantifies exactly
+   what was lost so a degraded verdict is never mistaken for a clean one.
+   A clean pipeline produces [clean] and the report stays byte-identical
+   to a build without the resilience layer. *)
+
+type artifact_issue = {
+  ai_path : string;  (* file the damage was found in *)
+  ai_kept : int;  (* intact records salvaged from it *)
+  ai_detail : string;  (* what was wrong, human-readable *)
+}
+
+type run_issue = {
+  ri_nprocs : int;
+  ri_killed : int list;  (* ranks a fault terminated *)
+  ri_stranded : int list;  (* ranks left blocked by a killed peer *)
+  ri_attempts : int;  (* profiling attempts (retry-with-new-seed) *)
+}
+
+type t = {
+  artifact_issues : artifact_issue list;
+  run_issues : run_issue list;  (* only degraded or retried runs *)
+  dropped_scales : int list;  (* requested scales with no run at all *)
+  quarantined_values : int;  (* poisoned per-rank values dropped *)
+  insufficient_vertices : int;  (* vertices too damaged to rank *)
+  rank_coverage : float;  (* min over runs of surviving/total ranks *)
+}
+
+let clean =
+  {
+    artifact_issues = [];
+    run_issues = [];
+    dropped_scales = [];
+    quarantined_values = 0;
+    insufficient_vertices = 0;
+    rank_coverage = 1.0;
+  }
+
+let is_clean t =
+  t.artifact_issues = [] && t.run_issues = [] && t.dropped_scales = []
+  && t.quarantined_values = 0
+  && t.insufficient_vertices = 0
+  && t.rank_coverage >= 1.0
+
+let pp_ranks ppf = function
+  | [] -> Fmt.pf ppf "none"
+  | rs -> Fmt.pf ppf "{%s}" (String.concat "," (List.map string_of_int rs))
+
+(* The "-- data quality --" section of the text report; only rendered
+   when the pipeline degraded (clean runs keep their exact old output). *)
+let pp ppf t =
+  Fmt.pf ppf "@.-- data quality (degraded inputs) --@.";
+  Fmt.pf ppf "  rank coverage: %.1f%%@." (100.0 *. t.rank_coverage);
+  List.iter
+    (fun a ->
+      Fmt.pf ppf "  artifact damage: %s: %s (%d record%s salvaged)@."
+        (Filename.basename a.ai_path)
+        a.ai_detail a.ai_kept
+        (if a.ai_kept = 1 then "" else "s"))
+    t.artifact_issues;
+  List.iter
+    (fun r ->
+      Fmt.pf ppf
+        "  degraded run: np=%d killed ranks=%a stranded=%a (%d attempt%s)@."
+        r.ri_nprocs pp_ranks r.ri_killed pp_ranks r.ri_stranded r.ri_attempts
+        (if r.ri_attempts = 1 then "" else "s"))
+    t.run_issues;
+  if t.dropped_scales <> [] then
+    Fmt.pf ppf "  dropped scales: %s@."
+      (String.concat ", " (List.map string_of_int t.dropped_scales));
+  if t.quarantined_values > 0 then
+    Fmt.pf ppf "  quarantined values: %d@." t.quarantined_values;
+  if t.insufficient_vertices > 0 then
+    Fmt.pf ppf "  vertices with insufficient data: %d@."
+      t.insufficient_vertices

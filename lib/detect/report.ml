@@ -49,11 +49,14 @@ let predicted ~psg ~locs vid =
   in
   matches vid || List.exists matches (Psg.ancestors psg vid)
 
-let render ?program ?(predicted_locs = []) (analysis : Rootcause.analysis)
-    ~psg =
+let render ?program ?(predicted_locs = []) ?(quality = Quality.clean)
+    (analysis : Rootcause.analysis) ~psg =
   let buf = Buffer.create 2048 in
   let ppf = Fmt.with_buffer buf in
   Fmt.pf ppf "=== ScalAna scaling-loss report ===@.";
+  (* degraded inputs announce themselves before any verdict; clean
+     pipelines render exactly the original report *)
+  if not (Quality.is_clean quality) then Quality.pp ppf quality;
   Fmt.pf ppf "@.-- non-scalable vertices (log-log slope ranking) --@.";
   List.iter
     (fun (f : Nonscalable.finding) ->
@@ -62,6 +65,12 @@ let render ?program ?(predicted_locs = []) (analysis : Rootcause.analysis)
            "  [predicted statically]"
          else ""))
     analysis.Rootcause.nonscalable;
+  if analysis.Rootcause.insufficient <> [] then begin
+    Fmt.pf ppf "@.-- vertices with insufficient data (not ranked) --@.";
+    List.iter
+      (fun i -> Fmt.pf ppf "  %a@." (Nonscalable.pp_insufficient psg) i)
+      analysis.Rootcause.insufficient
+  end;
   Fmt.pf ppf "@.-- abnormal vertices (AbnormThd deviation) --@.";
   List.iter
     (fun f -> Fmt.pf ppf "  %a@." (Abnormal.pp_finding psg) f)

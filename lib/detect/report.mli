@@ -15,10 +15,14 @@ val predicted :
 
 (** [render analysis ~psg] — with [predicted_locs] (static-lint hit
     locations), non-scalable vertices the linter anticipated are marked
-    ["[predicted statically]"]. *)
+    ["[predicted statically]"].  A non-clean [quality] prepends a data
+    quality section quantifying what degraded inputs lost; with the
+    default clean quality the output is byte-identical to the original
+    report. *)
 val render :
   ?program:Scalana_mlang.Ast.program ->
   ?predicted_locs:Scalana_mlang.Loc.t list ->
+  ?quality:Quality.t ->
   Rootcause.analysis ->
   psg:Scalana_psg.Psg.t ->
   string

@@ -20,6 +20,9 @@ type cause = {
 type analysis = {
   nonscalable : Nonscalable.finding list;
   abnormal : Abnormal.finding list;
+  insufficient : Nonscalable.insufficient list;
+      (* vertices too damaged by faults to rank *)
+  quarantined_values : int;  (* poisoned per-rank values dropped *)
   paths : Backtrack.path list;
   causes : cause list;
 }
@@ -33,7 +36,7 @@ type analysis = {
 let cause_score ppg (s : Backtrack.step) =
   let times = Ppg.times_across_ranks ppg ~vertex:s.Backtrack.vertex in
   let own = if s.rank < Array.length times then times.(s.rank) else 0.0 in
-  if own <= 1e-9 then 0.0
+  if own <= 1e-9 || Aggregate.quarantined own then 0.0
   else begin
     let med = Aggregate.median times in
     let deviation = if med > 1e-9 then own /. med else 1000.0 in
@@ -69,7 +72,8 @@ let analyze ?(ns_config = Nonscalable.default_config)
     ?(bt_config = Backtrack.default_config) ?pool (cs : Crossscale.t) =
   let _, ppg = Crossscale.largest cs in
   let psg = ppg.Ppg.psg in
-  let nonscalable = Nonscalable.detect ~config:ns_config ?pool cs in
+  let ns_result = Nonscalable.detect_result ~config:ns_config ?pool cs in
+  let nonscalable = ns_result.Nonscalable.findings in
   let abnormal = Abnormal.detect ~config:ab_config ppg in
   let visited = Hashtbl.create 256 in
   let paths = ref [] in
@@ -148,4 +152,11 @@ let analyze ?(ns_config = Nonscalable.default_config)
              (b.n_paths, b.total_time, b.imbalance)
              (a.n_paths, a.total_time, a.imbalance))
   in
-  { nonscalable; abnormal; paths; causes }
+  {
+    nonscalable;
+    abnormal;
+    insufficient = ns_result.Nonscalable.insufficient;
+    quarantined_values = ns_result.Nonscalable.quarantined_values;
+    paths;
+    causes;
+  }

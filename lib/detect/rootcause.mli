@@ -16,6 +16,9 @@ type cause = {
 type analysis = {
   nonscalable : Nonscalable.finding list;
   abnormal : Abnormal.finding list;
+  insufficient : Nonscalable.insufficient list;
+      (** vertices too damaged by faults to rank (degraded mode) *)
+  quarantined_values : int;  (** poisoned per-rank values dropped *)
   paths : Backtrack.path list;
   causes : cause list;  (** ranked: paths, time, imbalance *)
 }

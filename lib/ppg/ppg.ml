@@ -116,10 +116,15 @@ let waits_across_ranks t ~vertex =
   | Some a -> a
   | None -> Array.init t.nprocs (fun rank -> wait_of t ~rank ~vertex)
 
+(* Fraction of ranks reporting at [vertex] (degraded-mode coverage). *)
+let coverage t ~vertex = Profdata.coverage t.data ~vertex
+
 let total_time t =
   Array.init t.nprocs (fun rank ->
       Hashtbl.fold
-        (fun _ (v : Perfvec.t) acc -> acc +. v.time)
+        (fun _ (v : Perfvec.t) acc ->
+          (* poisoned (NaN/negative) values are quarantined, not summed *)
+          if Float.is_nan v.time || v.time < 0.0 then acc else acc +. v.time)
         t.data.Profdata.vectors.(rank) 0.0)
   |> Array.fold_left ( +. ) 0.0
 

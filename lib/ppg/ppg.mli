@@ -49,7 +49,11 @@ val times_across_ranks : t -> vertex:int -> float array
 
 val waits_across_ranks : t -> vertex:int -> float array
 
-(** Total sampled time across all ranks and vertices. *)
+(** Fraction of ranks reporting at [vertex] (degraded-mode coverage). *)
+val coverage : t -> vertex:int -> float
+
+(** Total sampled time across all ranks and vertices; poisoned
+    (NaN/negative) values are quarantined, not summed. *)
 val total_time : t -> float
 
 val n_comm_edges : t -> int

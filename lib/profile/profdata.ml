@@ -50,6 +50,16 @@ let touched_vertices t =
 let across_ranks t ~vertex =
   Array.map (fun tbl -> Hashtbl.find_opt tbl vertex) t.vectors
 
+(* Fraction of ranks that reported a vector at [vertex] — the per-vertex
+   coverage used by degraded-mode detection (1.0 = every rank reported). *)
+let coverage t ~vertex =
+  let n =
+    Array.fold_left
+      (fun acc tbl -> if Hashtbl.mem tbl vertex then acc + 1 else acc)
+      0 t.vectors
+  in
+  if t.nprocs = 0 then 0.0 else float_of_int n /. float_of_int t.nprocs
+
 let storage_bytes t =
   let vec_bytes =
     Array.fold_left

@@ -28,4 +28,7 @@ val touched_vertices : t -> int list
 (** One vertex's vectors across ranks ([None] where untouched). *)
 val across_ranks : t -> vertex:int -> Perfvec.t option array
 
+(** Fraction of ranks reporting a vector at [vertex] (1.0 = all). *)
+val coverage : t -> vertex:int -> float
+
 val storage_bytes : t -> int

@@ -24,15 +24,16 @@ type config = {
   cost : Costmodel.t;
   net : Network.t;
   inject : Inject.t;
+  faults : Faults.armed;
   tools : Instrument.t list;
   max_events : int;
 }
 
 let config ?(params = []) ?(cost = Costmodel.default) ?(net = Network.default)
-    ?(inject = Inject.empty) ?(tools = []) ?(max_events = 500_000_000) ~nprocs
-    () =
+    ?(inject = Inject.empty) ?(faults = Faults.none) ?(tools = [])
+    ?(max_events = 500_000_000) ~nprocs () =
   if nprocs < 1 then invalid_arg "Exec.config: nprocs must be >= 1";
-  { nprocs; params; cost; net; inject; tools; max_events }
+  { nprocs; params; cost; net; inject; faults; tools; max_events }
 
 type result = {
   elapsed : float;  (* latest rank finish time, tool overhead included *)
@@ -43,6 +44,8 @@ type result = {
   comp_pmu : Pmu.t array;
   events : int;
   messages : int;
+  killed_ranks : int list;  (* ranks an injected fault terminated *)
+  stranded_ranks : int list;  (* ranks left blocked by a killed peer *)
 }
 
 (* --- scheduler plumbing --- *)
@@ -86,7 +89,11 @@ type sched = {
   req_waiter : (int, int) Hashtbl.t;  (* request id -> blocked rank *)
   coll_waiters : (int, int list ref) Hashtbl.t;  (* coll seq -> ranks *)
   mutable events : int;
+  mutable killed : int list;  (* ranks terminated by an injected fault *)
 }
+
+(* Internal: unwinds a fiber whose rank an armed fault has terminated. *)
+exception Rank_killed
 
 let make_ready sched p ~resume k =
   p.status <- Ready (resume, k);
@@ -196,6 +203,9 @@ let rec exec_stmts sched p frame stmts =
 
 and exec_stmt sched p frame (s : Ast.stmt) =
   tick sched ~loc:s.loc;
+  (match Faults.kill_time sched.cfg.faults ~rank:p.rank with
+  | Some t when p.clock >= t -> raise Rank_killed
+  | _ -> ());
   match s.node with
   | Ast.Let { var; value } ->
       set_var frame var (eval sched p frame ~loc:s.loc value)
@@ -205,7 +215,8 @@ and exec_stmt sched p frame (s : Ast.stmt) =
           ~env:(env_of sched p frame) w
       in
       let seconds =
-        seconds +. Inject.extra sched.cfg.inject ~rank:p.rank ~loc:s.loc
+        (seconds *. Faults.comp_scale sched.cfg.faults ~rank:p.rank)
+        +. Inject.extra sched.cfg.inject ~rank:p.rank ~loc:s.loc
       in
       let ctx = ctx_of p ~loc:s.loc in
       p.clock <- p.clock +. seconds;
@@ -429,7 +440,14 @@ let merge_params (program : Ast.program) overrides =
 let handler sched p =
   {
     Effect.Deep.retc = (fun () -> p.status <- Finished);
-    exnc = (fun e -> raise e);
+    exnc =
+      (function
+      (* a killed rank stops cleanly: whatever it measured so far stays,
+         peers waiting on it are stranded and handled at end of run *)
+      | Rank_killed ->
+          p.status <- Finished;
+          sched.killed <- p.rank :: sched.killed
+      | e -> raise e);
     effc =
       (fun (type a) (eff : a Effect.t) ->
         match eff with
@@ -501,6 +519,7 @@ let run ?(cfg = config ~nprocs:4 ()) (program : Ast.program) =
       req_waiter = Hashtbl.create 64;
       coll_waiters = Hashtbl.create 16;
       events = 0;
+      killed = [];
     }
   in
   Comm.set_on_complete comm (on_request_complete sched);
@@ -522,13 +541,16 @@ let run ?(cfg = config ~nprocs:4 ()) (program : Ast.program) =
   let stuck =
     Array.to_list procs
     |> List.filter (fun p -> p.status <> Finished)
-    |> List.map (fun p -> string_of_int p.rank)
+    |> List.map (fun p -> p.rank)
   in
-  if stuck <> [] then
+  let killed_ranks = List.sort compare sched.killed in
+  (* a genuine deadlock is still fatal; ranks blocked on a killed peer are
+     the expected degraded outcome and are reported, not raised *)
+  if stuck <> [] && killed_ranks = [] then
     raise
       (Deadlock
          (Printf.sprintf "ranks {%s} blocked at end of run\n%s"
-            (String.concat "," stuck)
+            (String.concat "," (List.map string_of_int stuck))
             (Comm.pending_summary comm)));
   let elapsed = Array.fold_left (fun acc p -> Float.max acc p.clock) 0.0 procs in
   List.iter
@@ -543,4 +565,6 @@ let run ?(cfg = config ~nprocs:4 ()) (program : Ast.program) =
     comp_pmu = Array.map (fun p -> p.comp_pmu) procs;
     events = sched.events;
     messages = comm.Comm.messages_sent;
+    killed_ranks;
+    stranded_ranks = stuck;
   }

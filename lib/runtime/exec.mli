@@ -19,6 +19,7 @@ type config = {
   cost : Costmodel.t;
   net : Network.t;
   inject : Inject.t;
+  faults : Faults.armed;
   tools : Instrument.t list;
   max_events : int;
 }
@@ -28,6 +29,7 @@ val config :
   ?cost:Costmodel.t ->
   ?net:Network.t ->
   ?inject:Inject.t ->
+  ?faults:Faults.armed ->
   ?tools:Instrument.t list ->
   ?max_events:int ->
   nprocs:int ->
@@ -43,6 +45,11 @@ type result = {
   comp_pmu : Pmu.t array;
   events : int;
   messages : int;
+  killed_ranks : int list;  (** ranks an injected fault terminated *)
+  stranded_ranks : int list;
+      (** ranks left blocked forever by a killed peer; their partial
+          measurements survive.  [Deadlock] is only raised when ranks are
+          stuck with no fault involved. *)
 }
 
 val run : ?cfg:config -> Ast.program -> result

@@ -146,7 +146,320 @@ let test_artifact_bad_magic () =
   close_out oc;
   match (Scalana.Artifact.load_value f : Scalana.Static.t) with
   | _ -> Alcotest.fail "expected failure"
-  | exception _ -> ()
+  | exception Scalana.Artifact.Error (Scalana.Artifact.Bad_magic _) -> ()
+
+(* --- salvage properties of the v2 record stream --- *)
+
+(* A small fixture: [k] appended records with distinct payloads, plus the
+   byte offset of every record boundary (header included). *)
+let stream_fixture k =
+  let path = Filename.temp_file "scalana" ".prof" in
+  let values = List.init k (fun i -> (i, String.make (20 + (i * 7)) 'x')) in
+  List.iter (fun v -> Scalana.Artifact.append_value path v) values;
+  let boundaries = ref [] in
+  let pos = ref (String.length Scalana.Artifact.magic + 1) in
+  List.iter
+    (fun v ->
+      boundaries := !pos :: !boundaries;
+      pos := !pos + 8 + String.length (Marshal.to_string v []))
+    values;
+  boundaries := !pos :: !boundaries;
+  (path, values, List.rev !boundaries)
+
+let copy_file src dst =
+  let ic = open_in_bin src in
+  let data = really_input_string ic (in_channel_length ic) in
+  close_in ic;
+  let oc = open_out_bin dst in
+  output_string oc data;
+  close_out oc
+
+let is_prefix_of shorter longer =
+  List.length shorter <= List.length longer
+  && List.for_all2 (fun a b -> a = b)
+       shorter
+       (List.filteri (fun i _ -> i < List.length shorter) longer)
+
+let test_artifact_truncate_every_boundary () =
+  let path, values, boundaries = stream_fixture 5 in
+  let tmp = Filename.temp_file "scalana" ".trunc" in
+  (* cut exactly at each record boundary: a shorter but undamaged stream *)
+  List.iteri
+    (fun i b ->
+      copy_file path tmp;
+      Scalana_runtime.Faults.truncate_file tmp ~at_byte:b;
+      let s : (int * string) Scalana.Artifact.salvage =
+        Scalana.Artifact.read_stream tmp
+      in
+      check_int (Printf.sprintf "boundary %d: records" i) i
+        (List.length s.values);
+      check_bool
+        (Printf.sprintf "boundary %d: undamaged" i)
+        true (s.damage = None))
+    boundaries;
+  (* cut at every single byte offset: the intact prefix survives and the
+     loss is reported as Truncated with the right record count *)
+  let last = List.nth boundaries (List.length boundaries - 1) in
+  for at_byte = 0 to last - 1 do
+    if not (List.mem at_byte boundaries) then begin
+    copy_file path tmp;
+    Scalana_runtime.Faults.truncate_file tmp ~at_byte;
+    let s : (int * string) Scalana.Artifact.salvage =
+      Scalana.Artifact.read_stream tmp
+    in
+    let expect_records =
+      List.length (List.filter (fun b -> b <= at_byte) (List.tl boundaries))
+    in
+    if not (is_prefix_of s.values values) then
+      Alcotest.failf "cut@%d: salvage is not a prefix" at_byte;
+    check_int (Printf.sprintf "cut@%d: records" at_byte) expect_records
+      (List.length s.values);
+    match s.damage with
+    | Some (Scalana.Artifact.Truncated { records_ok; _ }) ->
+        check_int (Printf.sprintf "cut@%d: records_ok" at_byte) expect_records
+          records_ok
+    | Some (Scalana.Artifact.Bad_magic _) when at_byte < 8 ->
+        Alcotest.failf "cut@%d: magic prefix reported as foreign" at_byte
+    | Some e ->
+        Alcotest.failf "cut@%d: unexpected damage %s" at_byte
+          (Scalana.Artifact.error_message e)
+    | None -> Alcotest.failf "cut@%d: truncation not reported" at_byte
+    end
+  done
+
+let test_artifact_bit_flip_salvage () =
+  let path, values, boundaries = stream_fixture 4 in
+  let tmp = Filename.temp_file "scalana" ".flip" in
+  let size = List.nth boundaries (List.length boundaries - 1) in
+  (* flip every byte in turn: salvage must return an exact prefix and
+     always report the damage *)
+  for at_byte = 0 to size - 1 do
+    copy_file path tmp;
+    Scalana_runtime.Faults.corrupt_byte tmp ~at_byte ~xor:0x40 ();
+    let s : (int * string) Scalana.Artifact.salvage =
+      Scalana.Artifact.read_stream tmp
+    in
+    if not (is_prefix_of s.values values) then
+      Alcotest.failf "flip@%d: salvage is not a prefix" at_byte;
+    (match s.damage with
+    | Some _ -> ()
+    | None -> Alcotest.failf "flip@%d: corruption not reported" at_byte);
+    (* records before the flipped one always survive *)
+    let intact_before =
+      List.length
+        (List.filter (fun b -> b <= at_byte) (List.tl boundaries))
+      |> min (List.length values)
+    in
+    if at_byte >= List.hd boundaries then
+      check_bool
+        (Printf.sprintf "flip@%d: prefix survives" at_byte)
+        true
+        (List.length s.values >= min intact_before (List.length values))
+  done;
+  (* a payload flip specifically lands on the checksum, not a crash *)
+  copy_file path tmp;
+  Scalana_runtime.Faults.corrupt_byte tmp ~at_byte:(List.hd boundaries + 8)
+    ~xor:0x01 ();
+  let s : (int * string) Scalana.Artifact.salvage =
+    Scalana.Artifact.read_stream tmp
+  in
+  match s.damage with
+  | Some (Scalana.Artifact.Checksum_mismatch { record; _ }) ->
+      check_int "flip hits record 0" 0 record
+  | Some e -> Alcotest.failf "unexpected: %s" (Scalana.Artifact.error_message e)
+  | None -> Alcotest.fail "payload flip undetected"
+
+let test_artifact_decode_failure_surfaced () =
+  (* a run file with valid magic and CRC but an undecodable payload must
+     surface as a named issue, not vanish and not crash (satellite: the
+     old loader dropped it silently) *)
+  let dir = Filename.temp_file "scalana" "" in
+  Sys.remove dir;
+  let entry = Scalana_apps.Registry.find "cg" in
+  let static = Scalana.Static.analyze (entry.make ()) in
+  Scalana.Artifact.save_static dir static;
+  let run = Scalana.Prof.run ~cost:entry.cost static ~nprocs:4 () in
+  Scalana.Artifact.save_run dir run;
+  (* hand-craft the damaged profile: garbage payload, correct checksum *)
+  let bad = Scalana.Artifact.run_path dir 8 in
+  let oc = open_out_bin bad in
+  output_string oc Scalana.Artifact.magic;
+  output_byte oc Scalana.Artifact.format_version;
+  let payload = "certainly not marshalled data" in
+  output_binary_int oc (String.length payload);
+  output_binary_int oc (Scalana.Artifact.crc32 payload);
+  output_string oc payload;
+  close_out oc;
+  let runs, issues = Scalana.Artifact.load_runs_salvage dir in
+  Alcotest.(check (list int)) "good run kept" [ 4 ] (List.map fst runs);
+  check_int "one issue" 1 (List.length issues);
+  let issue = List.hd issues in
+  (match issue.Scalana.Artifact.error with
+  | Scalana.Artifact.Decode_failure { record = 0; _ } -> ()
+  | e -> Alcotest.failf "expected decode failure, got %s"
+           (Scalana.Artifact.error_message e));
+  check_bool "warning names the file" true
+    (try
+       ignore
+         (Str.search_forward
+            (Str.regexp_string "run_0008.prof")
+            (Scalana.Artifact.issue_message issue)
+            0);
+       true
+     with Not_found -> false)
+
+let test_artifact_append_last_wins () =
+  let dir = Filename.temp_file "scalana" "" in
+  Sys.remove dir;
+  let entry = Scalana_apps.Registry.find "cg" in
+  let static = Scalana.Static.analyze (entry.make ()) in
+  Scalana.Artifact.save_static dir static;
+  let r1 = Scalana.Prof.run ~cost:entry.cost static ~nprocs:4 () in
+  Scalana.Artifact.save_run dir r1;
+  let r2 = Scalana.Prof.run ~cost:entry.cost static ~nprocs:4 () in
+  Scalana.Artifact.save_run dir r2;
+  (* two records in one file; the newest intact one wins *)
+  let s : Scalana.Prof.run Scalana.Artifact.salvage =
+    Scalana.Artifact.read_stream (Scalana.Artifact.run_path dir 4)
+  in
+  check_int "both records intact" 2 (List.length s.values);
+  let session = Scalana.Artifact.load_session dir in
+  check_int "one run" 1 (List.length session.runs);
+  check_bool "no issues" true (session.issues = []);
+  (* truncating into the second record falls back to the first *)
+  let path = Scalana.Artifact.run_path dir 4 in
+  let ic = open_in_bin path in
+  let full = in_channel_length ic in
+  close_in ic;
+  Scalana_runtime.Faults.truncate_file path ~at_byte:(full - 10);
+  let runs, issues = Scalana.Artifact.load_runs_salvage dir in
+  check_int "salvaged to first record" 1 (List.length runs);
+  check_int "damage reported" 1 (List.length issues)
+
+(* --- degraded pipelines --- *)
+
+let test_pipeline_salvaged_session () =
+  let dir = Filename.temp_file "scalana" "" in
+  Sys.remove dir;
+  let entry = Scalana_apps.Registry.find "zeusmp" in
+  let static = Scalana.Static.analyze (entry.make ()) in
+  Scalana.Artifact.save_static dir static;
+  List.iter
+    (fun nprocs ->
+      Scalana.Artifact.save_run dir
+        (Scalana.Prof.run ~cost:entry.cost static ~nprocs ()))
+    [ 4; 8; 16 ];
+  (* clean session first: the report carries no data-quality section *)
+  let clean = Scalana.Artifact.load_session dir in
+  let clean_pipe = Scalana.Pipeline.detect_session clean in
+  check_bool "clean session is clean" false
+    (Scalana.Pipeline.degraded clean_pipe);
+  let has needle s =
+    try
+      ignore (Str.search_forward (Str.regexp_string needle) s 0);
+      true
+    with Not_found -> false
+  in
+  check_bool "no quality section when clean" false
+    (has "data quality" clean_pipe.report);
+  (* now truncate the largest scale's profile mid-record *)
+  Scalana_runtime.Faults.truncate_file
+    (Scalana.Artifact.run_path dir 16)
+    ~at_byte:100;
+  let session = Scalana.Artifact.load_session dir in
+  check_int "issue recorded" 1 (List.length session.issues);
+  let pipe = Scalana.Pipeline.detect_session session in
+  Alcotest.(check (list int))
+    "surviving scales" [ 4; 8 ]
+    (List.map fst pipe.runs);
+  check_bool "pipeline degraded" true (Scalana.Pipeline.degraded pipe);
+  check_bool "text report has quality section" true
+    (has "data quality" pipe.report);
+  check_bool "quality names the file" true
+    (pipe.quality.Scalana_detect.Quality.artifact_issues <> []);
+  check_bool "root causes still found" true (pipe.analysis.causes <> []);
+  (* and the HTML report carries the section too *)
+  let html = Scalana.Htmlreport.render pipe in
+  check_bool "html has quality section" true (has "Data quality" html)
+
+let test_pipeline_fault_kill_degrades () =
+  let entry = Scalana_apps.Registry.find "zeusmp" in
+  let faults =
+    Scalana_runtime.Faults.plan
+      [ Scalana_runtime.Faults.kill_rank ~rank:1 ~after:0.01 () ]
+  in
+  let pipe =
+    Scalana.Pipeline.run ~cost:entry.cost ~faults ~scales:[ 4; 8; 16 ]
+      (entry.make ())
+  in
+  check_bool "degraded" true (Scalana.Pipeline.degraded pipe);
+  check_bool "run issues recorded" true
+    (pipe.quality.Scalana_detect.Quality.run_issues <> []);
+  check_bool "coverage below 1" true
+    (pipe.quality.Scalana_detect.Quality.rank_coverage < 1.0);
+  List.iter
+    (fun (r : Scalana_detect.Quality.run_issue) ->
+      check_bool "rank 1 killed" true
+        (List.mem 1 r.Scalana_detect.Quality.ri_killed))
+    pipe.quality.Scalana_detect.Quality.run_issues;
+  let has needle s =
+    try
+      ignore (Str.search_forward (Str.regexp_string needle) s 0);
+      true
+    with Not_found -> false
+  in
+  check_bool "report says degraded" true (has "data quality" pipe.report);
+  check_bool "report lists the kill" true (has "killed ranks" pipe.report)
+
+let test_pipeline_drop_scale () =
+  let entry = Scalana_apps.Registry.find "zeusmp" in
+  let faults =
+    Scalana_runtime.Faults.plan [ Scalana_runtime.Faults.drop_scale 16 ]
+  in
+  let pipe =
+    Scalana.Pipeline.run ~cost:entry.cost ~faults ~scales:[ 4; 8; 16 ]
+      (entry.make ())
+  in
+  Alcotest.(check (list int))
+    "scale 16 never ran" [ 4; 8 ]
+    (List.map fst pipe.runs);
+  Alcotest.(check (list int))
+    "drop recorded" [ 16 ]
+    pipe.quality.Scalana_detect.Quality.dropped_scales;
+  check_bool "degraded" true (Scalana.Pipeline.degraded pipe)
+
+let test_pipeline_poison_quarantined () =
+  let entry = Scalana_apps.Registry.find "zeusmp" in
+  let faults =
+    Scalana_runtime.Faults.plan
+      [ Scalana_runtime.Faults.poison_metric ~ranks:[ 0 ] ~prob:1.0 `Nan ]
+  in
+  let pipe =
+    Scalana.Pipeline.run ~cost:entry.cost ~faults ~scales:[ 4; 8; 16 ]
+      (entry.make ())
+  in
+  check_bool "values quarantined" true
+    (pipe.quality.Scalana_detect.Quality.quarantined_values > 0);
+  check_bool "degraded" true (Scalana.Pipeline.degraded pipe);
+  (* the report still renders over the surviving ranks *)
+  check_bool "report renders" true (String.length pipe.report > 100)
+
+let test_pipeline_fault_determinism () =
+  (* same seed, same plan: byte-identical degraded reports *)
+  let entry = Scalana_apps.Registry.find "zeusmp" in
+  let mk () =
+    let faults =
+      Scalana_runtime.Faults.plan ~seed:7
+        [
+          Scalana_runtime.Faults.kill_rank ~prob:0.7 ~rank:2 ~after:0.02 ();
+          Scalana_runtime.Faults.poison_metric ~prob:0.05 `Negative;
+        ]
+    in
+    (Scalana.Pipeline.run ~cost:entry.cost ~faults ~scales:[ 4; 8 ]
+       (entry.make ()))
+      .report
+  in
+  check_string "reports identical" (mk ()) (mk ())
 
 let test_config_mapping () =
   let c = { Scalana.Config.default with abnorm_thd = 2.0; sampling_freq = 97.0 } in
@@ -245,6 +558,26 @@ let () =
         [
           Alcotest.test_case "roundtrip" `Quick test_artifact_roundtrip;
           Alcotest.test_case "bad magic" `Quick test_artifact_bad_magic;
+          Alcotest.test_case "truncate at every offset" `Quick
+            test_artifact_truncate_every_boundary;
+          Alcotest.test_case "bit-flip salvage" `Quick
+            test_artifact_bit_flip_salvage;
+          Alcotest.test_case "decode failure surfaced" `Quick
+            test_artifact_decode_failure_surfaced;
+          Alcotest.test_case "append, last record wins" `Quick
+            test_artifact_append_last_wins;
+        ] );
+      ( "degraded",
+        [
+          Alcotest.test_case "salvaged session" `Quick
+            test_pipeline_salvaged_session;
+          Alcotest.test_case "rank kill degrades" `Quick
+            test_pipeline_fault_kill_degrades;
+          Alcotest.test_case "dropped scale" `Quick test_pipeline_drop_scale;
+          Alcotest.test_case "poison quarantined" `Quick
+            test_pipeline_poison_quarantined;
+          Alcotest.test_case "fault determinism" `Quick
+            test_pipeline_fault_determinism;
         ] );
       ( "config",
         [ Alcotest.test_case "mapping" `Quick test_config_mapping ] );

@@ -441,6 +441,113 @@ let safe_program_gen : Ast.program QCheck2.Gen.t =
       Builder.program b)
     (list_size (int_range 1 5) (build 2))
 
+(* --- fault injection --- *)
+
+let run_faulted ?(nprocs = 4) plan ~attempt program =
+  let armed = Faults.arm plan ~nprocs ~attempt in
+  let cfg = Exec.config ~nprocs ~faults:armed () in
+  Exec.run ~cfg program
+
+let test_fault_kill_strands_peers () =
+  let prog = ring_program () in
+  let plan = Faults.plan [ Faults.kill_rank ~rank:1 ~after:1e-6 () ] in
+  let r = run_faulted ~nprocs:4 plan ~attempt:1 prog in
+  check_bool "rank 1 killed" true (List.mem 1 r.Exec.killed_ranks);
+  (* the ring couples every rank: the survivors end up stranded on the
+     dead one instead of raising Deadlock *)
+  check_bool "peers stranded, not deadlocked" true
+    (r.Exec.stranded_ranks <> []);
+  check_bool "killed rank not stranded" true
+    (not (List.mem 1 r.Exec.stranded_ranks));
+  (* without the fault the same program completes cleanly *)
+  let clean = run ~nprocs:4 prog in
+  check_bool "clean run unaffected" true
+    (clean.Exec.killed_ranks = [] && clean.Exec.stranded_ranks = [])
+
+let test_fault_kill_after_end_is_noop () =
+  let prog = ring_program () in
+  let clean = run ~nprocs:4 prog in
+  let plan =
+    Faults.plan
+      [ Faults.kill_rank ~rank:1 ~after:(clean.Exec.elapsed +. 1.0) () ]
+  in
+  let r = run_faulted ~nprocs:4 plan ~attempt:1 prog in
+  check_bool "no kill" true (r.Exec.killed_ranks = []);
+  check_float "elapsed unchanged" clean.Exec.elapsed r.Exec.elapsed
+
+let test_fault_clock_skew () =
+  let prog = ring_program () in
+  let clean = run ~nprocs:4 prog in
+  let plan = Faults.plan [ Faults.clock_skew ~rank:0 ~factor:4.0 ] in
+  let r = run_faulted ~nprocs:4 plan ~attempt:1 prog in
+  check_bool "skewed run slower" true (r.Exec.elapsed > clean.Exec.elapsed);
+  check_bool "nobody killed" true (r.Exec.killed_ranks = [])
+
+let test_fault_determinism () =
+  (* same (seed, nprocs, attempt): byte-identical simulation results,
+     probabilistic faults included *)
+  let prog = ring_program () in
+  let plan =
+    Faults.plan ~seed:11
+      [
+        Faults.kill_rank ~prob:0.5 ~rank:2 ~after:1e-4 ();
+        Faults.clock_skew ~rank:3 ~factor:1.5;
+      ]
+  in
+  let r1 = run_faulted ~nprocs:5 plan ~attempt:1 prog in
+  let r2 = run_faulted ~nprocs:5 plan ~attempt:1 prog in
+  check_float "elapsed equal" r1.Exec.elapsed r2.Exec.elapsed;
+  check_int "events equal" r1.Exec.events r2.Exec.events;
+  Alcotest.(check (list int))
+    "kills equal"
+    (List.sort compare r1.Exec.killed_ranks)
+    (List.sort compare r2.Exec.killed_ranks);
+  Alcotest.(check (list int))
+    "stranded equal"
+    (List.sort compare r1.Exec.stranded_ranks)
+    (List.sort compare r2.Exec.stranded_ranks)
+
+let test_fault_draws_keyed_on_attempt () =
+  (* a probabilistic kill is re-drawn per attempt: across many attempts
+     both outcomes occur, and each attempt's draw is stable *)
+  let plan = Faults.plan ~seed:3 [ Faults.kill_rank ~prob:0.5 ~rank:0 ~after:0.1 () ] in
+  let draw attempt =
+    Faults.kill_time (Faults.arm plan ~nprocs:4 ~attempt) ~rank:0 <> None
+  in
+  let outcomes = List.init 32 (fun i -> draw (i + 1)) in
+  check_bool "some attempts kill" true (List.mem true outcomes);
+  check_bool "some attempts spare" true (List.mem false outcomes);
+  List.iteri
+    (fun i o ->
+      check_bool
+        (Printf.sprintf "attempt %d stable" (i + 1))
+        o (draw (i + 1)))
+    outcomes
+
+let test_fault_poison_determinism () =
+  let plan = Faults.plan ~seed:5 [ Faults.poison_metric ~prob:0.3 `Nan ] in
+  let a = Faults.arm plan ~nprocs:8 ~attempt:1 in
+  let b = Faults.arm plan ~nprocs:8 ~attempt:1 in
+  let hits armed =
+    List.concat_map
+      (fun rank ->
+        List.filter_map
+          (fun vertex ->
+            match Faults.poison armed ~rank ~vertex with
+            | Some _ -> Some (rank, vertex)
+            | None -> None)
+          (List.init 50 Fun.id))
+      (List.init 8 Fun.id)
+  in
+  let ha = hits a and hb = hits b in
+  check_bool "some vertices poisoned" true (ha <> []);
+  check_bool "not all vertices poisoned" true (List.length ha < 400);
+  check_bool "draws identical" true (ha = hb);
+  (* drop_scale answers from the plan alone *)
+  let dplan = Faults.plan [ Faults.drop_scale 16 ] in
+  check_bool "dropped" true (Faults.drops_scale dplan ~nprocs:16);
+  check_bool "others kept" true (not (Faults.drops_scale dplan ~nprocs:8))
+
 let random_programs_terminate =
   qtest ~count:60 "random collective-safe programs terminate deterministically"
     safe_program_gen (fun prog ->
@@ -501,5 +608,18 @@ let () =
           Alcotest.test_case "collective payload cost" `Quick
             test_collective_cost_grows_with_bytes;
           random_programs_terminate;
+        ] );
+      ( "faults",
+        [
+          Alcotest.test_case "kill strands peers" `Quick
+            test_fault_kill_strands_peers;
+          Alcotest.test_case "late kill is noop" `Quick
+            test_fault_kill_after_end_is_noop;
+          Alcotest.test_case "clock skew" `Quick test_fault_clock_skew;
+          Alcotest.test_case "determinism" `Quick test_fault_determinism;
+          Alcotest.test_case "draws keyed on attempt" `Quick
+            test_fault_draws_keyed_on_attempt;
+          Alcotest.test_case "poison determinism" `Quick
+            test_fault_poison_determinism;
         ] );
     ]
