@@ -29,7 +29,7 @@ let run only fast no_bech list_only =
         end)
       experiments;
     if (not no_bech) && wanted "bechamel" then begin
-      try Bech.run ()
+      try Microbench.run ()
       with e ->
         Printf.printf "  !! bechamel failed: %s\n%!" (Printexc.to_string e)
     end;

@@ -1,7 +1,9 @@
 (* Multicore-analysis bench: end-to-end pipeline wall time with the
    sequential path (1 domain) vs the domain-pool path (N domains) on the
    zeusmp case, written to BENCH_pipeline.json so the perf trajectory is
-   tracked across PRs.
+   tracked across PRs.  A third, observability-enabled run breaks the
+   wall time down per pipeline phase (docs/observability.md) and the
+   per-phase totals ride along in the same JSON.
 
    The detection output is asserted byte-identical between the two runs
    before any number is reported — a speedup that changes the answer
@@ -21,7 +23,16 @@ let run_with ~entry ~scales d =
         ~cost:(entry : Scalana_apps.Registry.entry).cost ~scales
         (entry.make ()))
 
-let write_json ~path ~program ~scales ~seq_s ~par_s =
+let write_json ~path ~program ~scales ~seq_s ~par_s ~phases =
+  let phase_rows =
+    String.concat ",\n"
+      (List.map
+         (fun (name, calls, total) ->
+           Printf.sprintf
+             "    %S: { \"calls\": %d, \"total_seconds\": %.6f }" name calls
+             total)
+         phases)
+  in
   let oc = open_out path in
   Printf.fprintf oc
     "{\n\
@@ -32,14 +43,16 @@ let write_json ~path ~program ~scales ~seq_s ~par_s =
     \  \"recommended_domain_count\": %d,\n\
     \  \"sequential_seconds\": %.6f,\n\
     \  \"parallel_seconds\": %.6f,\n\
-    \  \"speedup\": %.3f\n\
+    \  \"speedup\": %.3f,\n\
+    \  \"phases\": {\n%s\n  }\n\
      }\n"
     program
     (String.concat ", " (List.map string_of_int scales))
     domains
     (Domain.recommended_domain_count ())
     seq_s par_s
-    (if par_s > 0.0 then seq_s /. par_s else 0.0);
+    (if par_s > 0.0 then seq_s /. par_s else 0.0)
+    phase_rows;
   close_out oc
 
 let pipeline_parallel () =
@@ -59,9 +72,22 @@ let pipeline_parallel () =
     (Domain.recommended_domain_count ())
     (if Domain.recommended_domain_count () = 1 then "" else "s");
   Util.note "reports byte-identical across both runs";
+  (* a third run with the span collector on attributes the parallel wall
+     time to pipeline phases; the instrumented run is never the one the
+     speedup numbers come from *)
+  Scalana_obs.Obs.enable ();
+  let _, _ = run_with ~entry ~scales domains in
+  Scalana_obs.Obs.disable ();
+  let phases = Scalana_obs.Obs.phase_summary () in
+  List.iteri
+    (fun i (name, calls, total) ->
+      if i < 6 then
+        Printf.printf "  phase %-26s %4d calls %8.3fs\n" name calls total)
+    phases;
   write_json ~path:"BENCH_pipeline.json" ~program:"zeusmp" ~scales ~seq_s
-    ~par_s;
-  Printf.printf "  wrote BENCH_pipeline.json\n%!"
+    ~par_s ~phases;
+  Printf.printf "  wrote BENCH_pipeline.json (%d phases)\n%!"
+    (List.length phases)
 
 let all : (string * (unit -> unit)) list =
   [ ("pipeline_parallel_speedup", pipeline_parallel) ]

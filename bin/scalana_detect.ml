@@ -7,8 +7,11 @@
 
 open Cmdliner
 
-let run session abnorm_thd domains follow_def_use =
+let run session abnorm_thd domains follow_def_use trace metrics_out =
   Cli_common.run_cli @@ fun () ->
+  (* observability on before the session loads, so artifact salvage work
+     is on the trace too; the report then carries a pipeline-cost section *)
+  if trace <> None || metrics_out <> None then Scalana_obs.Obs.enable ();
   let s = Scalana.Artifact.load_session session in
   List.iter
     (fun i ->
@@ -28,6 +31,18 @@ let run session abnorm_thd domains follow_def_use =
   Printf.printf "\npost-mortem detection cost: %.3fs (%d domain%s)\n"
     pipeline.detect_seconds domains
     (if domains = 1 then "" else "s");
+  (match trace with
+  | Some path ->
+      Scalana_obs.Obs.export_trace ~path;
+      Printf.eprintf
+        "scalana: trace written to %s (open in Perfetto / about:tracing)\n%!"
+        path
+  | None -> ());
+  (match metrics_out with
+  | Some path ->
+      Scalana_obs.Obs.export_metrics ~path;
+      Printf.eprintf "scalana: metrics written to %s\n%!" path
+  | None -> ());
   (* damaged inputs dominate the exit code: a degraded verdict must not
      pass for a clean one in CI *)
   if Scalana.Pipeline.degraded pipeline then Cli_common.exit_bad_input
@@ -43,12 +58,33 @@ let follow_def_use_arg =
            available instead of sibling order (default: the paper's \
            Algorithm 1).")
 
+let trace_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "trace" ] ~docv:"FILE"
+        ~doc:
+          "Trace the pipeline's own phases and write a Chrome trace_event \
+           JSON to $(docv) (open in Perfetto or about:tracing; one track \
+           per analysis domain).  Also adds a pipeline-cost section to the \
+           report.")
+
+let metrics_out_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "metrics-out" ] ~docv:"FILE"
+        ~doc:
+          "Write the pipeline's self-metrics (counters, gauges, duration \
+           histograms, per-phase totals) as JSON to $(docv).")
+
 let cmd =
   Cmd.v
     (Cmd.info "scalana-detect" ~exits:Cli_common.exits
        ~doc:"Scaling-loss detection and root-cause backtracking (offline)")
     Term.(
       const run $ Cli_common.session_arg $ Cli_common.abnorm_thd_arg
-      $ Cli_common.domains_arg $ follow_def_use_arg)
+      $ Cli_common.domains_arg $ follow_def_use_arg $ trace_arg
+      $ metrics_out_arg)
 
 let () = exit (Cmd.eval' cmd)

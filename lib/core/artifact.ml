@@ -105,11 +105,17 @@ let write_header oc =
 
 let write_record oc v =
   let payload = Marshal.to_string v [] in
+  Scalana_obs.Obs.Metrics.incr ~by:(8 + String.length payload)
+    "artifact.bytes_written";
   output_binary_int oc (String.length payload);
   output_binary_int oc (crc32 payload);
   output_string oc payload
 
 let save_value path v =
+  Scalana_obs.Obs.with_span
+    ~args:[ ("path", Filename.basename path) ]
+    "artifact.write"
+  @@ fun () ->
   let oc = open_out_bin path in
   Fun.protect
     ~finally:(fun () -> close_out oc)
@@ -118,6 +124,10 @@ let save_value path v =
       write_record oc v)
 
 let append_value path v =
+  Scalana_obs.Obs.with_span
+    ~args:[ ("path", Filename.basename path) ]
+    "artifact.write"
+  @@ fun () ->
   (* an empty pre-created file still needs its header *)
   let has_header =
     Sys.file_exists path
@@ -142,7 +152,7 @@ type 'a salvage = { values : 'a list; damage : error option }
 (* Walk the record stream, keeping every intact record; the first sign of
    damage (short read, bad checksum, undecodable payload) stops the walk
    and is reported — the valid prefix survives. *)
-let read_stream path : 'a salvage =
+let read_stream_body path : 'a salvage =
   if not (Sys.file_exists path) then
     { values = []; damage = Some (Missing { path }) }
   else begin
@@ -212,6 +222,29 @@ let read_stream path : 'a salvage =
           end
         end)
   end
+
+(* Observable wrapper: bytes read, salvage counts and one span per file
+   walked.  Disabled (the default) it is the body, verbatim. *)
+let read_stream path : 'a salvage =
+  let module Obs = Scalana_obs.Obs in
+  if not (Obs.enabled ()) then read_stream_body path
+  else
+    Obs.with_span ~args:[ ("path", Filename.basename path) ] "artifact.read"
+    @@ fun () ->
+    let s = read_stream_body path in
+    let bytes =
+      match Unix.stat path with
+      | st -> st.Unix.st_size
+      | exception Unix.Unix_error _ -> 0
+    in
+    Obs.Metrics.incr "artifact.reads";
+    Obs.Metrics.incr ~by:bytes "artifact.bytes_read";
+    (match s.damage with
+    | Some _ ->
+        Obs.Metrics.incr "artifact.damaged_files";
+        Obs.Metrics.incr ~by:(List.length s.values) "artifact.salvaged_records"
+    | None -> ());
+    s
 
 (* Strict single-value read: the first record, or a typed {!Error}. *)
 let load_value path =

@@ -136,6 +136,18 @@ let render (pipe : Pipeline.t) =
         q.Quality.insufficient_vertices
   end;
 
+  (* pipeline self-cost, only when the observability layer collected it *)
+  if pipe.Pipeline.phase_costs <> [] then begin
+    out "<h2>Pipeline cost (self-observability)</h2>\
+         <table><tr><th>phase</th><th>calls</th><th>total</th></tr>";
+    List.iter
+      (fun (name, calls, total) ->
+        out "<tr><td>%s</td><td>%d</td><td>%.3fs</td></tr>" (esc name) calls
+          total)
+      pipe.Pipeline.phase_costs;
+    out "</table>"
+  end;
+
   let lint_locs = List.map (fun (f : Lint.finding) -> f.Lint.loc) pipe.lint in
   out "<h2>Non-scalable vertices</h2><table><tr><th>vertex</th><th>location</th>\
        <th>slope</th><th>share</th><th>series</th>\

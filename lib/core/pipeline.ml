@@ -26,6 +26,8 @@ type t = {
   lint : Lint.finding list;  (* static scaling-loss predictions *)
   quality : Quality.t;  (* what degraded inputs lost (clean = nothing) *)
   detect_seconds : float;
+  phase_costs : (string * int * float) list;
+      (* per-phase self-observability summary; [] unless tracing is on *)
   report : string;
 }
 
@@ -78,25 +80,48 @@ let detect_with ?(config = Config.default) ?pool
     ?(dropped_scales = []) (static : Static.t)
     (runs : (int * Prof.run) list) =
   let t0 = Unix.gettimeofday () in
-  let crossscale =
-    Crossscale.create ?pool ~psg:(Static.psg static)
-      (List.map (fun (n, (r : Prof.run)) -> (n, r.Prof.data)) runs)
-  in
-  let analysis =
-    Rootcause.analyze ~ns_config:(Config.ns_config config)
-      ~ab_config:(Config.ab_config config)
-      ~bt_config:(Config.bt_config config) ?pool crossscale
+  let crossscale, analysis =
+    Scalana_obs.Obs.with_span "pipeline.detect" @@ fun () ->
+    let crossscale =
+      Crossscale.create ?pool ~psg:(Static.psg static)
+        (List.map (fun (n, (r : Prof.run)) -> (n, r.Prof.data)) runs)
+    in
+    let analysis =
+      Rootcause.analyze ~ns_config:(Config.ns_config config)
+        ~ab_config:(Config.ab_config config)
+        ~bt_config:(Config.bt_config config) ?pool crossscale
+    in
+    (crossscale, analysis)
   in
   let detect_seconds = Unix.gettimeofday () -. t0 in
-  let lint = Lint.run static.Static.program in
+  let lint =
+    Scalana_obs.Obs.with_span "lint.run" (fun () ->
+        Lint.run static.Static.program)
+  in
   let quality = assemble_quality ~artifact_issues ~dropped_scales runs analysis in
+  (* summarized before rendering, so the report's own cost section covers
+     every phase up to (but not including) the rendering itself *)
+  let phase_costs =
+    if Scalana_obs.Obs.enabled () then Scalana_obs.Obs.phase_summary () else []
+  in
   let report =
+    Scalana_obs.Obs.with_span "report.render" @@ fun () ->
     Report.render ~program:static.Static.program
       ~predicted_locs:(List.map (fun (f : Lint.finding) -> f.Lint.loc) lint)
-      ~quality
+      ~quality ~phase_costs
       ~psg:(Static.psg static) analysis
   in
-  { static; runs; crossscale; analysis; lint; quality; detect_seconds; report }
+  {
+    static;
+    runs;
+    crossscale;
+    analysis;
+    lint;
+    quality;
+    detect_seconds;
+    phase_costs;
+    report;
+  }
 
 let detect ?(config = Config.default) ?artifact_issues ?dropped_scales
     (static : Static.t) (runs : (int * Prof.run) list) =
@@ -106,6 +131,7 @@ let detect ?(config = Config.default) ?artifact_issues ?dropped_scales
 (* Detection over a loaded session: salvage issues found by the artifact
    reader become data-quality entries. *)
 let detect_session ?config (session : Artifact.session) =
+  Scalana_obs.Obs.with_span "pipeline.detect_session" @@ fun () ->
   let artifact_issues =
     List.map
       (fun (i : Artifact.issue) ->
@@ -133,8 +159,13 @@ let run ?(config = Config.default) ?(cost = Costmodel.default)
     ?(net = Network.default) ?(inject = Inject.empty)
     ?(faults = Faults.empty) ?(params = []) ?(scales = [ 4; 8; 16; 32 ])
     (program : Ast.program) =
+  Scalana_obs.Obs.with_span
+    ~args:[ ("program", program.Ast.pname) ]
+    "pipeline.run"
+  @@ fun () ->
   Pool.with_pool ~size:config.Config.analysis_domains (fun pool ->
       let static =
+        Scalana_obs.Obs.with_span "static.analyze" @@ fun () ->
         Static.analyze ~max_loop_depth:config.Config.max_loop_depth ?pool
           program
       in
@@ -147,6 +178,10 @@ let run ?(config = Config.default) ?(cost = Costmodel.default)
             ~cost ~net ~inject ~faults ~params static ~nprocs () )
       in
       let runs =
+        Scalana_obs.Obs.with_span
+          ~args:[ ("scales", string_of_int (List.length kept_scales)) ]
+          "pipeline.profile_runs"
+        @@ fun () ->
         if runs_independent ~inject program then
           Pool.parallel_map ?pool one kept_scales
         else List.map one kept_scales

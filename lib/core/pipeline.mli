@@ -25,6 +25,12 @@ type t = {
       (** what degraded inputs lost ({!Scalana_detect.Quality.clean}
           when nothing did) *)
   detect_seconds : float;
+  phase_costs : (string * int * float) list;
+      (** per-phase self-observability summary [(phase, calls, total
+          seconds)], sorted by total descending — filled only while
+          {!Scalana_obs.Obs} collection is enabled (e.g. under
+          [scalana-detect --trace]); [[]] otherwise, and then the report
+          is byte-identical to a build without the observability layer *)
   report : string;
 }
 

@@ -73,6 +73,11 @@ let run ?(config = Config.default) ?(cost = Costmodel.default)
     ?(faults = Faults.empty) ?(attempt = 1) ?(params = [])
     ?(measure_overhead = false) ?(extra_tools = []) (static : Static.t)
     ~nprocs () =
+  Scalana_obs.Obs.with_span
+    ~args:
+      [ ("nprocs", string_of_int nprocs); ("attempt", string_of_int attempt) ]
+    "prof.run"
+  @@ fun () ->
   let armed = Faults.arm faults ~nprocs ~attempt in
   let profiler =
     Profiler.create
@@ -115,6 +120,10 @@ let run_with_retry ?(retries = 0) ?config ?cost ?net ?inject
       run ?config ?cost ?net ?inject ~faults ~attempt ?params
         ?measure_overhead ?extra_tools static ~nprocs ()
     in
-    if degraded r && attempt <= retries then go (attempt + 1) else r
+    if degraded r && attempt <= retries then begin
+      Scalana_obs.Obs.Metrics.incr "prof.retries";
+      go (attempt + 1)
+    end
+    else r
   in
   go 1

@@ -60,10 +60,15 @@ let detect_vertex ?(config = default_config) ppg ~vertex =
   end
 
 let detect ?(config = default_config) ppg =
-  List.filter_map
-    (fun vertex -> detect_vertex ~config ppg ~vertex)
-    (Scalana_profile.Profdata.touched_vertices ppg.Ppg.data)
-  |> List.sort (fun a b -> compare b.max_time a.max_time)
+  Scalana_obs.Obs.with_span "abnormal.detect" @@ fun () ->
+  let findings =
+    List.filter_map
+      (fun vertex -> detect_vertex ~config ppg ~vertex)
+      (Scalana_profile.Profdata.touched_vertices ppg.Ppg.data)
+    |> List.sort (fun a b -> compare b.max_time a.max_time)
+  in
+  Scalana_obs.Obs.Metrics.incr ~by:(List.length findings) "abnormal.findings";
+  findings
 
 let pp_finding psg ppf f =
   let v = Scalana_psg.Psg.vertex psg f.vertex in

@@ -54,6 +54,7 @@ let default_config =
   }
 
 let detect_result ?(config = default_config) ?pool (cs : Crossscale.t) =
+  Scalana_obs.Obs.with_span "nonscalable.detect" @@ fun () ->
   let _, largest_ppg = Crossscale.largest cs in
   let total = Ppg.total_time largest_ppg in
   (* per-vertex work is pure (the PPG caches are frozen at build time),
@@ -78,6 +79,7 @@ let detect_result ?(config = default_config) ?pool (cs : Crossscale.t) =
     let fraction = if total > 0.0 then at_largest /. total else 0.0 in
     if fraction < config.min_fraction then (None, None, dropped)
     else begin
+      Scalana_obs.Obs.Metrics.incr "loglog.fits";
       let fit = Loglog.fit series in
       if dropped > 0 && fit.Loglog.n < config.min_points then
         ( None,
@@ -96,8 +98,14 @@ let detect_result ?(config = default_config) ?pool (cs : Crossscale.t) =
       end
     end
   in
+  let touched = Crossscale.touched_vertices cs in
+  (* the per-vertex aggregate+fit loop is the detection hot spot; its own
+     span separates fitting cost from the surrounding ranking *)
   let evaluated =
-    Scalana_pool.Pool.parallel_map ?pool eval (Crossscale.touched_vertices cs)
+    Scalana_obs.Obs.with_span
+      ~args:[ ("vertices", string_of_int (List.length touched)) ]
+      "loglog.fit_batch"
+      (fun () -> Scalana_pool.Pool.parallel_map ?pool eval touched)
   in
   let findings = List.filter_map (fun (f, _, _) -> f) evaluated in
   let insufficient = List.filter_map (fun (_, i, _) -> i) evaluated in

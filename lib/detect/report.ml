@@ -49,8 +49,20 @@ let predicted ~psg ~locs vid =
   in
   matches vid || List.exists matches (Psg.ancestors psg vid)
 
+(* The pipeline's own per-phase cost, from the self-observability layer;
+   rendered only when tracing was on, so default reports are untouched. *)
+let pp_phase_costs ppf = function
+  | [] -> ()
+  | phases ->
+      Fmt.pf ppf "@.-- pipeline cost (self-observability) --@.";
+      Fmt.pf ppf "  %-28s %7s %12s@." "phase" "calls" "total";
+      List.iter
+        (fun (name, calls, total) ->
+          Fmt.pf ppf "  %-28s %7d %11.3fs@." name calls total)
+        phases
+
 let render ?program ?(predicted_locs = []) ?(quality = Quality.clean)
-    (analysis : Rootcause.analysis) ~psg =
+    ?(phase_costs = []) (analysis : Rootcause.analysis) ~psg =
   let buf = Buffer.create 2048 in
   let ppf = Fmt.with_buffer buf in
   Fmt.pf ppf "=== ScalAna scaling-loss report ===@.";
@@ -80,5 +92,6 @@ let render ?program ?(predicted_locs = []) ?(quality = Quality.clean)
   List.iteri
     (fun i c -> pp_cause ~psg ?program ppf (i, c))
     analysis.causes;
+  pp_phase_costs ppf phase_costs;
   Fmt.flush ppf ();
   Buffer.contents buf

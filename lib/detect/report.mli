@@ -18,11 +18,14 @@ val predicted :
     ["[predicted statically]"].  A non-clean [quality] prepends a data
     quality section quantifying what degraded inputs lost; with the
     default clean quality the output is byte-identical to the original
-    report. *)
+    report.  A non-empty [phase_costs] ([(phase, calls, total seconds)]
+    from {!Scalana_obs.Obs.phase_summary}) appends a "pipeline cost"
+    section; by default — observability off — nothing is added. *)
 val render :
   ?program:Scalana_mlang.Ast.program ->
   ?predicted_locs:Scalana_mlang.Loc.t list ->
   ?quality:Quality.t ->
+  ?phase_costs:(string * int * float) list ->
   Rootcause.analysis ->
   psg:Scalana_psg.Psg.t ->
   string

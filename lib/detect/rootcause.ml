@@ -70,6 +70,7 @@ let start_rank ppg ~vertex =
 let analyze ?(ns_config = Nonscalable.default_config)
     ?(ab_config = Abnormal.default_config)
     ?(bt_config = Backtrack.default_config) ?pool (cs : Crossscale.t) =
+  Scalana_obs.Obs.with_span "rootcause.analyze" @@ fun () ->
   let _, ppg = Crossscale.largest cs in
   let psg = ppg.Ppg.psg in
   let ns_result = Nonscalable.detect_result ~config:ns_config ?pool cs in
@@ -152,6 +153,8 @@ let analyze ?(ns_config = Nonscalable.default_config)
              (b.n_paths, b.total_time, b.imbalance)
              (a.n_paths, a.total_time, a.imbalance))
   in
+  Scalana_obs.Obs.Metrics.incr ~by:(List.length paths) "backtrack.paths";
+  Scalana_obs.Obs.Metrics.incr ~by:(List.length causes) "rootcause.causes";
   {
     nonscalable;
     abnormal;

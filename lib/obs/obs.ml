@@ -1,0 +1,642 @@
+(* Self-observability: spans + metrics for the pipeline's own phases.
+
+   Everything here is stdlib-only and built around one rule: while the
+   switch is off (the default), every entry point returns immediately,
+   so instrumentation can stay compiled into the hot paths without
+   changing their behaviour or their output.
+
+   Domain safety comes from per-domain span buffers (Domain.DLS) that
+   are registered in a global table on first use and only merged at
+   flush time, after the pools have drained — recording never takes a
+   lock shared with another domain.  The metrics registry is the one
+   shared structure; it is small and mutex-protected, and only touched
+   by coarse-grained events (per task, per phase — never per vertex). *)
+
+(* --- minimal JSON --- *)
+
+module Json = struct
+  type t =
+    | Null
+    | Bool of bool
+    | Num of float
+    | Str of string
+    | Arr of t list
+    | Obj of (string * t) list
+
+  let escape buf s =
+    String.iter
+      (fun c ->
+        match c with
+        | '"' -> Buffer.add_string buf "\\\""
+        | '\\' -> Buffer.add_string buf "\\\\"
+        | '\n' -> Buffer.add_string buf "\\n"
+        | '\r' -> Buffer.add_string buf "\\r"
+        | '\t' -> Buffer.add_string buf "\\t"
+        | '\b' -> Buffer.add_string buf "\\b"
+        | '\012' -> Buffer.add_string buf "\\f"
+        | c when Char.code c < 0x20 ->
+            Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+        | c -> Buffer.add_char buf c)
+      s
+
+  let add_num buf v =
+    if Float.is_integer v && Float.abs v < 1e15 then
+      Buffer.add_string buf (Printf.sprintf "%.0f" v)
+    else Buffer.add_string buf (Printf.sprintf "%.12g" v)
+
+  let to_string t =
+    let buf = Buffer.create 1024 in
+    let rec go = function
+      | Null -> Buffer.add_string buf "null"
+      | Bool b -> Buffer.add_string buf (if b then "true" else "false")
+      | Num v -> add_num buf v
+      | Str s ->
+          Buffer.add_char buf '"';
+          escape buf s;
+          Buffer.add_char buf '"'
+      | Arr l ->
+          Buffer.add_char buf '[';
+          List.iteri
+            (fun i x ->
+              if i > 0 then Buffer.add_char buf ',';
+              go x)
+            l;
+          Buffer.add_char buf ']'
+      | Obj l ->
+          Buffer.add_char buf '{';
+          List.iteri
+            (fun i (k, v) ->
+              if i > 0 then Buffer.add_char buf ',';
+              Buffer.add_char buf '"';
+              escape buf k;
+              Buffer.add_string buf "\":";
+              go v)
+            l;
+          Buffer.add_char buf '}'
+    in
+    go t;
+    Buffer.contents buf
+
+  exception Bad of int * string
+
+  (* Recursive-descent parser over the subset we emit; [pos] in the
+     error is a byte offset into the input. *)
+  let of_string s =
+    let n = String.length s in
+    let pos = ref 0 in
+    let fail msg = raise (Bad (!pos, msg)) in
+    let peek () = if !pos < n then Some s.[!pos] else None in
+    let advance () = incr pos in
+    let rec skip_ws () =
+      match peek () with
+      | Some (' ' | '\t' | '\n' | '\r') ->
+          advance ();
+          skip_ws ()
+      | _ -> ()
+    in
+    let expect c =
+      match peek () with
+      | Some c' when c' = c -> advance ()
+      | _ -> fail (Printf.sprintf "expected %C" c)
+    in
+    let literal word value =
+      if !pos + String.length word <= n
+         && String.sub s !pos (String.length word) = word
+      then begin
+        pos := !pos + String.length word;
+        value
+      end
+      else fail ("expected " ^ word)
+    in
+    let parse_string () =
+      expect '"';
+      let buf = Buffer.create 16 in
+      let rec go () =
+        if !pos >= n then fail "unterminated string";
+        let c = s.[!pos] in
+        advance ();
+        if c = '"' then Buffer.contents buf
+        else if c = '\\' then begin
+          (if !pos >= n then fail "unterminated escape";
+           let e = s.[!pos] in
+           advance ();
+           match e with
+           | '"' -> Buffer.add_char buf '"'
+           | '\\' -> Buffer.add_char buf '\\'
+           | '/' -> Buffer.add_char buf '/'
+           | 'n' -> Buffer.add_char buf '\n'
+           | 'r' -> Buffer.add_char buf '\r'
+           | 't' -> Buffer.add_char buf '\t'
+           | 'b' -> Buffer.add_char buf '\b'
+           | 'f' -> Buffer.add_char buf '\012'
+           | 'u' ->
+               if !pos + 4 > n then fail "short \\u escape";
+               let hex = String.sub s !pos 4 in
+               pos := !pos + 4;
+               let code =
+                 try int_of_string ("0x" ^ hex)
+                 with _ -> fail "bad \\u escape"
+               in
+               (* we only emit \u00XX for control characters; decode the
+                  basic-plane code point as UTF-8 *)
+               if code < 0x80 then Buffer.add_char buf (Char.chr code)
+               else if code < 0x800 then begin
+                 Buffer.add_char buf (Char.chr (0xC0 lor (code lsr 6)));
+                 Buffer.add_char buf (Char.chr (0x80 lor (code land 0x3F)))
+               end
+               else begin
+                 Buffer.add_char buf (Char.chr (0xE0 lor (code lsr 12)));
+                 Buffer.add_char buf
+                   (Char.chr (0x80 lor ((code lsr 6) land 0x3F)));
+                 Buffer.add_char buf (Char.chr (0x80 lor (code land 0x3F)))
+               end
+           | _ -> fail "unknown escape");
+          go ()
+        end
+        else begin
+          Buffer.add_char buf c;
+          go ()
+        end
+      in
+      go ()
+    in
+    let parse_number () =
+      let start = !pos in
+      let num_char c =
+        match c with
+        | '0' .. '9' | '-' | '+' | '.' | 'e' | 'E' -> true
+        | _ -> false
+      in
+      while !pos < n && num_char s.[!pos] do
+        advance ()
+      done;
+      if !pos = start then fail "expected a number";
+      match float_of_string_opt (String.sub s start (!pos - start)) with
+      | Some v -> v
+      | None -> fail "malformed number"
+    in
+    let rec parse_value () =
+      skip_ws ();
+      match peek () with
+      | None -> fail "unexpected end of input"
+      | Some '{' ->
+          advance ();
+          skip_ws ();
+          if peek () = Some '}' then begin
+            advance ();
+            Obj []
+          end
+          else begin
+            let rec members acc =
+              skip_ws ();
+              let k = parse_string () in
+              skip_ws ();
+              expect ':';
+              let v = parse_value () in
+              skip_ws ();
+              match peek () with
+              | Some ',' ->
+                  advance ();
+                  members ((k, v) :: acc)
+              | Some '}' ->
+                  advance ();
+                  Obj (List.rev ((k, v) :: acc))
+              | _ -> fail "expected ',' or '}'"
+            in
+            members []
+          end
+      | Some '[' ->
+          advance ();
+          skip_ws ();
+          if peek () = Some ']' then begin
+            advance ();
+            Arr []
+          end
+          else begin
+            let rec elems acc =
+              let v = parse_value () in
+              skip_ws ();
+              match peek () with
+              | Some ',' ->
+                  advance ();
+                  elems (v :: acc)
+              | Some ']' ->
+                  advance ();
+                  Arr (List.rev (v :: acc))
+              | _ -> fail "expected ',' or ']'"
+            in
+            elems []
+          end
+      | Some '"' -> Str (parse_string ())
+      | Some 't' -> literal "true" (Bool true)
+      | Some 'f' -> literal "false" (Bool false)
+      | Some 'n' -> literal "null" Null
+      | Some _ -> Num (parse_number ())
+    in
+    match
+      let v = parse_value () in
+      skip_ws ();
+      if !pos <> n then fail "trailing garbage";
+      v
+    with
+    | v -> Ok v
+    | exception Bad (at, msg) ->
+        Error (Printf.sprintf "at byte %d: %s" at msg)
+
+  let member key = function
+    | Obj l -> List.assoc_opt key l
+    | _ -> None
+end
+
+(* --- collection switch and clock --- *)
+
+let switch = Atomic.make false
+let epoch = Atomic.make 0.0
+let enabled () = Atomic.get switch
+
+type completed = {
+  sp_name : string;
+  sp_args : (string * string) list;
+  sp_start : float;
+  sp_stop : float;
+  sp_tid : int;
+  sp_depth : int;
+  sp_seq : int;
+}
+
+(* Per-domain buffer: finished spans (newest first), the open-span depth
+   and a local sequence counter, plus the monotonic clamp. *)
+type dbuf = {
+  did : int;
+  mutable finished : completed list;
+  mutable depth : int;
+  mutable seq : int;
+  mutable last_now : float;
+}
+
+let registry_lock = Mutex.create ()
+let registry : dbuf list ref = ref []
+
+let buf_key : dbuf Domain.DLS.key =
+  Domain.DLS.new_key (fun () ->
+      let b =
+        {
+          did = (Domain.self () :> int);
+          finished = [];
+          depth = 0;
+          seq = 0;
+          last_now = 0.0;
+        }
+      in
+      Mutex.lock registry_lock;
+      registry := b :: !registry;
+      Mutex.unlock registry_lock;
+      b)
+
+let raw_now () = Unix.gettimeofday () -. Atomic.get epoch
+
+(* Clamped per domain: gettimeofday can step backwards (NTP); trace
+   timestamps must not. *)
+let now_in buf =
+  let t = raw_now () in
+  if t < buf.last_now then buf.last_now
+  else begin
+    buf.last_now <- t;
+    t
+  end
+
+let now () =
+  if not (enabled ()) then 0.0 else now_in (Domain.DLS.get buf_key)
+
+(* --- metrics registry --- *)
+
+module Metrics = struct
+  type histo = {
+    h_count : int;
+    h_sum : float;
+    h_min : float;
+    h_max : float;
+    h_buckets : int array;
+  }
+
+  let bucket_bounds =
+    [| 1e-6; 1e-5; 1e-4; 1e-3; 1e-2; 1e-1; 1.0; 10.0 |]
+
+  type hstate = {
+    mutable c : int;
+    mutable sum : float;
+    mutable mn : float;
+    mutable mx : float;
+    buckets : int array;  (* one extra slot for overflow *)
+  }
+
+  let lock = Mutex.create ()
+  let counters : (string, int ref) Hashtbl.t = Hashtbl.create 32
+  let gauges : (string, float ref) Hashtbl.t = Hashtbl.create 16
+  let histos : (string, hstate) Hashtbl.t = Hashtbl.create 16
+
+  let clear () =
+    Mutex.lock lock;
+    Hashtbl.reset counters;
+    Hashtbl.reset gauges;
+    Hashtbl.reset histos;
+    Mutex.unlock lock
+
+  let incr ?(by = 1) name =
+    if enabled () then begin
+      Mutex.lock lock;
+      (match Hashtbl.find_opt counters name with
+      | Some r -> r := !r + by
+      | None -> Hashtbl.add counters name (ref by));
+      Mutex.unlock lock
+    end
+
+  let set_gauge name v =
+    if enabled () then begin
+      Mutex.lock lock;
+      (match Hashtbl.find_opt gauges name with
+      | Some r -> r := v
+      | None -> Hashtbl.add gauges name (ref v));
+      Mutex.unlock lock
+    end
+
+  let bucket_of v =
+    let rec go i =
+      if i >= Array.length bucket_bounds then i
+      else if v <= bucket_bounds.(i) then i
+      else go (i + 1)
+    in
+    go 0
+
+  let observe name v =
+    if enabled () then begin
+      Mutex.lock lock;
+      let h =
+        match Hashtbl.find_opt histos name with
+        | Some h -> h
+        | None ->
+            let h =
+              {
+                c = 0;
+                sum = 0.0;
+                mn = infinity;
+                mx = neg_infinity;
+                buckets = Array.make (Array.length bucket_bounds + 1) 0;
+              }
+            in
+            Hashtbl.add histos name h;
+            h
+      in
+      h.c <- h.c + 1;
+      h.sum <- h.sum +. v;
+      if v < h.mn then h.mn <- v;
+      if v > h.mx then h.mx <- v;
+      let b = bucket_of v in
+      h.buckets.(b) <- h.buckets.(b) + 1;
+      Mutex.unlock lock
+    end
+
+  type snapshot = {
+    counters : (string * int) list;
+    gauges : (string * float) list;
+    histograms : (string * histo) list;
+  }
+
+  let sorted tbl f =
+    Hashtbl.fold (fun k v acc -> (k, f v) :: acc) tbl []
+    |> List.sort (fun (a, _) (b, _) -> compare a b)
+
+  let snapshot () =
+    Mutex.lock lock;
+    let snap =
+      {
+        counters = sorted counters (fun r -> !r);
+        gauges = sorted gauges (fun r -> !r);
+        histograms =
+          sorted histos (fun h ->
+              {
+                h_count = h.c;
+                h_sum = h.sum;
+                h_min = (if h.c = 0 then 0.0 else h.mn);
+                h_max = (if h.c = 0 then 0.0 else h.mx);
+                h_buckets = Array.copy h.buckets;
+              });
+      }
+    in
+    Mutex.unlock lock;
+    snap
+end
+
+(* --- spans --- *)
+
+type span =
+  | Inert  (* recorded while disabled *)
+  | Open of {
+      name : string;
+      args : (string * string) list;
+      t0 : float;
+      buf : dbuf;
+      depth : int;
+      seq : int;
+    }
+
+let start ?(args = []) name =
+  if not (enabled ()) then Inert
+  else begin
+    let buf = Domain.DLS.get buf_key in
+    let t0 = now_in buf in
+    let depth = buf.depth and seq = buf.seq in
+    buf.depth <- depth + 1;
+    buf.seq <- seq + 1;
+    Open { name; args; t0; buf; depth; seq }
+  end
+
+let finish ?(args = []) = function
+  | Inert -> ()
+  | Open { name; args = args0; t0; buf; depth; seq } ->
+      let t1 = now_in buf in
+      buf.depth <- depth;
+      buf.finished <-
+        {
+          sp_name = name;
+          sp_args = args0 @ args;
+          sp_start = t0;
+          sp_stop = t1;
+          sp_tid = buf.did;
+          sp_depth = depth;
+          sp_seq = seq;
+        }
+        :: buf.finished
+
+let with_span ?args name f =
+  let sp = start ?args name in
+  match f () with
+  | v ->
+      finish sp;
+      v
+  | exception e ->
+      let bt = Printexc.get_raw_backtrace () in
+      finish sp;
+      Printexc.raise_with_backtrace e bt
+
+(* Flush-time merge; callers guarantee quiescence (pools drained). *)
+let spans () =
+  Mutex.lock registry_lock;
+  let bufs = !registry in
+  Mutex.unlock registry_lock;
+  List.concat_map (fun b -> b.finished) bufs
+  |> List.sort (fun a b ->
+         compare (a.sp_start, a.sp_tid, a.sp_seq)
+           (b.sp_start, b.sp_tid, b.sp_seq))
+
+let reset () =
+  Mutex.lock registry_lock;
+  List.iter
+    (fun b ->
+      b.finished <- [];
+      b.depth <- 0;
+      b.seq <- 0;
+      b.last_now <- 0.0)
+    !registry;
+  Mutex.unlock registry_lock;
+  Metrics.clear ()
+
+let enable () =
+  reset ();
+  Atomic.set epoch (Unix.gettimeofday ());
+  Atomic.set switch true
+
+let disable () = Atomic.set switch false
+
+(* --- exporters --- *)
+
+let phase_summary () =
+  let tbl : (string, int ref * float ref) Hashtbl.t = Hashtbl.create 32 in
+  List.iter
+    (fun sp ->
+      let calls, total =
+        match Hashtbl.find_opt tbl sp.sp_name with
+        | Some e -> e
+        | None ->
+            let e = (ref 0, ref 0.0) in
+            Hashtbl.add tbl sp.sp_name e;
+            e
+      in
+      incr calls;
+      total := !total +. (sp.sp_stop -. sp.sp_start))
+    (spans ());
+  Hashtbl.fold (fun name (c, t) acc -> (name, !c, !t) :: acc) tbl []
+  |> List.sort (fun (an, _, at) (bn, _, bt) -> compare (bt, an) (at, bn))
+
+let us t = t *. 1e6
+
+let trace_json () =
+  let sps = spans () in
+  let tids =
+    List.sort_uniq compare (List.map (fun sp -> sp.sp_tid) sps)
+  in
+  let meta =
+    List.map
+      (fun tid ->
+        Json.Obj
+          [
+            ("name", Json.Str "thread_name");
+            ("ph", Json.Str "M");
+            ("pid", Json.Num 1.0);
+            ("tid", Json.Num (float_of_int tid));
+            ( "args",
+              Json.Obj
+                [
+                  ( "name",
+                    Json.Str
+                      (if tid = 0 then "main" else Printf.sprintf "domain %d" tid)
+                  );
+                ] );
+          ])
+      tids
+  in
+  let events =
+    List.map
+      (fun sp ->
+        Json.Obj
+          ([
+             ("name", Json.Str sp.sp_name);
+             ("cat", Json.Str "scalana");
+             ("ph", Json.Str "X");
+             ("ts", Json.Num (us sp.sp_start));
+             ("dur", Json.Num (us (sp.sp_stop -. sp.sp_start)));
+             ("pid", Json.Num 1.0);
+             ("tid", Json.Num (float_of_int sp.sp_tid));
+           ]
+          @
+          if sp.sp_args = [] then []
+          else
+            [
+              ( "args",
+                Json.Obj
+                  (List.map (fun (k, v) -> (k, Json.Str v)) sp.sp_args) );
+            ]))
+      sps
+  in
+  Json.Obj
+    [
+      ("traceEvents", Json.Arr (meta @ events));
+      ("displayTimeUnit", Json.Str "ms");
+    ]
+
+let metrics_json () =
+  let snap = Metrics.snapshot () in
+  let histo (h : Metrics.histo) =
+    Json.Obj
+      [
+        ("count", Json.Num (float_of_int h.h_count));
+        ("sum", Json.Num h.h_sum);
+        ("min", Json.Num h.h_min);
+        ("max", Json.Num h.h_max);
+        ( "bucket_le",
+          Json.Arr
+            (Array.to_list
+               (Array.map (fun b -> Json.Num b) Metrics.bucket_bounds)) );
+        ( "buckets",
+          Json.Arr
+            (Array.to_list
+               (Array.map (fun c -> Json.Num (float_of_int c)) h.h_buckets))
+        );
+      ]
+  in
+  Json.Obj
+    [
+      ( "counters",
+        Json.Obj
+          (List.map
+             (fun (k, v) -> (k, Json.Num (float_of_int v)))
+             snap.Metrics.counters) );
+      ( "gauges",
+        Json.Obj (List.map (fun (k, v) -> (k, Json.Num v)) snap.Metrics.gauges)
+      );
+      ( "histograms",
+        Json.Obj (List.map (fun (k, h) -> (k, histo h)) snap.Metrics.histograms)
+      );
+      ( "phases",
+        Json.Arr
+          (List.map
+             (fun (name, calls, total) ->
+               Json.Obj
+                 [
+                   ("name", Json.Str name);
+                   ("calls", Json.Num (float_of_int calls));
+                   ("total_seconds", Json.Num total);
+                 ])
+             (phase_summary ())) );
+    ]
+
+let write_file path contents =
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () ->
+      output_string oc contents;
+      output_char oc '\n')
+
+let export_trace ~path = write_file path (Json.to_string (trace_json ()))
+let export_metrics ~path = write_file path (Json.to_string (metrics_json ()))

@@ -82,6 +82,24 @@ let with_pool ~size f =
    the per-scale fan-out). *)
 let chunks_per_unit = 4
 
+(* With observability on, each chunk is wrapped in a "pool.task" span on
+   whatever domain drains it, its time-in-queue goes into the
+   "pool.queue_wait" histogram and a per-domain task counter records who
+   did the work.  Off (the default), tasks run bare. *)
+let observe_task ~lo ~hi task =
+  if not (Scalana_obs.Obs.enabled ()) then task
+  else begin
+    let enqueued = Scalana_obs.Obs.now () in
+    fun () ->
+      Scalana_obs.Obs.Metrics.observe "pool.queue_wait"
+        (Float.max 0.0 (Scalana_obs.Obs.now () -. enqueued));
+      Scalana_obs.Obs.Metrics.incr
+        (Printf.sprintf "pool.tasks.domain%d" (Domain.self () :> int));
+      Scalana_obs.Obs.with_span
+        ~args:[ ("range", Printf.sprintf "%d..%d" lo hi) ]
+        "pool.task" task
+  end
+
 let parallel_map ?pool f xs =
   let sequential () = List.map f xs in
   match pool with
@@ -92,7 +110,12 @@ let parallel_map ?pool f xs =
         let arr = Array.of_list xs in
         let n = Array.length arr in
         if n <= 1 then sequential ()
-        else begin
+        else
+          Scalana_obs.Obs.with_span
+            ~args:[ ("items", string_of_int n) ]
+            "pool.parallel_map"
+          @@ fun () ->
+          begin
           let results = Array.make n None in
           let batch_lock = Mutex.create () in
           let batch_done = Condition.create () in
@@ -132,7 +155,7 @@ let parallel_map ?pool f xs =
           let lo = ref 0 in
           while !lo < n do
             let hi = min (n - 1) (!lo + chunk - 1) in
-            batch := run_range !lo hi :: !batch;
+            batch := observe_task ~lo:!lo ~hi (run_range !lo hi) :: !batch;
             lo := hi + 1
           done;
           remaining := List.length !batch;

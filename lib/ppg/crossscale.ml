@@ -13,6 +13,10 @@ type t = {
 (* Each scale's PPG is built from its own private profile against the
    shared read-only PSG, so the builds fan out across domains. *)
 let create ?pool ~psg runs =
+  Scalana_obs.Obs.with_span
+    ~args:[ ("scales", string_of_int (List.length runs)) ]
+    "crossscale.create"
+  @@ fun () ->
   let runs =
     List.sort (fun (a, _) (b, _) -> compare a b) runs
     |> Scalana_pool.Pool.parallel_map ?pool (fun (n, data) ->

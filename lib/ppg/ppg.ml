@@ -41,6 +41,10 @@ let wait_of t ~rank ~vertex =
   match perf t ~rank ~vertex with Some v -> v.Perfvec.wait | None -> 0.0
 
 let build ~(psg : Psg.t) (data : Profdata.t) =
+  Scalana_obs.Obs.with_span
+    ~args:[ ("nprocs", string_of_int data.Profdata.nprocs) ]
+    "ppg.build"
+  @@ fun () ->
   let p2p = Commrec.p2p_edges data.Profdata.comm in
   let incoming = Hashtbl.create (max 16 (List.length p2p)) in
   List.iter
@@ -78,6 +82,9 @@ let build ~(psg : Psg.t) (data : Profdata.t) =
       Hashtbl.replace waits_cache vertex
         (Array.init nprocs (fun rank -> wait_of t ~rank ~vertex)))
     touched;
+  Scalana_obs.Obs.Metrics.incr "ppg.builds";
+  Scalana_obs.Obs.Metrics.incr ~by:(List.length touched) "ppg.vertices";
+  Scalana_obs.Obs.Metrics.incr ~by:(Hashtbl.length incoming) "ppg.comm_edges";
   t
 
 let incoming_edges t ~rank ~vertex =

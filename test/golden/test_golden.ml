@@ -1,0 +1,33 @@
+(* Golden-report regression harness.
+
+   [test_golden.exe NAME] runs the full pipeline for registry program
+   NAME at fixed seeds and scales and prints the text report; the dune
+   rules in this directory diff that output against the checked-in
+   snapshot [NAME.expected].  A legitimate report change is promoted
+   with
+
+     dune runtest --auto-promote
+
+   which rewrites the snapshots in place.  Everything the report depends
+   on is deterministic — simulated clocks, the default config seed, and
+   fixed job scales — so any diff is a real behaviour change, not noise.
+   In particular these snapshots pin down that the observability layer
+   (lib/obs) leaves every report byte-identical while tracing is
+   disabled, which is the default. *)
+
+let max_np = 16
+
+let report name =
+  let entry = Scalana_apps.Registry.find name in
+  let scales = Scalana_apps.Registry.scales entry ~min_np:4 ~max_np in
+  let pipeline =
+    Scalana.Pipeline.run ~cost:entry.cost ~scales (entry.make ())
+  in
+  pipeline.Scalana.Pipeline.report
+
+let () =
+  match Sys.argv with
+  | [| _; name |] -> print_string (report name)
+  | _ ->
+      prerr_endline "usage: test_golden.exe PROGRAM";
+      exit 2

@@ -530,6 +530,51 @@ let test_html_report () =
   Scalana.Htmlreport.write pipe ~path;
   check_bool "file written" true (Sys.file_exists path && (Unix.stat path).Unix.st_size > 1000)
 
+(* --- seeded property: the artifact record stream encodes byte-stably.
+   Writing arbitrary records, reading them back and writing them again
+   must reproduce the first file bit for bit — otherwise re-saved
+   sessions would spuriously diff. *)
+
+let prop_artifact_roundtrip_bytes =
+  let payload =
+    Prop.(
+      map
+        (fun (tag, len) -> (tag, String.make len 'p'))
+        ~show:(fun (tag, s) ->
+          Printf.sprintf "(%d, %d bytes)" tag (String.length s))
+        (pair (int_range 0 1_000_000) (int_range 0 64)))
+  in
+  Prop.test ~count:25 "record stream round-trips byte-stably"
+    (Prop.list_of ~max_len:6 payload)
+    (fun values ->
+      (* at least one record, so the stream always has its header *)
+      let values = (0, "seed") :: values in
+      let write vs =
+        let path = Filename.temp_file "scalana_prop" ".art" in
+        List.iter (fun v -> Scalana.Artifact.append_value path v) vs;
+        path
+      in
+      let read_bytes path =
+        let ic = open_in_bin path in
+        let n = in_channel_length ic in
+        let s = really_input_string ic n in
+        close_in ic;
+        s
+      in
+      let a = write values in
+      let s : (int * string) Scalana.Artifact.salvage =
+        Scalana.Artifact.read_stream a
+      in
+      let b = write s.Scalana.Artifact.values in
+      let ok =
+        s.Scalana.Artifact.damage = None
+        && s.Scalana.Artifact.values = values
+        && String.equal (read_bytes a) (read_bytes b)
+      in
+      Sys.remove a;
+      Sys.remove b;
+      ok)
+
 let () =
   Alcotest.run "core"
     [
@@ -566,6 +611,7 @@ let () =
             test_artifact_decode_failure_surfaced;
           Alcotest.test_case "append, last record wins" `Quick
             test_artifact_append_last_wins;
+          prop_artifact_roundtrip_bytes;
         ] );
       ( "degraded",
         [

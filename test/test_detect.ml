@@ -419,6 +419,48 @@ let test_critpath_agrees_with_backtracking () =
   in
   check_bool "bval on the chain" true on_chain
 
+(* --- seeded properties through the stdlib Prop harness --- *)
+
+(* Floats as the profiler might hand them over after faults: NaN from a
+   broken counter, negative garbage, infinities, zeros and plain values. *)
+let messy_float =
+  let open Prop in
+  {
+    gen =
+      (fun r ->
+        match below r 8 with
+        | 0 -> Float.nan
+        | 1 -> -.(float_of_int (below r 10_000) /. 100.0)
+        | 2 -> Float.infinity
+        | 3 -> 0.0
+        | _ -> float_of_int (below r 10_000) /. 100.0);
+    shrink = (fun _ -> []);
+    show = (fun x -> Printf.sprintf "%h" x);
+  }
+
+let prop_sanitize_idempotent =
+  Prop.test ~count:200 "sanitize is idempotent"
+    (Prop.list_of ~max_len:24 messy_float)
+    (fun l ->
+      let a = Array.of_list l in
+      let once, dropped = Aggregate.sanitize a in
+      let twice, dropped_again = Aggregate.sanitize once in
+      dropped_again = 0
+      && twice == once (* clean input passes through physically unchanged *)
+      && dropped = Array.length a - Array.length once
+      && not (Array.exists (fun x -> Float.is_nan x || x < 0.0) once))
+
+let prop_fit_recovers_slope =
+  Prop.test ~count:200 "fit recovers planted slope (shrinking harness)"
+    Prop.(pair (float_range (-2.5) 1.5) (float_range 0.1 50.0))
+    (fun (slope, coeff) ->
+      let pts =
+        List.map
+          (fun p -> (p, coeff *. (float_of_int p ** slope)))
+          [ 2; 4; 8; 16; 32; 64 ]
+      in
+      abs_float ((Loglog.fit pts).Loglog.slope -. slope) < 1e-6)
+
 let () =
   Alcotest.run "detect"
     [
@@ -427,6 +469,7 @@ let () =
           Alcotest.test_case "basic strategies" `Quick test_aggregate_basic;
           Alcotest.test_case "kmeans clusters" `Quick test_kmeans;
           kmeans_total;
+          prop_sanitize_idempotent;
         ] );
       ( "loglog",
         [
@@ -434,6 +477,7 @@ let () =
           Alcotest.test_case "flat series" `Quick test_loglog_flat;
           Alcotest.test_case "degenerate input" `Quick test_loglog_degenerate;
           loglog_recovers_slope;
+          prop_fit_recovers_slope;
         ] );
       ( "nonscalable",
         [

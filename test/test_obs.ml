@@ -1,0 +1,331 @@
+(* Tests for the self-observability layer: span nesting and ordering
+   invariants, per-domain buffer merge under the pool, exporter JSON
+   shape, and the metrics registry. *)
+
+open Scalana_obs
+
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+let check_string = Alcotest.(check string)
+
+(* Every test owns the global collector: enable() resets, and we leave
+   it disabled so the other suites see the default-off behaviour. *)
+let with_obs f =
+  Obs.enable ();
+  Fun.protect ~finally:(fun () -> Obs.disable (); Obs.reset ()) f
+
+(* --- disabled-by-default inertness --- *)
+
+let test_disabled_inert () =
+  Obs.reset ();
+  check_bool "off by default" false (Obs.enabled ());
+  check_int "with_span passes value through" 42
+    (Obs.with_span "never" (fun () -> 42));
+  let sp = Obs.start "never" in
+  Obs.finish sp;
+  Obs.Metrics.incr "never.counter";
+  Obs.Metrics.set_gauge "never.gauge" 1.0;
+  Obs.Metrics.observe "never.histo" 1.0;
+  Alcotest.(check (float 0.0)) "clock parked" 0.0 (Obs.now ());
+  check_int "no spans recorded" 0 (List.length (Obs.spans ()));
+  let s = Obs.Metrics.snapshot () in
+  check_int "no counters" 0 (List.length s.Obs.Metrics.counters);
+  check_int "no gauges" 0 (List.length s.Obs.Metrics.gauges);
+  check_int "no histograms" 0 (List.length s.Obs.Metrics.histograms)
+
+(* --- span nesting and ordering --- *)
+
+let test_span_nesting () =
+  with_obs @@ fun () ->
+  Obs.with_span "outer" (fun () ->
+      Obs.with_span "inner1" (fun () -> ());
+      Obs.with_span "inner2" (fun () ->
+          Obs.with_span "leaf" (fun () -> ())));
+  let sps = Obs.spans () in
+  check_int "four spans" 4 (List.length sps);
+  let find name = List.find (fun sp -> sp.Obs.sp_name = name) sps in
+  let outer = find "outer"
+  and inner1 = find "inner1"
+  and inner2 = find "inner2"
+  and leaf = find "leaf" in
+  check_int "outer top-level" 0 outer.Obs.sp_depth;
+  check_int "inner1 nested" 1 inner1.Obs.sp_depth;
+  check_int "inner2 nested" 1 inner2.Obs.sp_depth;
+  check_int "leaf doubly nested" 2 leaf.Obs.sp_depth;
+  let within child parent =
+    parent.Obs.sp_start <= child.Obs.sp_start
+    && child.Obs.sp_stop <= parent.Obs.sp_stop
+  in
+  check_bool "inner1 within outer" true (within inner1 outer);
+  check_bool "inner2 within outer" true (within inner2 outer);
+  check_bool "leaf within inner2" true (within leaf inner2);
+  check_bool "inner1 before inner2" true
+    (inner1.Obs.sp_seq < inner2.Obs.sp_seq);
+  (* merged stream is sorted by start time *)
+  let rec sorted = function
+    | a :: (b :: _ as rest) -> a.Obs.sp_start <= b.Obs.sp_start && sorted rest
+    | _ -> true
+  in
+  check_bool "sorted by start" true (sorted sps);
+  (* all on the calling domain here *)
+  List.iter (fun sp -> check_int "single tid" outer.Obs.sp_tid sp.Obs.sp_tid) sps
+
+let test_span_args_and_exceptions () =
+  with_obs @@ fun () ->
+  (try
+     Obs.with_span ~args:[ ("k", "v") ] "boom" (fun () -> failwith "x")
+   with Failure _ -> ());
+  let sp = Obs.start ~args:[ ("a", "1") ] "two_sided" in
+  Obs.finish ~args:[ ("b", "2") ] sp;
+  let find name = List.find (fun s -> s.Obs.sp_name = name) (Obs.spans ()) in
+  check_bool "span closed on exception" true
+    ((find "boom").Obs.sp_stop >= (find "boom").Obs.sp_start);
+  check_string "start arg kept" "1"
+    (List.assoc "a" (find "two_sided").Obs.sp_args);
+  check_string "finish arg appended" "2"
+    (List.assoc "b" (find "two_sided").Obs.sp_args)
+
+(* Stack discipline per domain: in open (seq) order, a span of depth
+   [d > 0] must sit inside the latest earlier span of depth [d - 1] on
+   the same domain.  Violations would mean the per-domain buffers were
+   corrupted by interleaving. *)
+let assert_well_nested sps =
+  let by_tid = Hashtbl.create 8 in
+  List.iter
+    (fun sp ->
+      let l = try Hashtbl.find by_tid sp.Obs.sp_tid with Not_found -> [] in
+      Hashtbl.replace by_tid sp.Obs.sp_tid (sp :: l))
+    sps;
+  Hashtbl.iter
+    (fun tid l ->
+      let l =
+        List.sort (fun a b -> compare a.Obs.sp_seq b.Obs.sp_seq) l
+      in
+      (* seq values unique per domain *)
+      let seqs = List.map (fun sp -> sp.Obs.sp_seq) l in
+      check_int
+        (Printf.sprintf "tid %d: unique seqs" tid)
+        (List.length seqs)
+        (List.length (List.sort_uniq compare seqs));
+      let stack = ref [] in
+      List.iter
+        (fun sp ->
+          while
+            match !stack with
+            | top :: _ -> top.Obs.sp_depth >= sp.Obs.sp_depth
+            | [] -> false
+          do
+            stack := List.tl !stack
+          done;
+          (match !stack with
+          | parent :: _ when sp.Obs.sp_depth > 0 ->
+              check_int
+                (Printf.sprintf "tid %d: parent depth" tid)
+                (sp.Obs.sp_depth - 1) parent.Obs.sp_depth;
+              check_bool
+                (Printf.sprintf "tid %d: child inside parent" tid)
+                true
+                (parent.Obs.sp_start <= sp.Obs.sp_start
+                && sp.Obs.sp_stop <= parent.Obs.sp_stop)
+          | [] when sp.Obs.sp_depth > 0 ->
+              Alcotest.failf "tid %d: depth %d span with no parent" tid
+                sp.Obs.sp_depth
+          | _ -> ());
+          stack := sp :: !stack)
+        l)
+    by_tid
+
+let test_pool_merge () =
+  with_obs @@ fun () ->
+  let pool = Scalana_pool.Pool.create ~size:4 () in
+  let items = List.init 32 Fun.id in
+  let out =
+    Scalana_pool.Pool.parallel_map ~pool
+      (fun i ->
+        Obs.with_span ~args:[ ("i", string_of_int i) ] "work" (fun () -> i * i))
+      items
+  in
+  Scalana_pool.Pool.shutdown pool;
+  Alcotest.(check (list int))
+    "map order preserved"
+    (List.map (fun i -> i * i) items)
+    out;
+  let sps = Obs.spans () in
+  let count name =
+    List.length (List.filter (fun sp -> sp.Obs.sp_name = name) sps)
+  in
+  check_int "all work spans survive the merge" 32 (count "work");
+  check_int "one parallel_map span" 1 (count "pool.parallel_map");
+  check_bool "pool tasks traced" true (count "pool.task" > 0);
+  assert_well_nested sps;
+  (* every work span sits inside some pool.task interval on its domain *)
+  let tasks = List.filter (fun sp -> sp.Obs.sp_name = "pool.task") sps in
+  List.iter
+    (fun w ->
+      if w.Obs.sp_name = "work" then
+        check_bool "work inside a task" true
+          (List.exists
+             (fun t ->
+               t.Obs.sp_tid = w.Obs.sp_tid
+               && t.Obs.sp_start <= w.Obs.sp_start
+               && w.Obs.sp_stop <= t.Obs.sp_stop)
+             tasks))
+    sps
+
+(* --- exporters --- *)
+
+let num = function Obs.Json.Num n -> n | _ -> Alcotest.fail "expected number"
+let str = function Obs.Json.Str s -> s | _ -> Alcotest.fail "expected string"
+
+let get k j =
+  match Obs.Json.member k j with
+  | Some v -> v
+  | None -> Alcotest.failf "missing key %S" k
+
+let test_trace_export_matches () =
+  with_obs @@ fun () ->
+  Obs.with_span "outer" (fun () ->
+      Obs.with_span ~args:[ ("bytes", "128") ] "inner" (fun () -> ()));
+  let sps = Obs.spans () in
+  (* the document survives a print/parse round-trip *)
+  let doc =
+    match Obs.Json.of_string (Obs.Json.to_string (Obs.trace_json ())) with
+    | Ok d -> d
+    | Error e -> Alcotest.failf "trace JSON does not parse: %s" e
+  in
+  let events =
+    match get "traceEvents" doc with
+    | Obs.Json.Arr l -> l
+    | _ -> Alcotest.fail "traceEvents not an array"
+  in
+  let xs =
+    List.filter (fun e -> str (get "ph" e) = "X") events
+  in
+  check_int "one X event per span" (List.length sps) (List.length xs);
+  check_bool "thread metadata present" true
+    (List.exists
+       (fun e ->
+         str (get "ph" e) = "M" && str (get "name" e) = "thread_name")
+       events);
+  let find name =
+    List.find (fun e -> str (get "name" e) = name) xs
+  in
+  let outer = find "outer" and inner = find "inner" in
+  (* microsecond timestamps reproduce the span tree (1µs slack for the
+     printed-float round-trip) *)
+  let ts e = num (get "ts" e) and dur e = num (get "dur" e) in
+  check_bool "inner starts after outer" true (ts inner >= ts outer -. 1.0);
+  check_bool "inner ends before outer" true
+    (ts inner +. dur inner <= ts outer +. dur outer +. 1.0);
+  check_string "args exported" "128" (str (get "bytes" (get "args" inner)));
+  List.iter
+    (fun e ->
+      check_string "category" "scalana" (str (get "cat" e));
+      check_bool "nonnegative duration" true (dur e >= 0.0))
+    xs
+
+let test_metrics_registry () =
+  with_obs @@ fun () ->
+  Obs.Metrics.incr "c";
+  Obs.Metrics.incr ~by:5 "c";
+  Obs.Metrics.set_gauge "g" 1.5;
+  Obs.Metrics.set_gauge "g" 2.5;
+  Obs.Metrics.observe "h" 0.5e-6;
+  Obs.Metrics.observe "h" 2.0;
+  Obs.Metrics.observe "h" 100.0;
+  let s = Obs.Metrics.snapshot () in
+  check_int "counter accumulates" 6 (List.assoc "c" s.Obs.Metrics.counters);
+  Alcotest.(check (float 0.0)) "gauge last write wins" 2.5
+    (List.assoc "g" s.Obs.Metrics.gauges);
+  let h = List.assoc "h" s.Obs.Metrics.histograms in
+  check_int "histo count" 3 h.Obs.Metrics.h_count;
+  Alcotest.(check (float 1e-9)) "histo sum" 102.0000005 h.Obs.Metrics.h_sum;
+  Alcotest.(check (float 0.0)) "histo min" 0.5e-6 h.Obs.Metrics.h_min;
+  Alcotest.(check (float 0.0)) "histo max" 100.0 h.Obs.Metrics.h_max;
+  check_int "bucket layout"
+    (Array.length Obs.Metrics.bucket_bounds + 1)
+    (Array.length h.Obs.Metrics.h_buckets);
+  check_int "buckets partition the observations" h.Obs.Metrics.h_count
+    (Array.fold_left ( + ) 0 h.Obs.Metrics.h_buckets);
+  check_int "overflow band used" 1
+    h.Obs.Metrics.h_buckets.(Array.length Obs.Metrics.bucket_bounds);
+  (* the flat export parses and carries the same counter *)
+  let doc =
+    match Obs.Json.of_string (Obs.Json.to_string (Obs.metrics_json ())) with
+    | Ok d -> d
+    | Error e -> Alcotest.failf "metrics JSON does not parse: %s" e
+  in
+  check_int "counter exported" 6 (int_of_float (num (get "c" (get "counters" doc))))
+
+let test_phase_summary () =
+  with_obs @@ fun () ->
+  Obs.with_span "a" (fun () -> ());
+  Obs.with_span "a" (fun () -> ());
+  Obs.with_span "b" (fun () -> ());
+  let summary = Obs.phase_summary () in
+  check_int "two phases" 2 (List.length summary);
+  let calls name =
+    let _, c, _ =
+      List.find (fun (n, _, _) -> String.equal n name) summary
+    in
+    c
+  in
+  check_int "a called twice" 2 (calls "a");
+  check_int "b called once" 1 (calls "b");
+  let rec sorted_desc = function
+    | (_, _, t1) :: ((_, _, t2) :: _ as rest) -> t1 >= t2 && sorted_desc rest
+    | _ -> true
+  in
+  check_bool "sorted by total desc" true (sorted_desc summary)
+
+(* JSON corner cases the exporters rely on. *)
+let test_json_roundtrip () =
+  let open Obs.Json in
+  let doc =
+    Obj
+      [
+        ("s", Str "quote \" backslash \\ newline \n tab \t");
+        ("n", Num 1.5);
+        ("i", Num 1234567.0);
+        ("b", Bool true);
+        ("z", Null);
+        ("a", Arr [ Num 1.0; Str "x"; Obj [] ]);
+      ]
+  in
+  (match of_string (to_string doc) with
+  | Ok d -> check_bool "round-trips" true (d = doc)
+  | Error e -> Alcotest.failf "round-trip parse failed: %s" e);
+  check_string "integral numbers print bare" "1234567"
+    (to_string (Num 1234567.0));
+  (match of_string "[1, 2" with
+  | Ok _ -> Alcotest.fail "accepted malformed input"
+  | Error _ -> ());
+  match of_string "{\"k\": [true, null, -2.5e1]}" with
+  | Ok (Obj [ ("k", Arr [ Bool true; Null; Num n ]) ]) ->
+      Alcotest.(check (float 0.0)) "scientific notation" (-25.0) n
+  | Ok _ -> Alcotest.fail "unexpected shape"
+  | Error e -> Alcotest.failf "parse failed: %s" e
+
+let () =
+  Alcotest.run "obs"
+    [
+      ( "spans",
+        [
+          Alcotest.test_case "disabled is inert" `Quick test_disabled_inert;
+          Alcotest.test_case "nesting and ordering" `Quick test_span_nesting;
+          Alcotest.test_case "args and exceptions" `Quick
+            test_span_args_and_exceptions;
+          Alcotest.test_case "pool merge uncorrupted" `Quick test_pool_merge;
+        ] );
+      ( "export",
+        [
+          Alcotest.test_case "trace matches span tree" `Quick
+            test_trace_export_matches;
+          Alcotest.test_case "json corner cases" `Quick test_json_roundtrip;
+        ] );
+      ( "metrics",
+        [
+          Alcotest.test_case "registry" `Quick test_metrics_registry;
+          Alcotest.test_case "phase summary" `Quick test_phase_summary;
+        ] );
+    ]

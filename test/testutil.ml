@@ -95,6 +95,150 @@ let qtest ?(count = 100) name gen prop =
   QCheck_alcotest.to_alcotest
     (QCheck2.Test.make ~count ~name gen prop)
 
+(* A stdlib-only property-testing mini-harness: seeded generator
+   combinators plus a greedy shrink-on-fail loop.  It exists alongside
+   qcheck deliberately — properties over the pipeline's own types often
+   want generators seeded the same splitmix64 way the fault plans are,
+   and a failure here reports the *shrunk* counterexample through
+   Alcotest like any other assertion. *)
+module Prop = struct
+  (* splitmix64: the same generator family Faults uses; one [int64]
+     state, deterministic per seed. *)
+  type rng = { mutable state : int64 }
+
+  let rng seed = { state = Int64.of_int seed }
+
+  let next r =
+    let open Int64 in
+    r.state <- add r.state 0x9E3779B97F4A7C15L;
+    let z = r.state in
+    let z = mul (logxor z (shift_right_logical z 30)) 0xBF58476D1CE4E5B9L in
+    let z = mul (logxor z (shift_right_logical z 27)) 0x94D049BB133111EBL in
+    logxor z (shift_right_logical z 31)
+
+  (* Uniform-ish non-negative int below [bound]. *)
+  let below r bound =
+    if bound <= 1 then 0
+    else
+      Int64.to_int (Int64.rem (Int64.shift_right_logical (next r) 1)
+                      (Int64.of_int bound))
+
+  (* A generator draws from the rng; an arbitrary also knows how to
+     shrink a failing value and how to print it. *)
+  type 'a gen = rng -> 'a
+
+  type 'a arb = {
+    gen : 'a gen;
+    shrink : 'a -> 'a list;  (* strictly "smaller" candidates, best first *)
+    show : 'a -> string;
+  }
+
+  let int_range lo hi =
+    {
+      gen = (fun r -> lo + below r (hi - lo + 1));
+      shrink =
+        (fun x ->
+          (* toward the low bound: the classic halving ladder *)
+          if x = lo then []
+          else
+            List.sort_uniq compare [ lo; lo + ((x - lo) / 2); x - 1 ]
+            |> List.filter (fun y -> y <> x));
+      show = string_of_int;
+    }
+
+  let float_range lo hi =
+    {
+      gen =
+        (fun r ->
+          lo
+          +. (hi -. lo)
+             *. (float_of_int (below r 1_000_000) /. 1_000_000.0));
+      shrink = (fun _ -> []);  (* floats: report as drawn *)
+      show = (fun x -> Printf.sprintf "%.9g" x);
+    }
+
+  let oneof values =
+    {
+      gen = (fun r -> values.(below r (Array.length values)));
+      shrink = (fun _ -> []);
+      show = (fun _ -> "<choice>");
+    }
+
+  let pair a b =
+    {
+      gen = (fun r -> (a.gen r, b.gen r));
+      shrink =
+        (fun (x, y) ->
+          List.map (fun x' -> (x', y)) (a.shrink x)
+          @ List.map (fun y' -> (x, y')) (b.shrink y));
+      show = (fun (x, y) -> Printf.sprintf "(%s, %s)" (a.show x) (b.show y));
+    }
+
+  (* Lists shrink by dropping halves, then dropping single elements, then
+     shrinking one element — enough to cut most counterexamples down to
+     one or two entries. *)
+  let list_of ?(max_len = 16) elt =
+    let rec drop_halves l =
+      let n = List.length l in
+      if n <= 1 then []
+      else
+        [ List.filteri (fun i _ -> i < n / 2) l;
+          List.filteri (fun i _ -> i >= n / 2) l ]
+        @ drop_singles l
+    and drop_singles l =
+      List.mapi (fun i _ -> List.filteri (fun j _ -> j <> i) l) l
+    in
+    {
+      gen =
+        (fun r ->
+          let n = below r (max_len + 1) in
+          List.init n (fun _ -> elt.gen r));
+      shrink =
+        (fun l ->
+          drop_halves l
+          @ List.concat
+              (List.mapi
+                 (fun i x ->
+                   List.map
+                     (fun x' ->
+                       List.mapi (fun j y -> if j = i then x' else y) l)
+                     (elt.shrink x))
+                 l));
+      show =
+        (fun l -> "[" ^ String.concat "; " (List.map elt.show l) ^ "]");
+    }
+
+  let map f ~show g =
+    { gen = (fun r -> f (g.gen r)); shrink = (fun _ -> []); show }
+
+  (* Run [prop] on [count] draws; on failure, shrink greedily until no
+     smaller candidate still fails, then report the minimal one.  A
+     property fails by returning [false] or raising. *)
+  let check ?(count = 100) ?(seed = 0x5ca1a) name arb prop =
+    let holds x = try prop x with _ -> false in
+    let r = rng seed in
+    for i = 1 to count do
+      let x = arb.gen r in
+      if not (holds x) then begin
+        let rec minimize x steps =
+          if steps > 1000 then x
+          else
+            match List.find_opt (fun y -> not (holds y)) (arb.shrink x) with
+            | Some y -> minimize y (steps + 1)
+            | None -> x
+        in
+        let m = minimize x 0 in
+        Alcotest.failf
+          "property %S falsified on draw %d/%d (seed %d)\n  shrunk: %s" name i
+          count seed (arb.show m)
+      end
+    done
+
+  (* Alcotest wrapper, mirroring [qtest]. *)
+  let test ?count ?seed name arb prop =
+    Alcotest.test_case name `Quick (fun () -> check ?count ?seed name arb prop)
+end
+
 (* Per-rank PMU of the (unique) comp vertex carrying [label], measured by
    a profiled run — the view the paper's Fig. 15/16 plots show. *)
 let per_vertex_pmu ?cost ?(nprocs = 8) ~label prog =
