@@ -48,6 +48,20 @@ let load_program ~program_name ~file =
   | Some _, Some _ -> failwith "give either --program or --file, not both"
   | None, None -> failwith "one of --program or --file is required"
 
+(* Built-in workloads carry their preferred machine model; any
+   re-simulation of a session program (profiling, timeline replay) must
+   run under the same model the stored profiles were collected with. *)
+let registry_cost (program : Ast.program) =
+  match
+    List.find_opt
+      (fun (e : Scalana_apps.Registry.entry) ->
+        String.equal e.name program.Ast.pname
+        || String.equal ("npb-" ^ e.name) program.Ast.pname)
+      Scalana_apps.Registry.all
+  with
+  | Some e -> e.cost
+  | None -> Scalana_runtime.Costmodel.default
+
 let program_arg =
   Arg.(
     value

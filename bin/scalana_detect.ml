@@ -7,7 +7,8 @@
 
 open Cmdliner
 
-let run session abnorm_thd domains follow_def_use trace metrics_out =
+let run session abnorm_thd domains follow_def_use trace metrics_out
+    wait_states rank_trace timeline_np =
   Cli_common.run_cli @@ fun () ->
   (* observability on before the session loads, so artifact salvage work
      is on the trace too; the report then carries a pipeline-cost section *)
@@ -26,7 +27,23 @@ let run session abnorm_thd domains follow_def_use trace metrics_out =
       follow_def_use;
     }
   in
-  let pipeline = Scalana.Pipeline.detect_session ~config s in
+  let timeline =
+    if wait_states || rank_trace <> None then begin
+      (* re-simulate deterministically at the requested scale (default:
+         the session's largest) with the timeline recorder attached *)
+      let nprocs =
+        match timeline_np with
+        | Some n ->
+            if n <= 0 then failwith "--timeline-np must be positive";
+            n
+        | None -> List.fold_left (fun acc (n, _) -> max acc n) 1 s.runs
+      in
+      let cost = Cli_common.registry_cost s.static.Scalana.Static.program in
+      Some (Scalana.Pipeline.rank_timeline ~config ~cost s.static ~nprocs)
+    end
+    else None
+  in
+  let pipeline = Scalana.Pipeline.detect_session ~config ?timeline s in
   print_string pipeline.report;
   Printf.printf "\npost-mortem detection cost: %.3fs (%d domain%s)\n"
     pipeline.detect_seconds domains
@@ -43,6 +60,16 @@ let run session abnorm_thd domains follow_def_use trace metrics_out =
       Scalana_obs.Obs.export_metrics ~path;
       Printf.eprintf "scalana: metrics written to %s\n%!" path
   | None -> ());
+  (match (rank_trace, timeline) with
+  | Some path, Some tl ->
+      Scalana_profile.Timeline.export_trace
+        ~psg:(Scalana.Static.psg s.static) ~path tl;
+      Printf.eprintf
+        "scalana: rank trace written to %s (open in Perfetto / \
+         about:tracing)\n\
+         %!"
+        path
+  | _ -> ());
   (* damaged inputs dominate the exit code: a degraded verdict must not
      pass for a clean one in CI *)
   if Scalana.Pipeline.degraded pipeline then Cli_common.exit_bad_input
@@ -78,6 +105,38 @@ let metrics_out_arg =
           "Write the pipeline's self-metrics (counters, gauges, duration \
            histograms, per-phase totals) as JSON to $(docv).")
 
+let wait_states_arg =
+  Arg.(
+    value & flag
+    & info [ "wait-states" ]
+        ~doc:
+          "Replay a per-rank timeline (re-simulated deterministically at \
+           the session's largest scale, or --timeline-np) and append a \
+           wait-state section to the report: blocked time attributed per \
+           PSG vertex and rank as late-sender / late-receiver / \
+           collective-imbalance.")
+
+let rank_trace_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "rank-trace" ] ~docv:"FILE"
+        ~doc:
+          "Write the per-rank application timeline as Chrome trace_event \
+           JSON to $(docv): one track per rank, one flow arrow per matched \
+           message (open in Perfetto or about:tracing; loads alongside a \
+           --trace file without id collisions).  Implies the timeline \
+           replay of --wait-states.")
+
+let timeline_np_arg =
+  Arg.(
+    value
+    & opt (some int) None
+    & info [ "timeline-np" ] ~docv:"N"
+        ~doc:
+          "Scale of the timeline replay (default: the largest scale \
+           profiled in the session).")
+
 let cmd =
   Cmd.v
     (Cmd.info "scalana-detect" ~exits:Cli_common.exits
@@ -85,6 +144,6 @@ let cmd =
     Term.(
       const run $ Cli_common.session_arg $ Cli_common.abnorm_thd_arg
       $ Cli_common.domains_arg $ follow_def_use_arg $ trace_arg
-      $ metrics_out_arg)
+      $ metrics_out_arg $ wait_states_arg $ rank_trace_arg $ timeline_np_arg)
 
 let () = exit (Cmd.eval' cmd)

@@ -7,18 +7,7 @@ open Cmdliner
 let run session nprocs freq measure_overhead =
   Cli_common.run_cli @@ fun () ->
   let static = Scalana.Artifact.load_static session in
-  let entry_cost =
-    (* built-in workloads carry their preferred machine model *)
-    match
-      List.find_opt
-        (fun (e : Scalana_apps.Registry.entry) ->
-          String.equal e.name static.Scalana.Static.program.pname
-          || String.equal ("npb-" ^ e.name) static.Scalana.Static.program.pname)
-        Scalana_apps.Registry.all
-    with
-    | Some e -> e.cost
-    | None -> Scalana_runtime.Costmodel.default
-  in
+  let entry_cost = Cli_common.registry_cost static.Scalana.Static.program in
   let config = { Scalana.Config.default with sampling_freq = freq } in
   let run =
     Scalana.Prof.run ~config ~cost:entry_cost ~measure_overhead static ~nprocs ()

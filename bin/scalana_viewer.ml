@@ -4,7 +4,7 @@
 
 open Cmdliner
 
-let run session context html =
+let run session context html timeline timeline_np =
   Cli_common.run_cli @@ fun () ->
   let s = Scalana.Artifact.load_session session in
   List.iter
@@ -12,12 +12,29 @@ let run session context html =
       Printf.eprintf "scalana: warning: %s\n%!" (Scalana.Artifact.issue_message i))
     s.issues;
   if s.runs = [] then failwith "session has no profiles; run scalana-prof first";
-  let pipeline = Scalana.Pipeline.detect_session s in
+  let tl =
+    if timeline then begin
+      let nprocs =
+        match timeline_np with
+        | Some n ->
+            if n <= 0 then failwith "--timeline-np must be positive";
+            n
+        | None -> List.fold_left (fun acc (n, _) -> max acc n) 1 s.runs
+      in
+      let cost = Cli_common.registry_cost s.static.Scalana.Static.program in
+      Some (Scalana.Pipeline.rank_timeline ~cost s.static ~nprocs)
+    end
+    else None
+  in
+  let pipeline = Scalana.Pipeline.detect_session ?timeline:tl s in
   (match html with
   | Some path ->
       Scalana.Htmlreport.write pipeline ~path;
       Printf.printf "HTML report written to %s\n" path
-  | None -> print_string (Scalana.Viewer.show ~snippet_context:context pipeline));
+  | None ->
+      if timeline then print_string (Scalana.Viewer.show_timeline pipeline)
+      else
+        print_string (Scalana.Viewer.show ~snippet_context:context pipeline));
   Cli_common.exit_ok
 
 let context_arg =
@@ -32,10 +49,30 @@ let html_arg =
     & info [ "html" ] ~docv:"FILE"
         ~doc:"Write a standalone HTML report instead of text output.")
 
+let timeline_arg =
+  Arg.(
+    value & flag
+    & info [ "timeline" ]
+        ~doc:
+          "Show the per-rank application timeline as ASCII rows ('=' \
+           compute, 'M' MPI, 'w' wait) instead of the root-cause view; \
+           with --html, the report gains the wait-state section.")
+
+let timeline_np_arg =
+  Arg.(
+    value
+    & opt (some int) None
+    & info [ "timeline-np" ] ~docv:"N"
+        ~doc:
+          "Scale of the timeline replay (default: the largest scale \
+           profiled in the session).")
+
 let cmd =
   Cmd.v
     (Cmd.info "scalana-viewer" ~exits:Cli_common.exits
        ~doc:"Root-cause source viewer")
-    Term.(const run $ Cli_common.session_arg $ context_arg $ html_arg)
+    Term.(
+      const run $ Cli_common.session_arg $ context_arg $ html_arg
+      $ timeline_arg $ timeline_np_arg)
 
 let () = exit (Cmd.eval' cmd)

@@ -17,6 +17,7 @@ type t = {
   seed : int;
   analysis_domains : int;  (* parallelism of the analysis fan-outs *)
   max_run_retries : int;  (* extra profiling attempts for fault-killed runs *)
+  timeline_max_events : int;  (* rank-timeline recorder cap *)
 }
 
 let default =
@@ -33,6 +34,7 @@ let default =
     seed = 42;
     analysis_domains = Pool.default_size ();
     max_run_retries = 2;
+    timeline_max_events = Scalana_profile.Timeline.default_config.max_events;
   }
 
 let profiler_config t =
@@ -42,6 +44,9 @@ let profiler_config t =
     record_prob = t.record_prob;
     seed = t.seed;
   }
+
+let timeline_config t =
+  { Scalana_profile.Timeline.max_events = t.timeline_max_events }
 
 let ns_config t =
   {

@@ -23,10 +23,15 @@ type t = {
   max_run_retries : int;
       (** Extra profiling attempts (fresh fault draws) granted to a run
           that lost ranks to injected faults.  Default 2. *)
+  timeline_max_events : int;
+      (** Event cap (intervals + messages) of the rank-timeline
+          recorder; past it events are dropped with explicit truncation
+          accounting.  Default {!Scalana_profile.Timeline.default_config}. *)
 }
 
 val default : t
 val profiler_config : t -> Scalana_profile.Profiler.config
+val timeline_config : t -> Scalana_profile.Timeline.config
 val ns_config : t -> Scalana_detect.Nonscalable.config
 val ab_config : t -> Scalana_detect.Abnormal.config
 val bt_config : t -> Scalana_detect.Backtrack.config

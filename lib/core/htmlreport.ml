@@ -206,6 +206,14 @@ let render (pipe : Pipeline.t) =
         (if c.imbalance = infinity then "∞"
          else Printf.sprintf "%.2fx" c.imbalance)
         (esc (String.concat "," (List.map string_of_int c.culprit_ranks)));
+      if c.wait_evidence <> [] then
+        out "<br><span class=\"meta\">wait-state evidence: %s</span>"
+          (esc
+             (String.concat ", "
+                (List.map
+                   (fun (cls, t) ->
+                     Printf.sprintf "%s %.6fs" (Waitstate.class_name cls) t)
+                   c.wait_evidence)));
       out "<div class=\"path\">%s</div>"
         (esc (Fmt.str "%a" (Backtrack.pp_path psg) c.example_path));
       out "<div class=\"snippet\">%s</div>"
@@ -213,6 +221,80 @@ let render (pipe : Pipeline.t) =
            (String.concat "\n" (Pretty.snippet ~context:2 program c.cause_loc)));
       out "</div>")
     pipe.analysis.causes;
+
+  (* wait-state attribution, only when a timeline replay was attached *)
+  (match pipe.analysis.Rootcause.waitstate with
+  | None -> ()
+  | Some ws ->
+      out "<h2>Wait states (timeline replay, np=%d)</h2>"
+        ws.Waitstate.ws_nprocs;
+      let blocked = Array.fold_left ( +. ) 0.0 ws.Waitstate.rank_blocked in
+      out "<p class=\"meta\">blocked %.6fs across ranks · attributed %.1f%%</p>"
+        blocked
+        (100.0 *. Waitstate.attributed_fraction ws);
+      out "%s" (svg_bars ~hot:[] ws.Waitstate.rank_blocked);
+      out "<table><tr><th>class</th><th>attributed</th></tr>";
+      List.iter
+        (fun (cls, total) ->
+          out "<tr><td>%s</td><td>%.6fs</td></tr>"
+            (esc (Waitstate.class_name cls))
+            total)
+        ws.Waitstate.class_totals;
+      out "</table>";
+      if ws.Waitstate.entries <> [] then begin
+        out "<table><tr><th>vertex</th><th>location</th><th>class</th>\
+             <th>time</th><th>ops</th><th>blamed ranks</th>\
+             <th>flags</th></tr>";
+        let ns_vids =
+          List.map
+            (fun (f : Nonscalable.finding) -> f.vertex)
+            pipe.analysis.nonscalable
+        in
+        let ab_vids =
+          List.map
+            (fun (f : Abnormal.finding) -> f.vertex)
+            pipe.analysis.abnormal
+        in
+        List.iteri
+          (fun i (e : Waitstate.entry) ->
+            if i < 12 then begin
+              let label, loc =
+                match e.ws_vertex with
+                | Some vid ->
+                    let v = Psg.vertex psg vid in
+                    (Vertex.label v, Loc.to_string v.Vertex.loc)
+                | None -> ("(unresolved)", "—")
+              in
+              let flags vid_opt =
+                match vid_opt with
+                | None -> "—"
+                | Some vid ->
+                    let f =
+                      (if List.mem vid ns_vids then [ "non-scalable" ] else [])
+                      @ if List.mem vid ab_vids then [ "abnormal" ] else []
+                    in
+                    if f = [] then "—" else String.concat ", " f
+              in
+              out
+                "<tr><td>%s</td><td>%s</td><td>%s</td><td>%.6fs</td>\
+                 <td>%d</td><td>%s</td><td>%s</td></tr>"
+                (esc label) (esc loc)
+                (esc (Waitstate.class_name e.ws_class))
+                e.ws_time e.ws_ops
+                (esc
+                   (String.concat ","
+                      (List.map
+                         (fun (r, _) -> string_of_int r)
+                         (List.filteri (fun i _ -> i < 8) e.ws_culprits))))
+                (esc (flags e.ws_vertex))
+            end)
+          ws.Waitstate.entries;
+        out "</table>"
+      end;
+      if ws.Waitstate.truncated > 0 then
+        out "<p class=\"meta\">timeline truncated: %d events dropped · \
+             %.6fs unattributed</p>"
+          ws.Waitstate.truncated ws.Waitstate.unattributed);
   out "</body></html>";
   Buffer.contents buf
 

@@ -28,8 +28,47 @@ type t = {
   detect_seconds : float;
   phase_costs : (string * int * float) list;
       (* per-phase self-observability summary; [] unless tracing is on *)
+  timeline : Scalana_profile.Timeline.t option;
+      (* per-rank timeline at the largest scale; None unless requested *)
   report : string;
 }
+
+(* Re-simulate one scale with the timeline recorder attached next to the
+   regular profiler.  The profiler's hooks charge the same overhead onto
+   the simulated clocks as they did during the stored profiled run, and
+   the recorder charges none, so the captured timeline reproduces the
+   session's clocks exactly (for indirect-call programs the re-run sees
+   the fully refined graph, which the earliest stored run may not have).
+   The shared static artifact is not mutated: no refinement splicing, no
+   poison. *)
+let rank_timeline ?(config = Config.default) ?(cost = Costmodel.default)
+    ?(net = Network.default) ?(inject = Inject.empty) ?(params = [])
+    (static : Static.t) ~nprocs =
+  Scalana_obs.Obs.with_span
+    ~args:[ ("nprocs", string_of_int nprocs) ]
+    "pipeline.rank_timeline"
+  @@ fun () ->
+  let profiler =
+    Scalana_profile.Profiler.create
+      ~config:(Config.profiler_config config)
+      ~index:static.Static.index ~nprocs ()
+  in
+  let recorder =
+    Scalana_profile.Timeline.create
+      ~config:(Config.timeline_config config)
+      ~index:static.Static.index ~nprocs ()
+  in
+  let cfg =
+    Exec.config ~nprocs ~params ~cost ~net ~inject
+      ~tools:
+        [
+          Scalana_profile.Profiler.tool profiler;
+          Scalana_profile.Timeline.tool recorder;
+        ]
+      ()
+  in
+  ignore (Exec.run ~cfg static.Static.program : Exec.result);
+  Scalana_profile.Timeline.capture recorder
 
 (* Everything the inputs lost, in one record: artifact damage handed in
    by the loader, runs that lost ranks or needed retries, scales that
@@ -77,7 +116,7 @@ let assemble_quality ~artifact_issues ~dropped_scales runs
    and per-vertex fits out over [pool]. *)
 let detect_with ?(config = Config.default) ?pool
     ?(artifact_issues : Quality.artifact_issue list = [])
-    ?(dropped_scales = []) (static : Static.t)
+    ?(dropped_scales = []) ?timeline (static : Static.t)
     (runs : (int * Prof.run) list) =
   let t0 = Unix.gettimeofday () in
   let crossscale, analysis =
@@ -86,10 +125,17 @@ let detect_with ?(config = Config.default) ?pool
       Crossscale.create ?pool ~psg:(Static.psg static)
         (List.map (fun (n, (r : Prof.run)) -> (n, r.Prof.data)) runs)
     in
+    let waitstate =
+      Option.map
+        (fun tl ->
+          Scalana_obs.Obs.with_span "waitstate.analyze" @@ fun () ->
+          Waitstate.analyze tl)
+        timeline
+    in
     let analysis =
       Rootcause.analyze ~ns_config:(Config.ns_config config)
         ~ab_config:(Config.ab_config config)
-        ~bt_config:(Config.bt_config config) ?pool crossscale
+        ~bt_config:(Config.bt_config config) ?pool ?waitstate crossscale
     in
     (crossscale, analysis)
   in
@@ -109,6 +155,7 @@ let detect_with ?(config = Config.default) ?pool
     Report.render ~program:static.Static.program
       ~predicted_locs:(List.map (fun (f : Lint.finding) -> f.Lint.loc) lint)
       ~quality ~phase_costs
+      ~ppg:(snd (Crossscale.largest crossscale))
       ~psg:(Static.psg static) analysis
   in
   {
@@ -120,17 +167,19 @@ let detect_with ?(config = Config.default) ?pool
     quality;
     detect_seconds;
     phase_costs;
+    timeline;
     report;
   }
 
 let detect ?(config = Config.default) ?artifact_issues ?dropped_scales
-    (static : Static.t) (runs : (int * Prof.run) list) =
+    ?timeline (static : Static.t) (runs : (int * Prof.run) list) =
   Pool.with_pool ~size:config.Config.analysis_domains (fun pool ->
-      detect_with ~config ?pool ?artifact_issues ?dropped_scales static runs)
+      detect_with ~config ?pool ?artifact_issues ?dropped_scales ?timeline
+        static runs)
 
 (* Detection over a loaded session: salvage issues found by the artifact
    reader become data-quality entries. *)
-let detect_session ?config (session : Artifact.session) =
+let detect_session ?config ?timeline (session : Artifact.session) =
   Scalana_obs.Obs.with_span "pipeline.detect_session" @@ fun () ->
   let artifact_issues =
     List.map
@@ -142,7 +191,7 @@ let detect_session ?config (session : Artifact.session) =
         })
       session.Artifact.issues
   in
-  detect ?config ~artifact_issues session.Artifact.static
+  detect ?config ~artifact_issues ?timeline session.Artifact.static
     session.Artifact.runs
 
 (* The per-scale profiled runs are independent — and may therefore fan
@@ -158,7 +207,7 @@ let runs_independent ~inject (program : Ast.program) =
 let run ?(config = Config.default) ?(cost = Costmodel.default)
     ?(net = Network.default) ?(inject = Inject.empty)
     ?(faults = Faults.empty) ?(params = []) ?(scales = [ 4; 8; 16; 32 ])
-    (program : Ast.program) =
+    ?(timeline = false) (program : Ast.program) =
   Scalana_obs.Obs.with_span
     ~args:[ ("program", program.Ast.pname) ]
     "pipeline.run"
@@ -186,7 +235,14 @@ let run ?(config = Config.default) ?(cost = Costmodel.default)
           Pool.parallel_map ?pool one kept_scales
         else List.map one kept_scales
       in
-      detect_with ~config ?pool ~dropped_scales static runs)
+      let tl =
+        if timeline && kept_scales <> [] then
+          Some
+            (rank_timeline ~config ~cost ~net ~inject ~params static
+               ~nprocs:(List.fold_left max 0 kept_scales))
+        else None
+      in
+      detect_with ~config ?pool ~dropped_scales ?timeline:tl static runs)
 
 (* Did anything degrade this pipeline's inputs? *)
 let degraded t = not (Quality.is_clean t.quality)

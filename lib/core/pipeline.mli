@@ -31,25 +31,49 @@ type t = {
           {!Scalana_obs.Obs} collection is enabled (e.g. under
           [scalana-detect --trace]); [[]] otherwise, and then the report
           is byte-identical to a build without the observability layer *)
+  timeline : Scalana_profile.Timeline.t option;
+      (** per-rank timeline captured at the largest analyzed scale;
+          [None] unless requested (e.g. [run ~timeline:true] or
+          [scalana-detect --wait-states]), and then the report carries a
+          wait-state section *)
   report : string;
 }
+
+(** Re-simulate one scale with the rank-timeline recorder attached next
+    to the regular profiler.  The recorder charges zero overhead, so the
+    captured clocks reproduce a stored profiled run of the same static
+    artifact at the same scale.  The static artifact is not mutated. *)
+val rank_timeline :
+  ?config:Config.t ->
+  ?cost:Costmodel.t ->
+  ?net:Network.t ->
+  ?inject:Inject.t ->
+  ?params:(string * int) list ->
+  Static.t ->
+  nprocs:int ->
+  Scalana_profile.Timeline.t
 
 (** Detection over already-collected profiles.  The PPG builds and
     per-vertex fits fan out over [config.analysis_domains] worker
     domains; output is identical to a sequential run.  [artifact_issues]
     (damage found while loading) and [dropped_scales] (scales that never
-    ran) flow into [quality]. *)
+    ran) flow into [quality].  [timeline] attaches a captured rank
+    timeline: its wait-state replay feeds the analysis (per-cause
+    evidence) and the report. *)
 val detect :
   ?config:Config.t ->
   ?artifact_issues:Quality.artifact_issue list ->
   ?dropped_scales:int list ->
+  ?timeline:Scalana_profile.Timeline.t ->
   Static.t ->
   (int * Prof.run) list ->
   t
 
 (** Detection over a loaded session; salvage issues recorded by
     {!Artifact.load_session} become data-quality entries. *)
-val detect_session : ?config:Config.t -> Artifact.session -> t
+val detect_session :
+  ?config:Config.t -> ?timeline:Scalana_profile.Timeline.t ->
+  Artifact.session -> t
 
 (** End to end: static analysis, one profiled run per scale, detection.
     With [config.analysis_domains >= 2] the local-PSG builds, the
@@ -59,7 +83,10 @@ val detect_session : ?config:Config.t -> Artifact.session -> t
     to the sequential pipeline.  A [faults] plan injects deterministic
     failures: dropped scales never run, fault-killed runs get up to
     [config.max_run_retries] fresh attempts, and whatever still degrades
-    is analyzed over the surviving ranks. *)
+    is analyzed over the surviving ranks.  [timeline] additionally
+    captures a rank timeline at the largest kept scale and appends the
+    wait-state section to the report (default [false]: the report stays
+    byte-identical to a build without the timeline layer). *)
 val run :
   ?config:Config.t ->
   ?cost:Costmodel.t ->
@@ -68,6 +95,7 @@ val run :
   ?faults:Faults.plan ->
   ?params:(string * int) list ->
   ?scales:int list ->
+  ?timeline:bool ->
   Ast.program ->
   t
 

@@ -32,6 +32,13 @@ let pp_cause ~psg ?program ppf (i, (c : Rootcause.cause)) =
       List.iter
         (fun line -> Fmt.pf ppf "    %s@." line)
         (Scalana_mlang.Pretty.snippet ~context:1 p c.cause_loc));
+  if c.wait_evidence <> [] then
+    Fmt.pf ppf "    wait-state evidence: %s@."
+      (String.concat ", "
+         (List.map
+            (fun (cls, t) ->
+              Printf.sprintf "%s %.6fs" (Waitstate.class_name cls) t)
+            c.wait_evidence));
   Fmt.pf ppf "    backtracking path:@.      %a@."
     (Backtrack.pp_path psg) c.example_path
 
@@ -49,6 +56,66 @@ let predicted ~psg ~locs vid =
   in
   matches vid || List.exists matches (Psg.ancestors psg vid)
 
+(* Wait-state attribution from the timeline replay; rendered only when a
+   timeline was recorded ([analysis.waitstate] set), so default reports
+   are untouched.  Detected vertices are cross-referenced, and when the
+   PPG is supplied each entry shows the profiler's sampled wait at the
+   same vertex — the two were measured independently and should agree. *)
+let pp_waitstate ~psg ?ppg (analysis : Rootcause.analysis) ppf
+    (ws : Waitstate.t) =
+  Fmt.pf ppf "@.-- wait states (timeline replay, np=%d) --@." ws.ws_nprocs;
+  let blocked = Array.fold_left ( +. ) 0.0 ws.Waitstate.rank_blocked in
+  Fmt.pf ppf "  blocked %.6fs across ranks, attributed %.1f%%@." blocked
+    (100.0 *. Waitstate.attributed_fraction ws);
+  List.iter
+    (fun (cls, total) ->
+      Fmt.pf ppf "    %-22s %10.6fs@." (Waitstate.class_name cls) total)
+    ws.Waitstate.class_totals;
+  let nonscalable_vids =
+    List.map (fun (f : Nonscalable.finding) -> f.vertex) analysis.nonscalable
+  in
+  let abnormal_vids =
+    List.map (fun (f : Abnormal.finding) -> f.vertex) analysis.abnormal
+  in
+  let tags vid =
+    (if List.mem vid nonscalable_vids then "  [non-scalable]" else "")
+    ^ if List.mem vid abnormal_vids then "  [abnormal]" else ""
+  in
+  let entries = ws.Waitstate.entries in
+  if entries <> [] then begin
+    Fmt.pf ppf "  top waiting vertices:@.";
+    List.iteri
+      (fun i (e : Waitstate.entry) ->
+        if i < 8 then begin
+          (match e.ws_vertex with
+          | Some vid ->
+              let v = Psg.vertex psg vid in
+              Fmt.pf ppf "    %s @%a%s@." (Vertex.label v)
+                Scalana_mlang.Loc.pp v.Vertex.loc (tags vid)
+          | None -> Fmt.pf ppf "    (unresolved vertex)@.");
+          Fmt.pf ppf "      %s  %.6fs  ops=%d  blames ranks %s@."
+            (Waitstate.class_name e.ws_class)
+            e.ws_time e.ws_ops
+            (String.concat ","
+               (List.map
+                  (fun (r, _) -> string_of_int r)
+                  (List.filteri (fun i _ -> i < 8) e.ws_culprits)));
+          match (ppg, e.ws_vertex) with
+          | Some ppg, Some vid ->
+              Fmt.pf ppf "      sampled wait at vertex: %.6fs@."
+                (Scalana_ppg.Ppg.total_wait ppg ~vertex:vid)
+          | _ -> ()
+        end)
+      entries;
+    if List.length entries > 8 then
+      Fmt.pf ppf "    ... %d more entries@." (List.length entries - 8)
+  end;
+  if ws.Waitstate.truncated > 0 then
+    Fmt.pf ppf
+      "  note: timeline truncated (%d events dropped); %.6fs blocked time \
+       left unattributed@."
+      ws.Waitstate.truncated ws.Waitstate.unattributed
+
 (* The pipeline's own per-phase cost, from the self-observability layer;
    rendered only when tracing was on, so default reports are untouched. *)
 let pp_phase_costs ppf = function
@@ -62,7 +129,7 @@ let pp_phase_costs ppf = function
         phases
 
 let render ?program ?(predicted_locs = []) ?(quality = Quality.clean)
-    ?(phase_costs = []) (analysis : Rootcause.analysis) ~psg =
+    ?(phase_costs = []) ?ppg (analysis : Rootcause.analysis) ~psg =
   let buf = Buffer.create 2048 in
   let ppf = Fmt.with_buffer buf in
   Fmt.pf ppf "=== ScalAna scaling-loss report ===@.";
@@ -92,6 +159,9 @@ let render ?program ?(predicted_locs = []) ?(quality = Quality.clean)
   List.iteri
     (fun i c -> pp_cause ~psg ?program ppf (i, c))
     analysis.causes;
+  Option.iter
+    (pp_waitstate ~psg ?ppg analysis ppf)
+    analysis.Rootcause.waitstate;
   pp_phase_costs ppf phase_costs;
   Fmt.flush ppf ();
   Buffer.contents buf

@@ -20,12 +20,17 @@ val predicted :
     default clean quality the output is byte-identical to the original
     report.  A non-empty [phase_costs] ([(phase, calls, total seconds)]
     from {!Scalana_obs.Obs.phase_summary}) appends a "pipeline cost"
-    section; by default — observability off — nothing is added. *)
+    section; by default — observability off — nothing is added.  When
+    [analysis.waitstate] is set, a wait-state section is appended with
+    per-class totals and the top waiting vertices cross-referenced
+    against the detected ones; [ppg] adds the profiler's independently
+    sampled wait per vertex as a cross-check. *)
 val render :
   ?program:Scalana_mlang.Ast.program ->
   ?predicted_locs:Scalana_mlang.Loc.t list ->
   ?quality:Quality.t ->
   ?phase_costs:(string * int * float) list ->
+  ?ppg:Scalana_ppg.Ppg.t ->
   Rootcause.analysis ->
   psg:Scalana_psg.Psg.t ->
   string

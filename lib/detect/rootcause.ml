@@ -15,6 +15,7 @@ type cause = {
   imbalance : float;  (* max/median across ranks *)
   culprit_ranks : int list;
   example_path : Backtrack.path;
+  wait_evidence : (Waitstate.clazz * float) list;
 }
 
 type analysis = {
@@ -25,6 +26,7 @@ type analysis = {
   quarantined_values : int;  (* poisoned per-rank values dropped *)
   paths : Backtrack.path list;
   causes : cause list;
+  waitstate : Waitstate.t option;
 }
 
 (* The root cause of a path: among the Comp/Loop vertices the walk
@@ -69,7 +71,8 @@ let start_rank ppg ~vertex =
 
 let analyze ?(ns_config = Nonscalable.default_config)
     ?(ab_config = Abnormal.default_config)
-    ?(bt_config = Backtrack.default_config) ?pool (cs : Crossscale.t) =
+    ?(bt_config = Backtrack.default_config) ?pool ?waitstate
+    (cs : Crossscale.t) =
   Scalana_obs.Obs.with_span "rootcause.analyze" @@ fun () ->
   let _, ppg = Crossscale.largest cs in
   let psg = ppg.Ppg.psg in
@@ -139,6 +142,10 @@ let analyze ?(ns_config = Nonscalable.default_config)
                   imbalance = (if med > 0.0 then mx /. med else infinity);
                   culprit_ranks = [ s.Backtrack.rank ];
                   example_path = path;
+                  wait_evidence =
+                    (match waitstate with
+                    | None -> []
+                    | Some ws -> Waitstate.vertex_evidence ws ~vertex:vid);
                 }
           in
           Hashtbl.replace tbl vid cause)
@@ -162,4 +169,5 @@ let analyze ?(ns_config = Nonscalable.default_config)
     quarantined_values = ns_result.Nonscalable.quarantined_values;
     paths;
     causes;
+    waitstate;
   }

@@ -11,6 +11,9 @@ type cause = {
   imbalance : float;  (** max/median across ranks *)
   culprit_ranks : int list;
   example_path : Backtrack.path;
+  wait_evidence : (Waitstate.clazz * float) list;
+      (** corroborating wait-state attribution at this vertex, when a
+          timeline replay was supplied to {!analyze} *)
 }
 
 type analysis = {
@@ -21,6 +24,8 @@ type analysis = {
   quarantined_values : int;  (** poisoned per-rank values dropped *)
   paths : Backtrack.path list;
   causes : cause list;  (** ranked: paths, time, imbalance *)
+  waitstate : Waitstate.t option;
+      (** the wait-state replay the evidence was drawn from *)
 }
 
 (** Deviation-weighted score of a path step as a root-cause candidate. *)
@@ -35,11 +40,14 @@ val start_rank : Scalana_ppg.Ppg.t -> vertex:int -> int
 
 (** With [pool], the non-scalable detection stage fans out across
     domains (backtracking itself shares a visited set and stays
-    sequential); the analysis is identical to the sequential one. *)
+    sequential); the analysis is identical to the sequential one.
+    [waitstate] attaches per-vertex wait-state evidence to each cause
+    (it does not change which causes are found or their ranking). *)
 val analyze :
   ?ns_config:Nonscalable.config ->
   ?ab_config:Abnormal.config ->
   ?bt_config:Backtrack.config ->
   ?pool:Scalana_pool.Pool.t ->
+  ?waitstate:Waitstate.t ->
   Scalana_ppg.Crossscale.t ->
   analysis

@@ -264,11 +264,20 @@ type completed = {
   sp_seq : int;
 }
 
+type flow_point = {
+  fl_name : string;
+  fl_id : int;
+  fl_time : float;
+  fl_tid : int;
+  fl_end : bool;
+}
+
 (* Per-domain buffer: finished spans (newest first), the open-span depth
    and a local sequence counter, plus the monotonic clamp. *)
 type dbuf = {
   did : int;
   mutable finished : completed list;
+  mutable flow_points : flow_point list;
   mutable depth : int;
   mutable seq : int;
   mutable last_now : float;
@@ -283,6 +292,7 @@ let buf_key : dbuf Domain.DLS.key =
         {
           did = (Domain.self () :> int);
           finished = [];
+          flow_points = [];
           depth = 0;
           seq = 0;
           last_now = 0.0;
@@ -468,6 +478,35 @@ let finish ?(args = []) = function
         }
         :: buf.finished
 
+(* --- flow arrows --- *)
+
+(* The id counter is process-global and never reset: every exporter in
+   the process (the pipeline trace here, the application rank-trace in
+   Scalana_profile.Timeline) draws from the same sequence, so flow ids
+   stay disjoint when both documents are loaded into one Perfetto
+   session. *)
+module Flow = struct
+  let counter = Atomic.make 0
+  let next_id () = Atomic.fetch_and_add counter 1 + 1
+end
+
+let flow_point ?(name = "flow") ~is_end id =
+  if enabled () then begin
+    let buf = Domain.DLS.get buf_key in
+    buf.flow_points <-
+      {
+        fl_name = name;
+        fl_id = id;
+        fl_time = now_in buf;
+        fl_tid = buf.did;
+        fl_end = is_end;
+      }
+      :: buf.flow_points
+  end
+
+let flow_start ?name id = flow_point ?name ~is_end:false id
+let flow_finish ?name id = flow_point ?name ~is_end:true id
+
 let with_span ?args name f =
   let sp = start ?args name in
   match f () with
@@ -489,11 +528,20 @@ let spans () =
          compare (a.sp_start, a.sp_tid, a.sp_seq)
            (b.sp_start, b.sp_tid, b.sp_seq))
 
+let flows () =
+  Mutex.lock registry_lock;
+  let bufs = !registry in
+  Mutex.unlock registry_lock;
+  List.concat_map (fun b -> b.flow_points) bufs
+  |> List.sort (fun a b ->
+         compare (a.fl_time, a.fl_tid, a.fl_id) (b.fl_time, b.fl_tid, b.fl_id))
+
 let reset () =
   Mutex.lock registry_lock;
   List.iter
     (fun b ->
       b.finished <- [];
+      b.flow_points <- [];
       b.depth <- 0;
       b.seq <- 0;
       b.last_now <- 0.0)
@@ -578,9 +626,25 @@ let trace_json () =
             ]))
       sps
   in
+  let flow_events =
+    List.map
+      (fun fl ->
+        Json.Obj
+          ([
+             ("name", Json.Str fl.fl_name);
+             ("cat", Json.Str "scalana.flow");
+             ("ph", Json.Str (if fl.fl_end then "f" else "s"));
+             ("id", Json.Num (float_of_int fl.fl_id));
+             ("ts", Json.Num (us fl.fl_time));
+             ("pid", Json.Num 1.0);
+             ("tid", Json.Num (float_of_int fl.fl_tid));
+           ]
+          @ if fl.fl_end then [ ("bp", Json.Str "e") ] else []))
+      (flows ())
+  in
   Json.Obj
     [
-      ("traceEvents", Json.Arr (meta @ events));
+      ("traceEvents", Json.Arr (meta @ events @ flow_events));
       ("displayTimeUnit", Json.Str "ms");
     ]
 

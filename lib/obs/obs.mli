@@ -97,6 +97,42 @@ type completed = {
     (ties: domain id, then open order). *)
 val spans : unit -> completed list
 
+(** {1 Flow events}
+
+    Flow arrows connect a point on one track to a point on another
+    (Chrome trace_event ["ph":"s"]/["ph":"f"]) — the pool uses them to
+    draw task enqueue → execution, and the application-timeline exporter
+    ({!Scalana_profile.Timeline}) uses them for matched messages. *)
+
+module Flow : sig
+  (** Allocate a process-globally unique flow id.  The counter is an
+      atomic that is {e never} reset — every exporter in the process
+      draws from it, so ids stay disjoint across documents and a merged
+      Perfetto load of a pipeline trace and a rank trace never
+      collides.  Usable while collection is disabled (exporters that
+      write their own documents still need unique ids). *)
+  val next_id : unit -> int
+end
+
+(** One end of a flow arrow, recorded on the calling domain. *)
+type flow_point = {
+  fl_name : string;
+  fl_id : int;
+  fl_time : float;
+  fl_tid : int;
+  fl_end : bool;  (** [false] = start ("s"), [true] = finish ("f") *)
+}
+
+(** Record the start / finish point of flow [id] at the current time on
+    the calling domain's track.  No-ops while disabled. *)
+val flow_start : ?name:string -> int -> unit
+
+val flow_finish : ?name:string -> int -> unit
+
+(** All recorded flow points, merged across domains and sorted by time
+    (ties: domain id, then id). *)
+val flows : unit -> flow_point list
+
 (** {1 Metrics} *)
 
 module Metrics : sig
@@ -139,7 +175,8 @@ end
 val phase_summary : unit -> (string * int * float) list
 
 (** Chrome [trace_event] document: one complete ("ph":"X") event per
-    finished span with microsecond timestamps, plus metadata events
+    finished span with microsecond timestamps, flow start/finish events
+    ("ph":"s"/"f") for the recorded flow points, plus metadata events
     naming one track per domain.  Loads in Perfetto / about:tracing. *)
 val trace_json : unit -> Json.t
 

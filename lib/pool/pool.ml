@@ -84,12 +84,16 @@ let chunks_per_unit = 4
 
 (* With observability on, each chunk is wrapped in a "pool.task" span on
    whatever domain drains it, its time-in-queue goes into the
-   "pool.queue_wait" histogram and a per-domain task counter records who
-   did the work.  Off (the default), tasks run bare. *)
+   "pool.queue_wait" histogram, a per-domain task counter records who
+   did the work, and a flow arrow links the enqueue point (submitting
+   domain) to the execution (draining domain).  Off (the default),
+   tasks run bare. *)
 let observe_task ~lo ~hi task =
   if not (Scalana_obs.Obs.enabled ()) then task
   else begin
     let enqueued = Scalana_obs.Obs.now () in
+    let flow_id = Scalana_obs.Obs.Flow.next_id () in
+    Scalana_obs.Obs.flow_start ~name:"pool.task" flow_id;
     fun () ->
       Scalana_obs.Obs.Metrics.observe "pool.queue_wait"
         (Float.max 0.0 (Scalana_obs.Obs.now () -. enqueued));
@@ -97,7 +101,10 @@ let observe_task ~lo ~hi task =
         (Printf.sprintf "pool.tasks.domain%d" (Domain.self () :> int));
       Scalana_obs.Obs.with_span
         ~args:[ ("range", Printf.sprintf "%d..%d" lo hi) ]
-        "pool.task" task
+        "pool.task"
+        (fun () ->
+          Scalana_obs.Obs.flow_finish ~name:"pool.task" flow_id;
+          task ())
   end
 
 let parallel_map ?pool f xs =

@@ -123,6 +123,9 @@ let waits_across_ranks t ~vertex =
   | Some a -> a
   | None -> Array.init t.nprocs (fun rank -> wait_of t ~rank ~vertex)
 
+let total_wait t ~vertex =
+  Array.fold_left ( +. ) 0.0 (waits_across_ranks t ~vertex)
+
 (* Fraction of ranks reporting at [vertex] (degraded-mode coverage). *)
 let coverage t ~vertex = Profdata.coverage t.data ~vertex
 

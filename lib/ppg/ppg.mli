@@ -49,6 +49,11 @@ val times_across_ranks : t -> vertex:int -> float array
 
 val waits_across_ranks : t -> vertex:int -> float array
 
+(** Sampled wait summed across ranks at [vertex] — the profiler-side
+    number the timeline-replay wait-state attribution is checked
+    against. *)
+val total_wait : t -> vertex:int -> float
+
 (** Fraction of ranks reporting at [vertex] (degraded-mode coverage). *)
 val coverage : t -> vertex:int -> float
 

@@ -189,6 +189,7 @@ let dep_of_req (r : Comm.request) =
           dep_tag = m.msg_tag;
           dep_bytes = m.msg_bytes;
           send_time = m.send_time;
+          arrival_time = r.completion;
         };
       ]
   | _ -> []

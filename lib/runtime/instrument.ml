@@ -29,6 +29,7 @@ type peer_dep = {
   dep_tag : int;
   dep_bytes : int;
   send_time : float;  (* peer-local post time *)
+  arrival_time : float;  (* when the message finished transferring *)
 }
 
 type collective_info = {

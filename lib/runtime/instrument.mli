@@ -27,6 +27,10 @@ type peer_dep = {
   dep_tag : int;
   dep_bytes : int;
   send_time : float;  (** peer-local post time *)
+  arrival_time : float;
+      (** when the message finished transferring (request completion) —
+          distinct from [exit_time], which also covers sibling requests
+          of the same wait and any tool overhead *)
 }
 
 type collective_info = {

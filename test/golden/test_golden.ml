@@ -17,17 +17,19 @@
 
 let max_np = 16
 
-let report name =
+let report ?(timeline = false) name =
   let entry = Scalana_apps.Registry.find name in
   let scales = Scalana_apps.Registry.scales entry ~min_np:4 ~max_np in
   let pipeline =
-    Scalana.Pipeline.run ~cost:entry.cost ~scales (entry.make ())
+    Scalana.Pipeline.run ~cost:entry.cost ~scales ~timeline (entry.make ())
   in
   pipeline.Scalana.Pipeline.report
 
 let () =
   match Sys.argv with
   | [| _; name |] -> print_string (report name)
+  | [| _; name; "--wait-states" |] ->
+      print_string (report ~timeline:true name)
   | _ ->
-      prerr_endline "usage: test_golden.exe PROGRAM";
+      prerr_endline "usage: test_golden.exe PROGRAM [--wait-states]";
       exit 2

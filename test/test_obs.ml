@@ -278,6 +278,157 @@ let test_phase_summary () =
   in
   check_bool "sorted by total desc" true (sorted_desc summary)
 
+(* --- flow events --- *)
+
+(* The pool draws one flow arrow per task, enqueue -> execution; start
+   and finish points must pair up by id, in order. *)
+let test_pool_flows () =
+  with_obs @@ fun () ->
+  let pool = Scalana_pool.Pool.create ~size:3 () in
+  let n = 8 in
+  ignore
+    (Scalana_pool.Pool.parallel_map ~pool (fun i -> i) (List.init n Fun.id));
+  Scalana_pool.Pool.shutdown pool;
+  let fls = Obs.flows () in
+  let starts = List.filter (fun f -> not f.Obs.fl_end) fls in
+  let finishes = List.filter (fun f -> f.Obs.fl_end) fls in
+  check_int "one start per task" n (List.length starts);
+  check_int "one finish per task" n (List.length finishes);
+  let ids l = List.sort_uniq compare (List.map (fun f -> f.Obs.fl_id) l) in
+  check_bool "ids pair up" true (ids starts = ids finishes);
+  check_int "ids unique" n (List.length (ids starts));
+  List.iter
+    (fun s ->
+      let f = List.find (fun f -> f.Obs.fl_id = s.Obs.fl_id) finishes in
+      check_bool "start before finish" true (s.Obs.fl_time <= f.Obs.fl_time))
+    starts;
+  (* the trace document carries them as "s"/"f" events with bp=e *)
+  let doc =
+    match Obs.Json.of_string (Obs.Json.to_string (Obs.trace_json ())) with
+    | Ok d -> d
+    | Error e -> Alcotest.failf "trace JSON does not parse: %s" e
+  in
+  let events =
+    match get "traceEvents" doc with
+    | Obs.Json.Arr l -> l
+    | _ -> Alcotest.fail "traceEvents not an array"
+  in
+  let ph p = List.filter (fun e -> str (get "ph" e) = p) events in
+  check_int "s events exported" n (List.length (ph "s"));
+  check_int "f events exported" n (List.length (ph "f"));
+  List.iter
+    (fun e -> check_string "binding point on finish" "e" (str (get "bp" e)))
+    (ph "f")
+
+(* Flow ids are drawn from one process-global allocator, so a pipeline
+   trace and a rank-timeline trace written in the same process never
+   collide in a merged Perfetto load (and both documents stay valid
+   JSON). *)
+let test_flow_ids_disjoint_across_exporters () =
+  with_obs @@ fun () ->
+  let id = Obs.Flow.next_id () in
+  Obs.flow_start ~name:"pipeline" id;
+  Obs.flow_finish ~name:"pipeline" id;
+  let parse j =
+    match Obs.Json.of_string (Obs.Json.to_string j) with
+    | Ok d -> d
+    | Error e -> Alcotest.failf "JSON does not parse: %s" e
+  in
+  let pipeline_doc = parse (Obs.trace_json ()) in
+  let tl =
+    {
+      Scalana_profile.Timeline.nprocs = 2;
+      elapsed = 1.0;
+      intervals = [||];
+      messages =
+        [|
+          {
+            Scalana_profile.Timeline.msg_src = 0;
+            msg_dst = 1;
+            msg_send_time = 0.1;
+            msg_recv_enter = 0.2;
+            msg_arrival = 0.3;
+            msg_tag = 5;
+            msg_bytes = 64;
+            msg_vertex = None;
+          };
+        |];
+      blocked = [| 0.0; 0.0 |];
+      dropped = [| 0; 0 |];
+      merged = 0;
+    }
+  in
+  let rank_doc = parse (Scalana_profile.Timeline.to_trace_json tl) in
+  let flow_ids doc =
+    let events =
+      match get "traceEvents" doc with
+      | Obs.Json.Arr l -> l
+      | _ -> Alcotest.fail "traceEvents not an array"
+    in
+    List.filter_map
+      (fun e ->
+        match str (get "ph" e) with
+        | "s" | "f" -> Some (int_of_float (num (get "id" e)))
+        | _ -> None)
+      events
+    |> List.sort_uniq compare
+  in
+  let pipeline_ids = flow_ids pipeline_doc in
+  let rank_ids = flow_ids rank_doc in
+  check_bool "pipeline trace has flows" true (pipeline_ids <> []);
+  check_bool "rank trace has flows" true (rank_ids <> []);
+  check_bool "no id collides across the two documents" true
+    (List.for_all (fun i -> not (List.mem i pipeline_ids)) rank_ids)
+
+(* Wait-state totals reach the metrics registry (and --metrics-out):
+   one op counter and one seconds gauge per class. *)
+let test_waitstate_metrics () =
+  with_obs @@ fun () ->
+  let tl =
+    {
+      Scalana_profile.Timeline.nprocs = 2;
+      elapsed = 2.0;
+      intervals =
+        [|
+          {
+            Scalana_profile.Timeline.iv_rank = 1;
+            iv_vertex = Some 4;
+            iv_start = 1.0;
+            iv_stop = 2.0;
+            iv_kind =
+              Scalana_profile.Timeline.Mpi
+                {
+                  Scalana_profile.Timeline.op = "MPI_Recv";
+                  wait = 0.5;
+                  deps = [ (0, 1.5, 2.0) ];
+                  send_dests = [];
+                  coll = None;
+                };
+            iv_merged = 1;
+          };
+        |];
+      messages = [||];
+      blocked = [| 0.0; 0.5 |];
+      dropped = [| 0; 0 |];
+      merged = 0;
+    }
+  in
+  ignore (Scalana_detect.Waitstate.analyze tl : Scalana_detect.Waitstate.t);
+  let doc =
+    match Obs.Json.of_string (Obs.Json.to_string (Obs.metrics_json ())) with
+    | Ok d -> d
+    | Error e -> Alcotest.failf "metrics JSON does not parse: %s" e
+  in
+  check_int "late-sender op counted" 1
+    (int_of_float
+       (num (get "waitstate.late-sender" (get "counters" doc))));
+  Alcotest.(check (float 1e-12))
+    "late-sender seconds gauge" 0.5
+    (num (get "waitstate.late-sender_seconds" (get "gauges" doc)));
+  Alcotest.(check (float 1e-12))
+    "other classes report zero" 0.0
+    (num (get "waitstate.collective-imbalance_seconds" (get "gauges" doc)))
+
 (* JSON corner cases the exporters rely on. *)
 let test_json_roundtrip () =
   let open Obs.Json in
@@ -323,9 +474,18 @@ let () =
             test_trace_export_matches;
           Alcotest.test_case "json corner cases" `Quick test_json_roundtrip;
         ] );
+      ( "flows",
+        [
+          Alcotest.test_case "pool enqueue->execution arrows" `Quick
+            test_pool_flows;
+          Alcotest.test_case "ids disjoint across exporters" `Quick
+            test_flow_ids_disjoint_across_exporters;
+        ] );
       ( "metrics",
         [
           Alcotest.test_case "registry" `Quick test_metrics_registry;
           Alcotest.test_case "phase summary" `Quick test_phase_summary;
+          Alcotest.test_case "waitstate classes exported" `Quick
+            test_waitstate_metrics;
         ] );
     ]

@@ -199,6 +199,84 @@ let test_across_ranks () =
     (fun v -> check_bool "every rank sampled the hot loop" true (v <> None))
     per_rank
 
+(* --- timeline --- *)
+
+let timeline_run ?tconfig ?cost ?(nprocs = 4) prog =
+  let _, _, _, index = static_of prog in
+  let recorder = Timeline.create ?config:tconfig ~index ~nprocs () in
+  let cfg = Exec.config ~nprocs ?cost ~tools:[ Timeline.tool recorder ] () in
+  let result = Exec.run ~cfg prog in
+  (Timeline.capture recorder, result)
+
+let test_timeline_records () =
+  let prog = ring_program ~niter:10 ~work:500_000 () in
+  let tl, result = timeline_run ~nprocs:4 prog in
+  check_int "nprocs" 4 tl.Timeline.nprocs;
+  check_float "elapsed" result.Exec.elapsed tl.Timeline.elapsed;
+  let has_kind p =
+    Array.exists (fun iv -> p iv.Timeline.iv_kind) tl.Timeline.intervals
+  in
+  check_bool "compute intervals" true
+    (has_kind (function Timeline.Compute _ -> true | _ -> false));
+  check_bool "mpi intervals" true
+    (has_kind (function Timeline.Mpi _ -> true | _ -> false));
+  (* every rank contributed, and each per-rank stream is time-ordered *)
+  for rank = 0 to 3 do
+    let ivs =
+      Array.to_list tl.Timeline.intervals
+      |> List.filter (fun iv -> iv.Timeline.iv_rank = rank)
+    in
+    check_bool "rank has intervals" true (ivs <> []);
+    let rec ordered = function
+      | a :: (b :: _ as rest) ->
+          a.Timeline.iv_start <= b.Timeline.iv_start && ordered rest
+      | _ -> true
+    in
+    check_bool "rank stream ordered" true (ordered ivs)
+  done;
+  (* the ring sendrecv produced matched messages with sane timestamps *)
+  check_bool "messages recorded" true (Array.length tl.Timeline.messages > 0);
+  Array.iter
+    (fun m ->
+      check_bool "send precedes arrival" true
+        (m.Timeline.msg_send_time <= m.Timeline.msg_arrival))
+    tl.Timeline.messages;
+  check_int "nothing dropped" 0 (Timeline.total_dropped tl)
+
+let test_timeline_compression () =
+  (* fig3's inner loops run the same comp vertex back to back, so the
+     vertex-keyed merge must collapse those streaks *)
+  let prog = fig3_program () in
+  let tl, _ = timeline_run ~nprocs:4 prog in
+  check_bool "merged some intervals" true (tl.Timeline.merged > 0);
+  check_bool "a multi-iteration slice" true
+    (Array.exists
+       (fun iv -> iv.Timeline.iv_merged > 1)
+       tl.Timeline.intervals)
+
+let test_timeline_truncation () =
+  let prog = ring_program ~niter:20 ~work:500_000 () in
+  let full, _ = timeline_run ~nprocs:4 prog in
+  let capped, _ =
+    timeline_run ~tconfig:{ Timeline.max_events = 8 } ~nprocs:4 prog
+  in
+  check_bool "events dropped" true (Timeline.total_dropped capped > 0);
+  check_bool "cap respected" true
+    (Array.length capped.Timeline.intervals
+     + Array.length capped.Timeline.messages
+    <= 8);
+  (* blocked-time accounting survives truncation untouched *)
+  check_bool "some blocked time" true (Timeline.total_blocked full > 0.0);
+  check_float "blocked preserved" (Timeline.total_blocked full)
+    (Timeline.total_blocked capped)
+
+let test_timeline_zero_overhead () =
+  (* the recorder is an idealized observer: identical clocks either way *)
+  let prog = ring_program ~niter:20 ~work:1_000_000 () in
+  let bare = run ~nprocs:4 prog in
+  let _, instrumented = timeline_run ~nprocs:4 prog in
+  check_float "idealized observer" bare.Exec.elapsed instrumented.Exec.elapsed
+
 (* profiler overhead is charged to the clocks *)
 let test_profiler_overhead_positive () =
   let prog = ring_program ~niter:30 ~work:2_000_000 () in
@@ -240,5 +318,16 @@ let () =
           Alcotest.test_case "across ranks" `Quick test_across_ranks;
           Alcotest.test_case "overhead charged" `Quick
             test_profiler_overhead_positive;
+        ] );
+      ( "timeline",
+        [
+          Alcotest.test_case "records intervals and messages" `Quick
+            test_timeline_records;
+          Alcotest.test_case "vertex-keyed compression" `Quick
+            test_timeline_compression;
+          Alcotest.test_case "truncation keeps blocked totals" `Quick
+            test_timeline_truncation;
+          Alcotest.test_case "zero overhead" `Quick
+            test_timeline_zero_overhead;
         ] );
     ]
