@@ -122,6 +122,42 @@ let make_tests () =
                     (Scalana_ppg.Ppg.times_across_ranks ppg ~vertex)))
              (Scalana_profile.Profdata.touched_vertices data)));
   ]
+  (* the simulator engine's two hot structures, at the scales the
+     zero-allocation rework targets: a full ring of posted-recv/send
+     matches through the per-rank queues, and a fill+drain of the
+     scheduler's ready heap *)
+  @ List.concat_map
+      (fun np ->
+        [
+          Test.make ~name:(Printf.sprintf "engine_match_queue_np%d" np)
+            (Staged.stage (fun () ->
+                 let open Scalana_runtime in
+                 let comm = Comm.create ~net:Network.default ~nprocs:np in
+                 let loc = Scalana_mlang.Loc.none in
+                 for r = 0 to np - 1 do
+                   ignore
+                     (Comm.post_recv comm ~rank:r ~src:((r + 1) mod np) ~tag:7
+                        ~bytes:64 ~time:0.0 ~loc ~callpath:[])
+                 done;
+                 for r = 0 to np - 1 do
+                   ignore
+                     (Comm.send comm ~src:r ~dst:((r - 1 + np) mod np) ~tag:7
+                        ~bytes:64 ~time:0.0 ~loc ~callpath:[])
+                 done;
+                 comm.Scalana_runtime.Comm.messages_sent));
+          Test.make ~name:(Printf.sprintf "engine_sched_heap_np%d" np)
+            (Staged.stage (fun () ->
+                 let open Scalana_runtime in
+                 let h = Heap.create ~capacity:np () in
+                 for r = 0 to np - 1 do
+                   Heap.push h (float_of_int ((r * 7) mod 64)) r
+                 done;
+                 let rec drain n =
+                   if Heap.pop_val h >= 0 then drain (n + 1) else n
+                 in
+                 drain 0));
+        ])
+      [ 256; 1024; 4096 ]
 
 let run () =
   Util.section "Bechamel micro-benchmarks (one per table/figure kernel)";

@@ -1,15 +1,34 @@
-(* Multicore-analysis bench: end-to-end pipeline wall time with the
-   sequential path (1 domain) vs the domain-pool path (N domains) on the
-   zeusmp case, written to BENCH_pipeline.json so the perf trajectory is
-   tracked across PRs.  A third, observability-enabled run breaks the
-   wall time down per pipeline phase (docs/observability.md) and the
-   per-phase totals ride along in the same JSON.
+(* Multicore-analysis and engine-throughput benches, both written to
+   BENCH_pipeline.json so the perf trajectory is tracked across PRs.
 
-   The detection output is asserted byte-identical between the two runs
-   before any number is reported — a speedup that changes the answer
-   would be worthless. *)
+   [pipeline_parallel]: end-to-end pipeline wall time with the
+   sequential path (1 domain) vs the domain-pool path (N domains) on the
+   zeusmp case.  A third, observability-enabled run breaks the wall time
+   down per pipeline phase (docs/observability.md) and the per-phase
+   totals ride along in the same JSON.  The detection output is asserted
+   byte-identical between the two runs before any number is reported — a
+   speedup that changes the answer would be worthless.
+
+   [engine_throughput]: raw simulator events/second on the cg-weak
+   extreme-scale workload (docs/performance.md), the metric the
+   zero-allocation engine rework targets.  Each scale point carries the
+   pre-rework engine's measurement as its baseline. *)
 
 let domains = 4
+
+(* cg-weak sweep points; CI's perf-smoke budget covers the full list
+   (the np=4096 point simulates ~600k events in well under a minute) *)
+let engine_scales = [ 256; 1024; 4096 ]
+
+(* events/second of the engine before the struct-of-arrays rework
+   (list-based matching queues, per-proc records), same workload, same
+   machine class — the floor the rework is measured against *)
+let engine_baseline = function
+  | 256 -> 1_165_046.0
+  | 1024 -> 515_529.0
+  | 4096 -> 304_060.0
+  | 16384 -> 106_361.0
+  | _ -> nan
 
 let timed f =
   let t0 = Unix.gettimeofday () in
@@ -23,36 +42,71 @@ let run_with ~entry ~scales d =
         ~cost:(entry : Scalana_apps.Registry.entry).cost ~scales
         (entry.make ()))
 
-let write_json ~path ~program ~scales ~seq_s ~par_s ~phases =
-  let phase_rows =
-    String.concat ",\n"
-      (List.map
-         (fun (name, calls, total) ->
-           Printf.sprintf
-             "    %S: { \"calls\": %d, \"total_seconds\": %.6f }" name calls
-             total)
-         phases)
-  in
-  let oc = open_out path in
-  Printf.fprintf oc
-    "{\n\
-    \  \"bench\": \"pipeline_parallel_speedup\",\n\
-    \  \"program\": %S,\n\
-    \  \"scales\": [%s],\n\
-    \  \"analysis_domains\": %d,\n\
-    \  \"recommended_domain_count\": %d,\n\
-    \  \"sequential_seconds\": %.6f,\n\
-    \  \"parallel_seconds\": %.6f,\n\
-    \  \"speedup\": %.3f,\n\
-    \  \"phases\": {\n%s\n  }\n\
-     }\n"
-    program
-    (String.concat ", " (List.map string_of_int scales))
-    domains
-    (Domain.recommended_domain_count ())
-    seq_s par_s
-    (if par_s > 0.0 then seq_s /. par_s else 0.0)
-    phase_rows;
+(* Results land in these refs so a lone `--only` run still writes a
+   complete JSON for whatever it measured. *)
+type speedup_data = {
+  scales : int list;
+  seq_s : float;
+  par_s : float;
+  phases : (string * int * float) list;
+}
+
+type engine_row = { np : int; events : int; wall_s : float }
+
+let speedup_results : speedup_data option ref = ref None
+let engine_results : engine_row list ref = ref []
+
+let write_bench_json () =
+  let oc = open_out "BENCH_pipeline.json" in
+  let sections = ref [] in
+  let add fmt = Printf.ksprintf (fun s -> sections := s :: !sections) fmt in
+  (match !speedup_results with
+  | None -> ()
+  | Some d ->
+      let phase_rows =
+        String.concat ",\n"
+          (List.map
+             (fun (name, calls, total) ->
+               Printf.sprintf
+                 "    %S: { \"calls\": %d, \"total_seconds\": %.6f }" name
+                 calls total)
+             d.phases)
+      in
+      add
+        "  \"bench\": \"pipeline_parallel_speedup\",\n\
+        \  \"program\": \"zeusmp\",\n\
+        \  \"scales\": [%s],\n\
+        \  \"analysis_domains\": %d,\n\
+        \  \"recommended_domain_count\": %d,\n\
+        \  \"sequential_seconds\": %.6f,\n\
+        \  \"parallel_seconds\": %.6f,\n\
+        \  \"speedup\": %.3f,\n\
+        \  \"phases\": {\n%s\n  }"
+        (String.concat ", " (List.map string_of_int d.scales))
+        domains
+        (Domain.recommended_domain_count ())
+        d.seq_s d.par_s
+        (if d.par_s > 0.0 then d.seq_s /. d.par_s else 0.0)
+        phase_rows);
+  (match !engine_results with
+  | [] -> ()
+  | rows ->
+      let row r =
+        let evs = float_of_int r.events /. r.wall_s in
+        Printf.sprintf
+          "    { \"np\": %d, \"events\": %d, \"wall_seconds\": %.3f, \
+           \"events_per_second\": %.0f, \
+           \"baseline_events_per_second\": %.0f, \"speedup\": %.2f }"
+          r.np r.events r.wall_s evs (engine_baseline r.np)
+          (evs /. engine_baseline r.np)
+      in
+      add
+        "  \"engine\": {\n\
+        \  \"bench\": \"engine_events_per_second\",\n\
+        \  \"program\": \"cg-weak\",\n\
+        \  \"sweep\": [\n%s\n  ]\n  }"
+        (String.concat ",\n" (List.map row rows)));
+  Printf.fprintf oc "{\n%s\n}\n" (String.concat ",\n" (List.rev !sections));
   close_out oc
 
 let pipeline_parallel () =
@@ -84,10 +138,37 @@ let pipeline_parallel () =
       if i < 6 then
         Printf.printf "  phase %-26s %4d calls %8.3fs\n" name calls total)
     phases;
-  write_json ~path:"BENCH_pipeline.json" ~program:"zeusmp" ~scales ~seq_s
-    ~par_s ~phases;
+  speedup_results := Some { scales; seq_s; par_s; phases };
+  write_bench_json ();
   Printf.printf "  wrote BENCH_pipeline.json (%d phases)\n%!"
     (List.length phases)
 
+let engine_throughput () =
+  Util.section "Engine throughput: cg-weak events/second (raw Exec.run)";
+  let entry = Scalana_apps.Registry.find "cg-weak" in
+  let rows =
+    List.map
+      (fun np ->
+        let cfg = Scalana_runtime.Exec.config ~nprocs:np ~cost:entry.cost () in
+        let prog = entry.make () in
+        let r, wall_s = timed (fun () -> Scalana_runtime.Exec.run ~cfg prog) in
+        let row = { np; events = r.Scalana_runtime.Exec.events; wall_s } in
+        Printf.printf
+          "  np=%-6d %9d events %8.3fs  %10.0f ev/s  (baseline %8.0f, %.1fx)\n%!"
+          np row.events wall_s
+          (float_of_int row.events /. wall_s)
+          (engine_baseline np)
+          (float_of_int row.events /. wall_s /. engine_baseline np);
+        row)
+      engine_scales
+  in
+  engine_results := rows;
+  write_bench_json ();
+  Printf.printf "  wrote BENCH_pipeline.json (engine sweep, %d scales)\n%!"
+    (List.length rows)
+
 let all : (string * (unit -> unit)) list =
-  [ ("pipeline_parallel_speedup", pipeline_parallel) ]
+  [
+    ("pipeline_parallel_speedup", pipeline_parallel);
+    ("engine_throughput", engine_throughput);
+  ]

@@ -5,6 +5,52 @@
 open Scalana_mlang
 open Expr.Infix
 
+(* Weak-scaled variant: the per-rank partition is pinned by [na_rank] /
+   [nz_rank] and the global problem grows with the job, so per-rank work
+   and exchange volume stay constant while the collective and hypercube
+   depths grow with log2(np).  This is the extreme-scale smoke workload:
+   the event count per rank is nearly scale-invariant, which makes
+   events/second at np=4096..16384 a clean engine-throughput metric. *)
+let make_weak ?(optimized = false) () =
+  ignore optimized;
+  let b = Builder.create ~file:"npb_cg_weak.mmp" ~name:"npb-cg-weak" () in
+  Builder.param b "na_rank" 100_000;
+  Builder.param b "nz_rank" 1_600_000;
+  Builder.param b "niter" 6;
+  Builder.func b "conj_grad" (fun () ->
+      [
+        Builder.comp b ~label:"spmv" ~locality:0.86
+          ~flops:(i 2 * p "nz_rank")
+          ~mem:(i 3 * p "nz_rank")
+          ();
+        Common.hypercube_exchange b ~label:"transpose_exchange"
+          ~bytes:(i 8 * p "na_rank")
+          ();
+        Builder.comp b ~label:"axpy" ~locality:0.94
+          ~flops:(i 6 * p "na_rank")
+          ~mem:(i 9 * p "na_rank")
+          ();
+        Builder.allreduce b ~bytes:(i 8);
+        Builder.comp b ~label:"p_update" ~locality:0.95
+          ~flops:(i 2 * p "na_rank")
+          ~mem:(i 3 * p "na_rank")
+          ();
+        Builder.allreduce b ~bytes:(i 8);
+      ]);
+  Builder.func b "main" (fun () ->
+      Common.setup_phase b ~name:"setup" ~work:(p "na_rank" / i 4) ()
+      @ [
+        Builder.comp b ~label:"init" ~locality:0.8
+          ~flops:(p "na_rank")
+          ~mem:(i 2 * p "na_rank")
+          ();
+        Builder.bcast b ~bytes:(i 64) ();
+        Builder.loop b ~label:"cg_iter" ~var:"it" ~count:(p "niter") (fun () ->
+            [ Builder.call b "conj_grad" ]);
+        Builder.allreduce b ~bytes:(i 8);
+      ]);
+  Builder.program b
+
 let make ?(optimized = false) () =
   ignore optimized;
   let b = Builder.create ~file:"npb_cg.mmp" ~name:"npb-cg" () in

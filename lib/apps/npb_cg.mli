@@ -2,3 +2,8 @@
     skeleton and any planted behaviour. *)
 
 val make : ?optimized:bool -> unit -> Scalana_mlang.Ast.program
+
+(** Weak-scaled variant: per-rank partition size is constant
+    ([na_rank]/[nz_rank] params), global size grows with np.  Used by the
+    extreme-scale engine benchmarks and the CI perf-smoke job. *)
+val make_weak : ?optimized:bool -> unit -> Scalana_mlang.Ast.program

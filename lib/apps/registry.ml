@@ -41,8 +41,24 @@ let all =
 
 let names = List.map (fun e -> e.name) all
 
+(* Extreme-scale entries: weak-scaled workloads whose per-rank event
+   count is nearly constant, meant for np=4096..16384 engine throughput
+   runs (bench scale sweep, CI perf-smoke).  Kept out of [all] so the
+   Table II roster, the golden reports and the lint calibration stay the
+   paper's eleven programs. *)
+let extreme =
+  [
+    entry "cg-weak"
+      "NPB CG, weak-scaled: constant per-rank partition, np=4096+ smoke"
+      Npb_cg.make_weak;
+  ]
+
+let extreme_names = List.map (fun e -> e.name) extreme
+
 let find name =
-  match List.find_opt (fun e -> String.equal e.name name) all with
+  match
+    List.find_opt (fun e -> String.equal e.name name) (all @ extreme)
+  with
   | Some e -> e
   | None ->
       invalid_arg

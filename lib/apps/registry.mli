@@ -15,7 +15,15 @@ type entry = {
 val all : entry list
 val names : string list
 
-(** Raises [Invalid_argument] for unknown names. *)
+(** Extreme-scale entries (weak-scaled, np=4096+ engine smoke); kept out
+    of [all] so the Table II roster and golden reports stay the paper's
+    eleven programs.  [find] resolves these too. *)
+val extreme : entry list
+
+val extreme_names : string list
+
+(** Searches [all] then [extreme]; raises [Invalid_argument] for unknown
+    names. *)
 val find : string -> entry
 
 (** Job scales within [min_np, max_np]: powers of two, or powers of four

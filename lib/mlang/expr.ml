@@ -214,6 +214,97 @@ let rec equal a b =
       _ ) ->
       false
 
+(* Compiled form: names resolved to slots once, constants folded once.
+
+   The interpreter evaluates expressions on every statement execution, so
+   at np = 4096+ the [List.assoc_opt] lookups in [eval] dominate.  The
+   compiled form resolves every [Var] to an integer slot in a flat frame
+   array and every [Param]/[Nprocs] to its (per-run constant) value at
+   program-load time, then folds constant subtrees.  Most size/count
+   expressions collapse to a single [CInt]; only genuinely rank- or
+   loop-dependent trees survive as nodes.
+
+   Error behaviour is part of the contract: unbound names and division by
+   zero must surface lazily, at evaluation time, with exactly the
+   messages [eval] produces.  Unbound names therefore compile to
+   dedicated error nodes, and divisions with a constant zero divisor are
+   deliberately left unfolded. *)
+module Compiled = struct
+  type expr =
+    | CInt of int
+    | CRank
+    | CVar of int * string  (* slot, name kept for unbound-at-eval errors *)
+    | CVar_unbound of string
+    | CParam_unbound of string
+    | CBin of binop * expr * expr
+    | CNeg of expr
+    | CNot of expr
+    | CLog2 of expr
+    | CIsqrt of expr
+
+  (* Per-frame evaluation context: [c_vars.(slot)] holds the value of a
+     loop variable / let binding / function argument, [c_bound] tracks
+     which slots have been assigned.  Rank is the only other dynamic
+     input — [Nprocs] and [Param] values were folded at compile time. *)
+  type env = { c_rank : int; c_vars : int array; c_bound : Bytes.t }
+
+  let log2_floor v =
+    let rec go acc x = if x <= 1 then acc else go (acc + 1) (x / 2) in
+    go 0 v
+
+  let isqrt_floor v =
+    if v <= 0 then 0
+    else begin
+      let r = int_of_float (sqrt (float_of_int v)) in
+      let r = if (r + 1) * (r + 1) <= v then r + 1 else r in
+      if r * r > v then r - 1 else r
+    end
+
+  let rec compile ~nprocs ~param ~var_slot e =
+    let k = compile ~nprocs ~param ~var_slot in
+    match e with
+    | Int n -> CInt n
+    | Rank -> CRank
+    | Nprocs -> CInt nprocs
+    | Param p -> (
+        match param p with Some v -> CInt v | None -> CParam_unbound p)
+    | Var v ->
+        let slot = var_slot v in
+        if slot >= 0 then CVar (slot, v) else CVar_unbound v
+    | Bin (op, a, b) -> (
+        match (k a, k b) with
+        | CInt x, CInt y
+          when not ((op = Div || op = Mod) && y = 0) ->
+            CInt (apply_binop op x y)
+        | ca, cb -> CBin (op, ca, cb))
+    | Neg a -> ( match k a with CInt n -> CInt (-n) | c -> CNeg c)
+    | Not a -> (
+        match k a with
+        | CInt n -> CInt (if n = 0 then 1 else 0)
+        | c -> CNot c)
+    | Log2 a -> (
+        match k a with CInt n -> CInt (log2_floor n) | c -> CLog2 c)
+    | Isqrt a -> (
+        match k a with CInt n -> CInt (isqrt_floor n) | c -> CIsqrt c)
+
+  let rec eval env = function
+    | CInt n -> n
+    | CRank -> env.c_rank
+    | CVar (slot, name) ->
+        if Bytes.unsafe_get env.c_bound slot <> '\000' then
+          Array.unsafe_get env.c_vars slot
+        else eval_error "unbound variable %S" name
+    | CVar_unbound v -> eval_error "unbound variable %S" v
+    | CParam_unbound p -> eval_error "unbound parameter %S" p
+    | CBin (op, a, b) -> apply_binop op (eval env a) (eval env b)
+    | CNeg a -> -eval env a
+    | CNot a -> if eval env a = 0 then 1 else 0
+    | CLog2 a -> log2_floor (eval env a)
+    | CIsqrt a -> isqrt_floor (eval env a)
+
+  let const = function CInt n -> Some n | _ -> None
+end
+
 (* Infix constructors for the builder DSL. *)
 module Infix = struct
   let i n = Int n

@@ -74,6 +74,41 @@ val equal : t -> t -> bool
 val pp : t Fmt.t
 val to_string : t -> string
 
+(** Compiled expression form used by the runtime's hot loop: [Var]s are
+    resolved to integer slots in a flat frame array, [Param]/[Nprocs] are
+    folded to their per-run constant values, and constant subtrees are
+    folded at compile time.  Error behaviour matches {!eval} exactly:
+    unbound names and division by zero surface lazily at evaluation time
+    with identical messages. *)
+module Compiled : sig
+  type expr
+
+  (** Per-frame evaluation context. [c_vars.(slot)] is the current value
+      of a variable slot; [c_bound] marks slots that have been assigned
+      (['\000'] = unbound). *)
+  type env = { c_rank : int; c_vars : int array; c_bound : Bytes.t }
+
+  (** [compile ~nprocs ~param ~var_slot e] resolves and folds [e].
+      [param name] returns the per-run value of a program parameter
+      ([None] compiles to a lazy unbound-parameter error); [var_slot
+      name] returns the frame slot of a variable, or a negative value to
+      compile a lazy unbound-variable error. *)
+  val compile :
+    nprocs:int ->
+    param:(string -> int option) ->
+    var_slot:(string -> int) ->
+    t ->
+    expr
+
+  (** Raises {!Eval_error} exactly where {!val-eval} on the source
+      expression would. *)
+  val eval : env -> expr -> int
+
+  (** The folded constant value, when compilation reduced the whole
+      expression to one. *)
+  val const : expr -> int option
+end
+
 (** Infix constructors for the builder DSL. *)
 module Infix : sig
   val i : int -> t

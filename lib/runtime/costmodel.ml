@@ -37,24 +37,46 @@ let heterogeneous ?(spread = 1.0) () =
   in
   { default with core_speed = speed }
 
-(* Evaluate a workload on [rank]: returns wall seconds and counters. *)
-let comp_cost t ~rank ~(env : Expr.env) (w : Ast.workload) =
-  let flops = float_of_int (max 0 (Expr.eval env w.flops)) in
-  let mem = float_of_int (max 0 (Expr.eval env w.mem)) in
-  let ints = float_of_int (max 0 (Expr.eval env w.ints)) in
-  let misses = mem *. (1.0 -. w.locality) in
+(* Evaluate already-computed workload counts on [rank]: returns wall
+   seconds and writes the five PMU counters into [counters]
+   (tot_ins, tot_lst_ins, tot_cyc, cache_miss, fp_ins — the field order
+   of [Pmu.t]).  The allocation-free core shared by the interpreter's
+   hot path (which accumulates counters into per-rank arrays) and the
+   record-returning [comp_cost] below; the arithmetic sequence is the
+   model's contract and must not be reassociated. *)
+let comp_cost_into t ~rank ~flops ~mem ~ints ~locality ~counters =
+  let flops = float_of_int (max 0 flops) in
+  let mem = float_of_int (max 0 mem) in
+  let ints = float_of_int (max 0 ints) in
+  let misses = mem *. (1.0 -. locality) in
   let tot_ins = flops +. mem +. ints in
   let base_cycles = tot_ins /. t.ipc in
   let miss_cycles = misses *. t.cache_miss_penalty *. t.core_speed rank in
   let tot_cyc = base_cycles +. miss_cycles in
   let seconds = tot_cyc /. (t.ghz *. 1e9) in
+  counters.(0) <- tot_ins;
+  counters.(1) <- mem;
+  counters.(2) <- tot_cyc;
+  counters.(3) <- misses;
+  counters.(4) <- flops;
+  seconds
+
+(* Evaluate a workload on [rank]: returns wall seconds and counters. *)
+let comp_cost t ~rank ~(env : Expr.env) (w : Ast.workload) =
+  let flops = Expr.eval env w.flops in
+  let mem = Expr.eval env w.mem in
+  let ints = Expr.eval env w.ints in
+  let counters = Array.make 5 0.0 in
+  let seconds =
+    comp_cost_into t ~rank ~flops ~mem ~ints ~locality:w.locality ~counters
+  in
   let pmu =
     {
-      Pmu.tot_ins;
-      tot_lst_ins = mem;
-      tot_cyc;
-      cache_miss = misses;
-      fp_ins = flops;
+      Pmu.tot_ins = counters.(0);
+      tot_lst_ins = counters.(1);
+      tot_cyc = counters.(2);
+      cache_miss = counters.(3);
+      fp_ins = counters.(4);
     }
   in
   (seconds, pmu)

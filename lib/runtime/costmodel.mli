@@ -18,6 +18,20 @@ val default : t
     only, so the loss grows with scale (the Nekbone case's shape). *)
 val heterogeneous : ?spread:float -> unit -> t
 
+(** Allocation-free core of {!comp_cost} for callers that already
+    evaluated the workload counts: returns wall seconds and writes the
+    five PMU counters into [counters] (length >= 5, in [Pmu.t] field
+    order: tot_ins, tot_lst_ins, tot_cyc, cache_miss, fp_ins). *)
+val comp_cost_into :
+  t ->
+  rank:int ->
+  flops:int ->
+  mem:int ->
+  ints:int ->
+  locality:float ->
+  counters:float array ->
+  float
+
 (** [comp_cost t ~rank ~env w] — wall seconds and counters for one
     execution of workload [w] on [rank]. *)
 val comp_cost : t -> rank:int -> env:Expr.env -> Ast.workload -> float * Pmu.t

@@ -8,9 +8,23 @@
    message matching deterministic and causally plausible.  Instrumentation
    tools observe compute intervals and MPI enter/exit events and charge
    their own overhead onto the process clocks — the same interposition
-   structure as PAPI sampling plus PMPI. *)
+   structure as PAPI sampling plus PMPI.
+
+   The engine is built for np = 4096+ runs: programs are compiled once
+   per run into an IR whose variables, parameters and request names are
+   integer slots (see [Expr.Compiled]); per-process state lives in flat
+   struct-of-arrays so a 16k-rank run costs 16k floats per metric, not
+   16k records; and the steady-state interpreter loop allocates nothing
+   on statement execution.  Every float operation is sequenced exactly as
+   the original interpreter sequenced it — simulated times are preserved
+   to the last ulp, and the scheduler-heap tie order is untouched, so
+   results (and the golden reports derived from them) are byte-identical
+   to the reference engine.  Instrumentation hooks and callpath
+   maintenance are skipped entirely when no tool is attached: a bare run
+   pays nothing for the observability layer. *)
 
 open Scalana_mlang
+module C = Expr.Compiled
 
 exception Deadlock of string
 exception Runtime_error of { loc : Loc.t; msg : string }
@@ -48,384 +62,91 @@ type result = {
   stranded_ranks : int list;  (* ranks left blocked by a killed peer *)
 }
 
-(* --- scheduler plumbing --- *)
+(* --- compiled program IR ---
 
-type wake = Wake_reqs of Comm.request list | Wake_coll of Comm.coll
+   Built once per run (the job scale and parameter values are per-run
+   constants, so [Expr.Compiled] folds them away).  Variables and
+   request names are slots into per-frame arrays; direct and indirect
+   call targets are resolved to compiled functions at load time, with
+   unresolved names kept as lazy error nodes so "call to undefined
+   function" still surfaces only if the call executes, as before. *)
 
-type _ Effect.t += Block : wake -> float Effect.t
-
-type status =
-  | Not_started
-  | Ready of float * (float, unit) Effect.Deep.continuation
-  | Running
-  | Blocked of wake * (float, unit) Effect.Deep.continuation
-  | Finished
-
-type proc = {
-  rank : int;
-  mutable clock : float;
-  mutable status : status;
-  mutable callpath : Loc.t list;
-  mutable coll_seq : int;
-  mutable blocked_since : float;
-  mutable comp_pmu : Pmu.t;
-  mutable comp_seconds : float;
-  mutable mpi_seconds : float;
-  mutable wait_seconds : float;
+type cfunc = {
+  cf_name : string;
+  cf_nvars : int;
+  cf_nreqs : int;
+  mutable cf_body : cstmt array;  (* filled after creation: recursion *)
 }
 
-type frame = {
-  vars : (string * int) list ref;
-  freqs : (string, Comm.request) Hashtbl.t;
-}
+and cstmt = { sloc : Loc.t; snode : cnode }
 
-type sched = {
-  cfg : config;
-  program : Ast.program;
-  merged_params : (string * int) list;
-  comm : Comm.t;
-  procs : proc array;
-  ready : Heap.t;
-  req_waiter : (int, int) Hashtbl.t;  (* request id -> blocked rank *)
-  coll_waiters : (int, int list ref) Hashtbl.t;  (* coll seq -> ranks *)
-  mutable events : int;
-  mutable killed : int list;  (* ranks terminated by an injected fault *)
-}
-
-(* Internal: unwinds a fiber whose rank an armed fault has terminated. *)
-exception Rank_killed
-
-let make_ready sched p ~resume k =
-  p.status <- Ready (resume, k);
-  Heap.push sched.ready resume p.rank
-
-(* Called from Comm whenever a request completes: if the owning process
-   is blocked and all of its awaited requests are now complete, wake it. *)
-let on_request_complete sched (req : Comm.request) =
-  match Hashtbl.find_opt sched.req_waiter req.req_id with
-  | None -> ()
-  | Some rank -> (
-      Hashtbl.remove sched.req_waiter req.req_id;
-      let p = sched.procs.(rank) in
-      match p.status with
-      | Blocked (Wake_reqs reqs, k)
-        when List.for_all (fun (r : Comm.request) -> r.completed) reqs ->
-          let resume =
-            List.fold_left
-              (fun acc (r : Comm.request) -> Float.max acc r.completion)
-              p.blocked_since reqs
-          in
-          make_ready sched p ~resume k
-      | _ -> ())
-
-let wake_collective sched (c : Comm.coll) =
-  match Hashtbl.find_opt sched.coll_waiters c.coll_seq with
-  | None -> ()
-  | Some ranks ->
-      List.iter
-        (fun rank ->
-          let p = sched.procs.(rank) in
-          match p.status with
-          | Blocked (Wake_coll c', k) when c'.Comm.coll_seq = c.coll_seq ->
-              make_ready sched p ~resume:c.finish_time k
-          | _ -> ())
-        !ranks;
-      Hashtbl.remove sched.coll_waiters c.coll_seq
-
-(* --- interpretation --- *)
-
-let env_of sched p frame =
-  Expr.env ~rank:p.rank ~nprocs:sched.cfg.nprocs ~params:sched.merged_params
-    ~vars:!(frame.vars)
-
-let eval sched p frame ~loc e =
-  try Expr.eval (env_of sched p frame) e
-  with Expr.Eval_error msg -> runtime_error ~loc "%s" msg
-
-let eval_peer sched p frame ~loc = function
-  | Ast.Any_source -> None
-  | Ast.Peer e -> Some (eval sched p frame ~loc e)
-
-let eval_tag sched p frame ~loc = function
-  | Ast.Any_tag -> None
-  | Ast.Tag e -> Some (eval sched p frame ~loc e)
-
-let set_var frame name value =
-  frame.vars := (name, value) :: List.remove_assoc name !(frame.vars)
-
-let ctx_of p ~loc =
-  { Instrument.rank = p.rank; time = p.clock; loc; callpath = p.callpath }
-
-let tool_sum cfg f = List.fold_left (fun acc tool -> acc +. f tool) 0.0 cfg.tools
-
-let tick sched ~loc =
-  sched.events <- sched.events + 1;
-  if sched.events > sched.cfg.max_events then
-    runtime_error ~loc "event budget exceeded (%d)" sched.cfg.max_events
-
-(* Wait until every request in [reqs] has completed, advancing the clock
-   to the latest completion. *)
-let await p reqs =
-  let resume =
-    if List.for_all (fun (r : Comm.request) -> r.Comm.completed) reqs then
-      List.fold_left
-        (fun acc (r : Comm.request) -> Float.max acc r.Comm.completion)
-        p.clock reqs
-    else begin
-      p.blocked_since <- p.clock;
-      Effect.perform (Block (Wake_reqs reqs))
-    end
-  in
-  p.clock <- Float.max p.clock resume
-
-let dep_of_req (r : Comm.request) =
-  match r.Comm.matched with
-  | Some m when r.req_kind = `Recv ->
-      [
-        {
-          Instrument.peer_rank = m.Comm.msg_src;
-          peer_loc = m.send_loc;
-          peer_callpath = m.send_callpath;
-          dep_tag = m.msg_tag;
-          dep_bytes = m.msg_bytes;
-          send_time = m.send_time;
-          arrival_time = r.completion;
-        };
-      ]
-  | _ -> []
-
-let lookup_req frame ~loc name =
-  match Hashtbl.find_opt frame.freqs name with
-  | Some r -> r
-  | None -> runtime_error ~loc "wait on unposted request %S" name
-
-let rec exec_stmts sched p frame stmts =
-  List.iter (exec_stmt sched p frame) stmts
-
-and exec_stmt sched p frame (s : Ast.stmt) =
-  tick sched ~loc:s.loc;
-  (match Faults.kill_time sched.cfg.faults ~rank:p.rank with
-  | Some t when p.clock >= t -> raise Rank_killed
-  | _ -> ());
-  match s.node with
-  | Ast.Let { var; value } ->
-      set_var frame var (eval sched p frame ~loc:s.loc value)
-  | Ast.Comp w ->
-      let seconds, pmu =
-        Costmodel.comp_cost sched.cfg.cost ~rank:p.rank
-          ~env:(env_of sched p frame) w
-      in
-      let seconds =
-        (seconds *. Faults.comp_scale sched.cfg.faults ~rank:p.rank)
-        +. Inject.extra sched.cfg.inject ~rank:p.rank ~loc:s.loc
-      in
-      let ctx = ctx_of p ~loc:s.loc in
-      p.clock <- p.clock +. seconds;
-      p.comp_seconds <- p.comp_seconds +. seconds;
-      p.comp_pmu <- Pmu.add p.comp_pmu pmu;
-      let overhead =
-        tool_sum sched.cfg (fun tool ->
-            tool.Instrument.on_interval ctx ~stop:p.clock
-              (Instrument.Compute { pmu; label = w.label }))
-      in
-      p.clock <- p.clock +. overhead
-  | Ast.Loop l ->
-      let n = eval sched p frame ~loc:s.loc l.count in
-      for i = 0 to n - 1 do
-        set_var frame l.var i;
-        exec_stmts sched p frame l.body
-      done
-  | Ast.Branch b ->
-      if eval sched p frame ~loc:s.loc b.cond <> 0 then
-        exec_stmts sched p frame b.then_
-      else exec_stmts sched p frame b.else_
-  | Ast.Call { callee; args } ->
-      let f =
-        try Ast.find_func sched.program callee
-        with Ast.Unknown_function _ ->
-          runtime_error ~loc:s.loc "call to undefined function %S" callee
-      in
-      let argvals =
-        List.map (fun (n, e) -> (n, eval sched p frame ~loc:s.loc e)) args
-      in
-      call_function sched p ~site:s.loc f argvals
-  | Ast.Icall { selector; targets } ->
-      let n = List.length targets in
-      if n = 0 then runtime_error ~loc:s.loc "indirect call with no targets";
-      let sel = eval sched p frame ~loc:s.loc selector in
-      let idx = ((sel mod n) + n) mod n in
-      let target = List.nth targets idx in
-      let ctx = ctx_of p ~loc:s.loc in
-      let overhead =
-        tool_sum sched.cfg (fun tool -> tool.Instrument.on_icall ctx ~target)
-      in
-      p.clock <- p.clock +. overhead;
-      let f =
-        try Ast.find_func sched.program target
-        with Ast.Unknown_function _ ->
-          runtime_error ~loc:s.loc "indirect call to undefined function %S"
-            target
-      in
-      call_function sched p ~site:s.loc f []
-  | Ast.Mpi call -> exec_mpi sched p frame ~loc:s.loc call
-
-and call_function sched p ~site f argvals =
-  let callee_frame = { vars = ref argvals; freqs = Hashtbl.create 4 } in
-  let saved = p.callpath in
-  p.callpath <- saved @ [ site ];
-  exec_stmts sched p callee_frame f.Ast.fbody;
-  p.callpath <- saved
-
-and exec_mpi sched p frame ~loc call =
-  let enter_time = p.clock in
-  let ctx_enter = ctx_of p ~loc in
-  let overhead_in =
-    tool_sum sched.cfg (fun tool -> tool.Instrument.on_mpi_enter ctx_enter call)
-  in
-  p.clock <- p.clock +. overhead_in;
-  let ev sub = eval sched p frame ~loc sub in
-  let net = sched.cfg.net in
-  let deps = ref [] and sends = ref [] and collective = ref None in
-  let wait = ref 0.0 in
-  (match call with
-  | Ast.Send { dest; tag; bytes } ->
-      let dst = ev dest and tag = ev tag and bytes = ev bytes in
-      let sreq =
-        Comm.send sched.comm ~src:p.rank ~dst ~tag ~bytes ~time:p.clock ~loc
-          ~callpath:p.callpath
-      in
-      p.clock <- p.clock +. net.Network.send_overhead;
-      let t0 = p.clock in
-      await p [ sreq ];
-      wait := p.clock -. t0;
-      sends := [ (dst, tag, bytes) ]
-  | Ast.Recv { src; tag; bytes } ->
-      let src = eval_peer sched p frame ~loc src in
-      let tag = eval_tag sched p frame ~loc tag in
-      let bytes = ev bytes in
-      let req =
-        Comm.post_recv sched.comm ~rank:p.rank ~src ~tag ~bytes ~time:p.clock
-          ~loc ~callpath:p.callpath
-      in
-      p.clock <- p.clock +. net.Network.recv_overhead;
-      let t0 = p.clock in
-      await p [ req ];
-      wait := p.clock -. t0;
-      deps := dep_of_req req
-  | Ast.Isend { dest; tag; bytes; req } ->
-      let dst = ev dest and tag = ev tag and bytes = ev bytes in
-      let sreq =
-        Comm.send sched.comm ~src:p.rank ~dst ~tag ~bytes ~time:p.clock ~loc
-          ~callpath:p.callpath
-      in
-      p.clock <- p.clock +. net.Network.send_overhead;
-      Hashtbl.replace frame.freqs req sreq;
-      sends := [ (dst, tag, bytes) ]
-  | Ast.Irecv { src; tag; bytes; req } ->
-      let src = eval_peer sched p frame ~loc src in
-      let tag = eval_tag sched p frame ~loc tag in
-      let bytes = ev bytes in
-      let rreq =
-        Comm.post_recv sched.comm ~rank:p.rank ~src ~tag ~bytes ~time:p.clock
-          ~loc ~callpath:p.callpath
-      in
-      p.clock <- p.clock +. net.Network.recv_overhead;
-      Hashtbl.replace frame.freqs req rreq
-  | Ast.Wait { req } ->
-      let r = lookup_req frame ~loc req in
-      let t0 = p.clock in
-      await p [ r ];
-      wait := p.clock -. t0;
-      deps := dep_of_req r
-  | Ast.Waitall { reqs } ->
-      let rs = List.map (lookup_req frame ~loc) reqs in
-      let t0 = p.clock in
-      await p rs;
-      wait := p.clock -. t0;
-      deps := List.concat_map dep_of_req rs
-  | Ast.Sendrecv { dest; stag; sbytes; src; rtag; rbytes } ->
-      let dst = ev dest and stag = ev stag and sbytes = ev sbytes in
-      let src = eval_peer sched p frame ~loc src in
-      let rtag = eval_tag sched p frame ~loc rtag in
-      let rbytes = ev rbytes in
-      let sreq =
-        Comm.send sched.comm ~src:p.rank ~dst ~tag:stag ~bytes:sbytes
-          ~time:p.clock ~loc ~callpath:p.callpath
-      in
-      let rreq =
-        Comm.post_recv sched.comm ~rank:p.rank ~src ~tag:rtag ~bytes:rbytes
-          ~time:p.clock ~loc ~callpath:p.callpath
-      in
-      p.clock <-
-        p.clock +. net.Network.send_overhead +. net.Network.recv_overhead;
-      let t0 = p.clock in
-      await p [ sreq; rreq ];
-      wait := p.clock -. t0;
-      sends := [ (dst, stag, sbytes) ];
-      deps := dep_of_req rreq
-  | Ast.Barrier | Ast.Bcast _ | Ast.Reduce _ | Ast.Allreduce _ | Ast.Alltoall _
-  | Ast.Allgather _ ->
-      let bytes =
-        match call with
-        | Ast.Bcast { bytes; _ }
-        | Ast.Reduce { bytes; _ }
-        | Ast.Allreduce { bytes }
-        | Ast.Alltoall { bytes }
-        | Ast.Allgather { bytes } ->
-            ev bytes
-        | _ -> 0
-      in
-      p.coll_seq <- p.coll_seq + 1;
-      let arrive_time = p.clock in
-      let c =
-        Comm.coll_arrive sched.comm ~seq:p.coll_seq ~rank:p.rank
-          ~time:arrive_time ~kind:call ~bytes
-      in
-      if c.Comm.finished then wake_collective sched c;
-      let resume =
-        if c.Comm.finished then c.finish_time
-        else begin
-          p.blocked_since <- p.clock;
-          Effect.perform (Block (Wake_coll c))
-        end
-      in
-      p.clock <- Float.max p.clock resume;
-      wait := Float.max 0.0 (c.start_time -. arrive_time);
-      collective :=
-        Some
-          {
-            Instrument.coll_seq = c.coll_seq;
-            arrive_time;
-            start_time = c.start_time;
-            last_arrival_rank = c.last_arrival_rank;
-          });
-  let exit_time = p.clock in
-  p.mpi_seconds <- p.mpi_seconds +. (exit_time -. enter_time);
-  p.wait_seconds <- p.wait_seconds +. !wait;
-  let ctx_span = { ctx_enter with Instrument.time = enter_time } in
-  let span_overhead =
-    tool_sum sched.cfg (fun tool ->
-        tool.Instrument.on_interval ctx_span ~stop:exit_time
-          (Instrument.Mpi_span { call; wait_seconds = !wait }))
-  in
-  let exit_info =
-    {
-      Instrument.call;
-      enter_time;
-      exit_time;
-      wait_seconds = !wait;
-      deps = !deps;
-      sends = !sends;
-      collective = !collective;
+and cnode =
+  | KLet of { slot : int; value : C.expr }
+  | KComp of {
+      flops : C.expr;
+      mem : C.expr;
+      ints : C.expr;
+      locality : float;
+      label : string option;
     }
-  in
-  let ctx_exit = ctx_of p ~loc in
-  let overhead_out =
-    tool_sum sched.cfg (fun tool -> tool.Instrument.on_mpi_exit ctx_exit exit_info)
-  in
-  p.clock <- p.clock +. span_overhead +. overhead_out
+  | KLoop of { slot : int; count : C.expr; body : cstmt array }
+  | KBranch of { cond : C.expr; then_ : cstmt array; else_ : cstmt array }
+  | KCall of { callee : cfunc; args : (int * C.expr) array }
+      (* args: (callee var slot, caller-frame expression) *)
+  | KCall_undef of string
+  | KIcall of { selector : C.expr; targets : (string * cfunc option) array }
+  | KMpi of { ast : Ast.mpi_call; op : cmpi }
 
-(* --- top-level run --- *)
+and cmpi =
+  | KSend of { dest : C.expr; tag : C.expr; bytes : C.expr }
+  | KRecv of { src : cpeer; tag : ctag; bytes : C.expr }
+  | KIsend of { dest : C.expr; tag : C.expr; bytes : C.expr; slot : int }
+  | KIrecv of { src : cpeer; tag : ctag; bytes : C.expr; slot : int }
+  | KWait of { slot : int; name : string }
+  | KWaitall of { slots : (int * string) array }
+  | KSendrecv of {
+      dest : C.expr;
+      stag : C.expr;
+      sbytes : C.expr;
+      src : cpeer;
+      rtag : ctag;
+      rbytes : C.expr;
+    }
+  | KColl of { bytes : C.expr }
+
+and cpeer = KPAny | KPeer of C.expr
+and ctag = KTAny | KTag of C.expr
+
+(* Per-function-activation frame: variable slots (inside the compiled
+   env) and request slots. *)
+type frame = { fenv : C.env; freqs : Comm.request array }
+
+(* --- program compilation --- *)
+
+type fslots = {
+  vtbl : (string, int) Hashtbl.t;
+  mutable vnext : int;
+  rtbl : (string, int) Hashtbl.t;
+  mutable rnext : int;
+}
+
+let vslot fs name =
+  match Hashtbl.find_opt fs.vtbl name with
+  | Some i -> i
+  | None ->
+      let i = fs.vnext in
+      fs.vnext <- i + 1;
+      Hashtbl.replace fs.vtbl name i;
+      i
+
+let rslot fs name =
+  match Hashtbl.find_opt fs.rtbl name with
+  | Some i -> i
+  | None ->
+      let i = fs.rnext in
+      fs.rnext <- i + 1;
+      Hashtbl.replace fs.rtbl name i;
+      i
 
 let merge_params (program : Ast.program) overrides =
   List.map
@@ -438,113 +159,864 @@ let merge_params (program : Ast.program) overrides =
       (fun (name, _) -> not (List.mem_assoc name program.params))
       overrides
 
-let handler sched p =
+(* Compile [program] at one (nprocs, params) point; returns the main
+   function.  Duplicate function names keep first-definition-wins
+   resolution. *)
+let compile_program ~nprocs ~params (program : Ast.program) =
+  let funcs =
+    List.fold_left
+      (fun acc (f : Ast.func) ->
+        if List.exists (fun (g : Ast.func) -> g.fname = f.fname) acc then acc
+        else f :: acc)
+      [] program.funcs
+    |> List.rev
+  in
+  let slots : (string, fslots) Hashtbl.t = Hashtbl.create 16 in
+  (* pass 1: per-function slots for params, loop/let vars, requests *)
+  List.iter
+    (fun (f : Ast.func) ->
+      let fs =
+        {
+          vtbl = Hashtbl.create 8;
+          vnext = 0;
+          rtbl = Hashtbl.create 4;
+          rnext = 0;
+        }
+      in
+      Hashtbl.replace slots f.fname fs;
+      List.iter (fun p -> ignore (vslot fs p)) f.fparams;
+      Ast.iter_stmts
+        (fun st ->
+          match st.Ast.node with
+          | Ast.Let { var; _ } -> ignore (vslot fs var)
+          | Ast.Loop l -> ignore (vslot fs l.var)
+          | Ast.Mpi
+              ( Ast.Isend { req; _ }
+              | Ast.Irecv { req; _ }
+              | Ast.Wait { req } ) ->
+              ignore (rslot fs req)
+          | Ast.Mpi (Ast.Waitall { reqs }) ->
+              List.iter (fun r -> ignore (rslot fs r)) reqs
+          | _ -> ())
+        f.fbody)
+    funcs;
+  (* pass 2: call-site argument names become slots of the callee (the
+     interpreter binds whatever names a call site passes) *)
+  List.iter
+    (fun (f : Ast.func) ->
+      Ast.iter_stmts
+        (fun st ->
+          match st.Ast.node with
+          | Ast.Call { callee; args } -> (
+              match Hashtbl.find_opt slots callee with
+              | Some cfs -> List.iter (fun (n, _) -> ignore (vslot cfs n)) args
+              | None -> ())
+          | _ -> ())
+        f.fbody)
+    funcs;
+  (* pass 3: create the (cyclic) function records, then compile bodies *)
+  let cmap : (string, cfunc) Hashtbl.t = Hashtbl.create 16 in
+  List.iter
+    (fun (f : Ast.func) ->
+      let fs = Hashtbl.find slots f.fname in
+      Hashtbl.replace cmap f.fname
+        {
+          cf_name = f.fname;
+          cf_nvars = fs.vnext;
+          cf_nreqs = fs.rnext;
+          cf_body = [||];
+        })
+    funcs;
+  let param name = List.assoc_opt name params in
+  let compile_func (f : Ast.func) =
+    let fs = Hashtbl.find slots f.fname in
+    let var_slot name =
+      match Hashtbl.find_opt fs.vtbl name with Some i -> i | None -> -1
+    in
+    let ce e = C.compile ~nprocs ~param ~var_slot e in
+    let cpeer = function
+      | Ast.Any_source -> KPAny
+      | Ast.Peer e -> KPeer (ce e)
+    in
+    let ctag = function Ast.Any_tag -> KTAny | Ast.Tag e -> KTag (ce e) in
+    let cmpi (c : Ast.mpi_call) =
+      match c with
+      | Ast.Send { dest; tag; bytes } ->
+          KSend { dest = ce dest; tag = ce tag; bytes = ce bytes }
+      | Ast.Recv { src; tag; bytes } ->
+          KRecv { src = cpeer src; tag = ctag tag; bytes = ce bytes }
+      | Ast.Isend { dest; tag; bytes; req } ->
+          KIsend
+            { dest = ce dest; tag = ce tag; bytes = ce bytes;
+              slot = rslot fs req }
+      | Ast.Irecv { src; tag; bytes; req } ->
+          KIrecv
+            { src = cpeer src; tag = ctag tag; bytes = ce bytes;
+              slot = rslot fs req }
+      | Ast.Wait { req } -> KWait { slot = rslot fs req; name = req }
+      | Ast.Waitall { reqs } ->
+          KWaitall
+            { slots =
+                Array.of_list (List.map (fun r -> (rslot fs r, r)) reqs) }
+      | Ast.Sendrecv { dest; stag; sbytes; src; rtag; rbytes } ->
+          KSendrecv
+            { dest = ce dest; stag = ce stag; sbytes = ce sbytes;
+              src = cpeer src; rtag = ctag rtag; rbytes = ce rbytes }
+      | Ast.Barrier -> KColl { bytes = ce (Expr.Int 0) }
+      | Ast.Bcast { bytes; _ }
+      | Ast.Reduce { bytes; _ }
+      | Ast.Allreduce { bytes }
+      | Ast.Alltoall { bytes }
+      | Ast.Allgather { bytes } ->
+          KColl { bytes = ce bytes }
+    in
+    let rec cstmts stmts = Array.of_list (List.map cstmt stmts)
+    and cstmt (st : Ast.stmt) =
+      let node =
+        match st.node with
+        | Ast.Let { var; value } ->
+            KLet { slot = Hashtbl.find fs.vtbl var; value = ce value }
+        | Ast.Comp w ->
+            KComp
+              { flops = ce w.flops; mem = ce w.mem; ints = ce w.ints;
+                locality = w.locality; label = w.label }
+        | Ast.Loop l ->
+            KLoop
+              { slot = Hashtbl.find fs.vtbl l.var; count = ce l.count;
+                body = cstmts l.body }
+        | Ast.Branch b ->
+            KBranch
+              { cond = ce b.cond; then_ = cstmts b.then_;
+                else_ = cstmts b.else_ }
+        | Ast.Call { callee; args } -> (
+            match Hashtbl.find_opt cmap callee with
+            | None -> KCall_undef callee
+            | Some cf ->
+                let cfs = Hashtbl.find slots callee in
+                KCall
+                  { callee = cf;
+                    args =
+                      Array.of_list
+                        (List.map
+                           (fun (n, e) -> (Hashtbl.find cfs.vtbl n, ce e))
+                           args) })
+        | Ast.Icall { selector; targets } ->
+            KIcall
+              { selector = ce selector;
+                targets =
+                  Array.of_list
+                    (List.map (fun n -> (n, Hashtbl.find_opt cmap n)) targets) }
+        | Ast.Mpi c -> KMpi { ast = c; op = cmpi c }
+      in
+      { sloc = st.loc; snode = node }
+    in
+    (Hashtbl.find cmap f.fname).cf_body <- cstmts f.fbody
+  in
+  List.iter compile_func funcs;
+  match Hashtbl.find_opt cmap program.main with
+  | Some f -> f
+  | None -> raise (Ast.Unknown_function program.main)
+
+(* --- scheduler plumbing --- *)
+
+(* What a blocked process is waiting for; [Wake_two] covers sendrecv
+   without an array allocation. *)
+type wake =
+  | Wake_none
+  | Wake_one of Comm.request
+  | Wake_two of Comm.request * Comm.request
+  | Wake_many of Comm.request array
+  | Wake_coll of Comm.coll
+
+type _ Effect.t += Block : float Effect.t
+
+(* status codes *)
+let st_not_started = 0
+let st_ready = 1
+let st_running = 2
+let st_blocked = 3
+let st_finished = 4
+
+(* Per-process state in struct-of-arrays layout, indexed by rank. *)
+type sched = {
+  cfg : config;
+  cmain : cfunc;
+  has_tools : bool;
+  inject_on : bool;
+  comm : Comm.t;
+  nprocs : int;
+  net : Network.t;
+  clock : float array;
+  blocked_since : float array;
+  comp_sec : float array;
+  mpi_sec : float array;
+  wait_sec : float array;
+  pmu_tot_ins : float array;
+  pmu_tot_lst : float array;
+  pmu_tot_cyc : float array;
+  pmu_miss : float array;
+  pmu_fp : float array;
+  coll_seqs : int array;
+  status : int array;
+  conts : (float, unit) Effect.Deep.continuation option array;
+  resume_at : float array;
+  wakes : wake array;
+  callpaths : Loc.t list array;  (* maintained only when has_tools *)
+  kill_at : float array;  (* infinity = no kill fault armed *)
+  comp_scale : float array;
+  scratch : float array;  (* 5 slots for Costmodel.comp_cost_into *)
+  ready : Heap.t;
+  mutable events : int;
+  mutable killed : int list;  (* ranks terminated by an injected fault *)
+}
+
+(* Internal: unwinds a fiber whose rank an armed fault has terminated. *)
+exception Rank_killed
+
+let make_ready s rank resume =
+  s.status.(rank) <- st_ready;
+  s.resume_at.(rank) <- resume;
+  Heap.push s.ready resume rank
+
+(* Called from Comm whenever a request completes: if the owning process
+   is blocked and all of its awaited requests are now complete, wake it
+   at the latest completion (but no earlier than when it blocked). *)
+let on_request_complete s (req : Comm.request) =
+  let rank = req.Comm.waiter in
+  if rank >= 0 then begin
+    req.Comm.waiter <- -1;
+    if s.status.(rank) = st_blocked then
+      match s.wakes.(rank) with
+      | Wake_one r ->
+          if r.Comm.completed then
+            make_ready s rank (Float.max s.blocked_since.(rank) r.completion)
+      | Wake_two (r1, r2) ->
+          if r1.Comm.completed && r2.Comm.completed then
+            make_ready s rank
+              (Float.max
+                 (Float.max s.blocked_since.(rank) r1.Comm.completion)
+                 r2.Comm.completion)
+      | Wake_many rs ->
+          if Array.for_all (fun (r : Comm.request) -> r.completed) rs then
+            make_ready s rank
+              (Array.fold_left
+                 (fun acc (r : Comm.request) -> Float.max acc r.completion)
+                 s.blocked_since.(rank) rs)
+      | Wake_coll _ | Wake_none -> ()
+  end
+
+let wake_collective s (c : Comm.coll) =
+  List.iter
+    (fun rank ->
+      if s.status.(rank) = st_blocked then
+        match s.wakes.(rank) with
+        | Wake_coll c' when c'.Comm.coll_seq = c.Comm.coll_seq ->
+            make_ready s rank c.Comm.finish_time
+        | _ -> ())
+    c.Comm.waiters;
+  c.Comm.waiters <- []
+
+(* --- interpretation --- *)
+
+let ceval (env : C.env) ~loc e =
+  try C.eval env e with Expr.Eval_error msg -> runtime_error ~loc "%s" msg
+
+let eval_peer (env : C.env) ~loc = function
+  | KPAny -> Comm.any_src
+  | KPeer e -> ceval env ~loc e
+
+let eval_tag (env : C.env) ~loc = function
+  | KTAny -> Comm.any_tag
+  | KTag e -> ceval env ~loc e
+
+let ctx_of s rank ~loc =
   {
-    Effect.Deep.retc = (fun () -> p.status <- Finished);
+    Instrument.rank;
+    time = s.clock.(rank);
+    loc;
+    callpath = s.callpaths.(rank);
+  }
+
+let tool_sum cfg f = List.fold_left (fun acc tool -> acc +. f tool) 0.0 cfg.tools
+
+(* Wait until [r] has completed, advancing the clock to the completion
+   (each await computes the same fold the reference engine did). *)
+let await_one s rank (r : Comm.request) =
+  let resume =
+    if r.Comm.completed then Float.max s.clock.(rank) r.Comm.completion
+    else begin
+      s.blocked_since.(rank) <- s.clock.(rank);
+      s.wakes.(rank) <- Wake_one r;
+      Effect.perform Block
+    end
+  in
+  s.clock.(rank) <- Float.max s.clock.(rank) resume
+
+let await_two s rank (r1 : Comm.request) (r2 : Comm.request) =
+  let resume =
+    if r1.Comm.completed && r2.Comm.completed then
+      Float.max
+        (Float.max s.clock.(rank) r1.Comm.completion)
+        r2.Comm.completion
+    else begin
+      s.blocked_since.(rank) <- s.clock.(rank);
+      s.wakes.(rank) <- Wake_two (r1, r2);
+      Effect.perform Block
+    end
+  in
+  s.clock.(rank) <- Float.max s.clock.(rank) resume
+
+let await_many s rank (rs : Comm.request array) =
+  let resume =
+    if Array.for_all (fun (r : Comm.request) -> r.completed) rs then
+      Array.fold_left
+        (fun acc (r : Comm.request) -> Float.max acc r.completion)
+        s.clock.(rank) rs
+    else begin
+      s.blocked_since.(rank) <- s.clock.(rank);
+      s.wakes.(rank) <- Wake_many rs;
+      Effect.perform Block
+    end
+  in
+  s.clock.(rank) <- Float.max s.clock.(rank) resume
+
+let dep_of_req (r : Comm.request) =
+  if Comm.has_matched r && r.Comm.req_kind = `Recv then
+    let m = r.Comm.matched in
+    [
+      {
+        Instrument.peer_rank = m.Comm.msg_src;
+        peer_loc = m.Comm.send_loc;
+        peer_callpath = m.Comm.send_callpath;
+        dep_tag = m.Comm.msg_tag;
+        dep_bytes = m.Comm.msg_bytes;
+        send_time = m.Comm.send_time;
+        arrival_time = r.Comm.completion;
+      };
+    ]
+  else []
+
+let get_req (frame : frame) ~loc slot name =
+  let r = frame.freqs.(slot) in
+  if r == Comm.nil_request then
+    runtime_error ~loc "wait on unposted request %S" name
+  else r
+
+let no_vars : int array = [||]
+let no_reqs : Comm.request array = [||]
+
+let new_frame rank (f : cfunc) =
+  {
+    fenv =
+      {
+        C.c_rank = rank;
+        c_vars = (if f.cf_nvars = 0 then no_vars else Array.make f.cf_nvars 0);
+        c_bound =
+          (if f.cf_nvars = 0 then Bytes.empty else Bytes.make f.cf_nvars '\000');
+      };
+    freqs =
+      (if f.cf_nreqs = 0 then no_reqs
+       else Array.make f.cf_nreqs Comm.nil_request);
+  }
+
+(* Accumulate one computation interval into the per-rank SoA state.
+   Field-by-field addition in [Pmu.t] order — identical float sums to
+   the reference engine's [Pmu.add]. *)
+let accum_comp s rank seconds =
+  s.clock.(rank) <- s.clock.(rank) +. seconds;
+  s.comp_sec.(rank) <- s.comp_sec.(rank) +. seconds;
+  s.pmu_tot_ins.(rank) <- s.pmu_tot_ins.(rank) +. s.scratch.(0);
+  s.pmu_tot_lst.(rank) <- s.pmu_tot_lst.(rank) +. s.scratch.(1);
+  s.pmu_tot_cyc.(rank) <- s.pmu_tot_cyc.(rank) +. s.scratch.(2);
+  s.pmu_miss.(rank) <- s.pmu_miss.(rank) +. s.scratch.(3);
+  s.pmu_fp.(rank) <- s.pmu_fp.(rank) +. s.scratch.(4)
+
+let rec exec_block s rank frame (body : cstmt array) =
+  for i = 0 to Array.length body - 1 do
+    exec_stmt s rank frame (Array.unsafe_get body i)
+  done
+
+and exec_stmt s rank frame (st : cstmt) =
+  let loc = st.sloc in
+  s.events <- s.events + 1;
+  if s.events > s.cfg.max_events then
+    runtime_error ~loc "event budget exceeded (%d)" s.cfg.max_events;
+  if s.clock.(rank) >= s.kill_at.(rank) then raise Rank_killed;
+  match st.snode with
+  | KLet { slot; value } ->
+      let v = ceval frame.fenv ~loc value in
+      frame.fenv.C.c_vars.(slot) <- v;
+      Bytes.unsafe_set frame.fenv.C.c_bound slot '\001'
+  | KComp { flops; mem; ints; locality; label } ->
+      (* workload counts evaluate inside the cost model in the reference
+         engine, so an Eval_error escapes unwrapped here too *)
+      let fl = C.eval frame.fenv flops in
+      let me = C.eval frame.fenv mem in
+      let it = C.eval frame.fenv ints in
+      let seconds =
+        Costmodel.comp_cost_into s.cfg.cost ~rank ~flops:fl ~mem:me ~ints:it
+          ~locality ~counters:s.scratch
+      in
+      let seconds = seconds *. s.comp_scale.(rank) in
+      let seconds =
+        if s.inject_on then
+          seconds +. Inject.extra s.cfg.inject ~rank ~loc
+        else seconds
+      in
+      if s.has_tools then begin
+        let ctx = ctx_of s rank ~loc in
+        accum_comp s rank seconds;
+        let pmu =
+          {
+            Pmu.tot_ins = s.scratch.(0);
+            tot_lst_ins = s.scratch.(1);
+            tot_cyc = s.scratch.(2);
+            cache_miss = s.scratch.(3);
+            fp_ins = s.scratch.(4);
+          }
+        in
+        let overhead =
+          tool_sum s.cfg (fun tool ->
+              tool.Instrument.on_interval ctx ~stop:s.clock.(rank)
+                (Instrument.Compute { pmu; label }))
+        in
+        s.clock.(rank) <- s.clock.(rank) +. overhead
+      end
+      else accum_comp s rank seconds
+  | KLoop { slot; count; body } ->
+      let n = ceval frame.fenv ~loc count in
+      if n > 0 then begin
+        let vars = frame.fenv.C.c_vars in
+        Bytes.unsafe_set frame.fenv.C.c_bound slot '\001';
+        for i = 0 to n - 1 do
+          Array.unsafe_set vars slot i;
+          exec_block s rank frame body
+        done
+      end
+  | KBranch { cond; then_; else_ } ->
+      if ceval frame.fenv ~loc cond <> 0 then exec_block s rank frame then_
+      else exec_block s rank frame else_
+  | KCall { callee; args } -> call_function s rank ~site:loc callee args frame
+  | KCall_undef name ->
+      runtime_error ~loc "call to undefined function %S" name
+  | KIcall { selector; targets } ->
+      let n = Array.length targets in
+      if n = 0 then runtime_error ~loc "indirect call with no targets";
+      let sel = ceval frame.fenv ~loc selector in
+      let idx = ((sel mod n) + n) mod n in
+      let target, tf = targets.(idx) in
+      if s.has_tools then begin
+        let ctx = ctx_of s rank ~loc in
+        let overhead =
+          tool_sum s.cfg (fun tool -> tool.Instrument.on_icall ctx ~target)
+        in
+        s.clock.(rank) <- s.clock.(rank) +. overhead
+      end;
+      (match tf with
+      | None ->
+          runtime_error ~loc "indirect call to undefined function %S" target
+      | Some f -> call_function s rank ~site:loc f [||] frame)
+  | KMpi { ast; op } ->
+      if s.has_tools then exec_mpi_tools s rank frame ~loc ast op
+      else exec_mpi_fast s rank frame ~loc ast op
+
+and call_function s rank ~site (f : cfunc) (args : (int * C.expr) array)
+    (caller : frame) =
+  let callee_frame = new_frame rank f in
+  let nargs = Array.length args in
+  for i = 0 to nargs - 1 do
+    let slot, e = Array.unsafe_get args i in
+    let v = ceval caller.fenv ~loc:site e in
+    callee_frame.fenv.C.c_vars.(slot) <- v;
+    Bytes.unsafe_set callee_frame.fenv.C.c_bound slot '\001'
+  done;
+  if s.has_tools then begin
+    let saved = s.callpaths.(rank) in
+    s.callpaths.(rank) <- saved @ [ site ];
+    exec_block s rank callee_frame f.cf_body;
+    s.callpaths.(rank) <- saved
+  end
+  else exec_block s rank callee_frame f.cf_body
+
+(* MPI execution, bare path: no tool hooks are installed, so context
+   records, dependence edges and callpaths are never materialized.  The
+   clock/wait arithmetic is sequenced exactly as in the instrumented
+   path (whose zero overheads this path elides). *)
+and exec_mpi_fast s rank frame ~loc (ast : Ast.mpi_call) (op : cmpi) =
+  let enter_time = s.clock.(rank) in
+  let env = frame.fenv in
+  let wait = ref 0.0 in
+  (match op with
+  | KSend { dest; tag; bytes } ->
+      let dst = ceval env ~loc dest in
+      let tag = ceval env ~loc tag in
+      let bytes = ceval env ~loc bytes in
+      let sreq =
+        Comm.send s.comm ~src:rank ~dst ~tag ~bytes ~time:s.clock.(rank) ~loc
+          ~callpath:[]
+      in
+      s.clock.(rank) <- s.clock.(rank) +. s.net.Network.send_overhead;
+      let t0 = s.clock.(rank) in
+      await_one s rank sreq;
+      wait := s.clock.(rank) -. t0
+  | KRecv { src; tag; bytes } ->
+      let src = eval_peer env ~loc src in
+      let tag = eval_tag env ~loc tag in
+      let bytes = ceval env ~loc bytes in
+      let req =
+        Comm.post_recv s.comm ~rank ~src ~tag ~bytes ~time:s.clock.(rank) ~loc
+          ~callpath:[]
+      in
+      s.clock.(rank) <- s.clock.(rank) +. s.net.Network.recv_overhead;
+      let t0 = s.clock.(rank) in
+      await_one s rank req;
+      wait := s.clock.(rank) -. t0
+  | KIsend { dest; tag; bytes; slot } ->
+      let dst = ceval env ~loc dest in
+      let tag = ceval env ~loc tag in
+      let bytes = ceval env ~loc bytes in
+      let sreq =
+        Comm.send s.comm ~src:rank ~dst ~tag ~bytes ~time:s.clock.(rank) ~loc
+          ~callpath:[]
+      in
+      s.clock.(rank) <- s.clock.(rank) +. s.net.Network.send_overhead;
+      frame.freqs.(slot) <- sreq
+  | KIrecv { src; tag; bytes; slot } ->
+      let src = eval_peer env ~loc src in
+      let tag = eval_tag env ~loc tag in
+      let bytes = ceval env ~loc bytes in
+      let rreq =
+        Comm.post_recv s.comm ~rank ~src ~tag ~bytes ~time:s.clock.(rank) ~loc
+          ~callpath:[]
+      in
+      s.clock.(rank) <- s.clock.(rank) +. s.net.Network.recv_overhead;
+      frame.freqs.(slot) <- rreq
+  | KWait { slot; name } ->
+      let r = get_req frame ~loc slot name in
+      let t0 = s.clock.(rank) in
+      await_one s rank r;
+      wait := s.clock.(rank) -. t0
+  | KWaitall { slots } ->
+      let rs =
+        Array.map (fun (slot, name) -> get_req frame ~loc slot name) slots
+      in
+      let t0 = s.clock.(rank) in
+      await_many s rank rs;
+      wait := s.clock.(rank) -. t0
+  | KSendrecv { dest; stag; sbytes; src; rtag; rbytes } ->
+      let dst = ceval env ~loc dest in
+      let stag = ceval env ~loc stag in
+      let sbytes = ceval env ~loc sbytes in
+      let src = eval_peer env ~loc src in
+      let rtag = eval_tag env ~loc rtag in
+      let rbytes = ceval env ~loc rbytes in
+      let sreq =
+        Comm.send s.comm ~src:rank ~dst ~tag:stag ~bytes:sbytes
+          ~time:s.clock.(rank) ~loc ~callpath:[]
+      in
+      let rreq =
+        Comm.post_recv s.comm ~rank ~src ~tag:rtag ~bytes:rbytes
+          ~time:s.clock.(rank) ~loc ~callpath:[]
+      in
+      s.clock.(rank) <-
+        s.clock.(rank) +. s.net.Network.send_overhead
+        +. s.net.Network.recv_overhead;
+      let t0 = s.clock.(rank) in
+      await_two s rank sreq rreq;
+      wait := s.clock.(rank) -. t0
+  | KColl { bytes } ->
+      let bytes = ceval env ~loc bytes in
+      s.coll_seqs.(rank) <- s.coll_seqs.(rank) + 1;
+      let arrive_time = s.clock.(rank) in
+      let c =
+        Comm.coll_arrive s.comm ~seq:s.coll_seqs.(rank) ~rank ~time:arrive_time
+          ~kind:ast ~bytes
+      in
+      if c.Comm.finished then wake_collective s c;
+      let resume =
+        if c.Comm.finished then c.Comm.finish_time
+        else begin
+          s.blocked_since.(rank) <- arrive_time;
+          s.wakes.(rank) <- Wake_coll c;
+          Effect.perform Block
+        end
+      in
+      s.clock.(rank) <- Float.max s.clock.(rank) resume;
+      wait := Float.max 0.0 (c.Comm.start_time -. arrive_time));
+  s.mpi_sec.(rank) <- s.mpi_sec.(rank) +. (s.clock.(rank) -. enter_time);
+  s.wait_sec.(rank) <- s.wait_sec.(rank) +. !wait
+
+(* MPI execution, instrumented path: the reference engine's sequence of
+   hook calls, context records and overhead charges, with compiled
+   expression evaluation. *)
+and exec_mpi_tools s rank frame ~loc (ast : Ast.mpi_call) (op : cmpi) =
+  let enter_time = s.clock.(rank) in
+  let ctx_enter = ctx_of s rank ~loc in
+  let overhead_in =
+    tool_sum s.cfg (fun tool -> tool.Instrument.on_mpi_enter ctx_enter ast)
+  in
+  s.clock.(rank) <- s.clock.(rank) +. overhead_in;
+  let env = frame.fenv in
+  let deps = ref [] and sends = ref [] and collective = ref None in
+  let wait = ref 0.0 in
+  (match op with
+  | KSend { dest; tag; bytes } ->
+      let dst = ceval env ~loc dest in
+      let tag = ceval env ~loc tag in
+      let bytes = ceval env ~loc bytes in
+      let sreq =
+        Comm.send s.comm ~src:rank ~dst ~tag ~bytes ~time:s.clock.(rank) ~loc
+          ~callpath:s.callpaths.(rank)
+      in
+      s.clock.(rank) <- s.clock.(rank) +. s.net.Network.send_overhead;
+      let t0 = s.clock.(rank) in
+      await_one s rank sreq;
+      wait := s.clock.(rank) -. t0;
+      sends := [ (dst, tag, bytes) ]
+  | KRecv { src; tag; bytes } ->
+      let src = eval_peer env ~loc src in
+      let tag = eval_tag env ~loc tag in
+      let bytes = ceval env ~loc bytes in
+      let req =
+        Comm.post_recv s.comm ~rank ~src ~tag ~bytes ~time:s.clock.(rank) ~loc
+          ~callpath:s.callpaths.(rank)
+      in
+      s.clock.(rank) <- s.clock.(rank) +. s.net.Network.recv_overhead;
+      let t0 = s.clock.(rank) in
+      await_one s rank req;
+      wait := s.clock.(rank) -. t0;
+      deps := dep_of_req req
+  | KIsend { dest; tag; bytes; slot } ->
+      let dst = ceval env ~loc dest in
+      let tag = ceval env ~loc tag in
+      let bytes = ceval env ~loc bytes in
+      let sreq =
+        Comm.send s.comm ~src:rank ~dst ~tag ~bytes ~time:s.clock.(rank) ~loc
+          ~callpath:s.callpaths.(rank)
+      in
+      s.clock.(rank) <- s.clock.(rank) +. s.net.Network.send_overhead;
+      frame.freqs.(slot) <- sreq;
+      sends := [ (dst, tag, bytes) ]
+  | KIrecv { src; tag; bytes; slot } ->
+      let src = eval_peer env ~loc src in
+      let tag = eval_tag env ~loc tag in
+      let bytes = ceval env ~loc bytes in
+      let rreq =
+        Comm.post_recv s.comm ~rank ~src ~tag ~bytes ~time:s.clock.(rank) ~loc
+          ~callpath:s.callpaths.(rank)
+      in
+      s.clock.(rank) <- s.clock.(rank) +. s.net.Network.recv_overhead;
+      frame.freqs.(slot) <- rreq
+  | KWait { slot; name } ->
+      let r = get_req frame ~loc slot name in
+      let t0 = s.clock.(rank) in
+      await_one s rank r;
+      wait := s.clock.(rank) -. t0;
+      deps := dep_of_req r
+  | KWaitall { slots } ->
+      let rs =
+        Array.map (fun (slot, name) -> get_req frame ~loc slot name) slots
+      in
+      let t0 = s.clock.(rank) in
+      await_many s rank rs;
+      wait := s.clock.(rank) -. t0;
+      deps := List.concat_map dep_of_req (Array.to_list rs)
+  | KSendrecv { dest; stag; sbytes; src; rtag; rbytes } ->
+      let dst = ceval env ~loc dest in
+      let stag = ceval env ~loc stag in
+      let sbytes = ceval env ~loc sbytes in
+      let src = eval_peer env ~loc src in
+      let rtag = eval_tag env ~loc rtag in
+      let rbytes = ceval env ~loc rbytes in
+      let sreq =
+        Comm.send s.comm ~src:rank ~dst ~tag:stag ~bytes:sbytes
+          ~time:s.clock.(rank) ~loc ~callpath:s.callpaths.(rank)
+      in
+      let rreq =
+        Comm.post_recv s.comm ~rank ~src ~tag:rtag ~bytes:rbytes
+          ~time:s.clock.(rank) ~loc ~callpath:s.callpaths.(rank)
+      in
+      s.clock.(rank) <-
+        s.clock.(rank) +. s.net.Network.send_overhead
+        +. s.net.Network.recv_overhead;
+      let t0 = s.clock.(rank) in
+      await_two s rank sreq rreq;
+      wait := s.clock.(rank) -. t0;
+      sends := [ (dst, stag, sbytes) ];
+      deps := dep_of_req rreq
+  | KColl { bytes } ->
+      let bytes = ceval env ~loc bytes in
+      s.coll_seqs.(rank) <- s.coll_seqs.(rank) + 1;
+      let arrive_time = s.clock.(rank) in
+      let c =
+        Comm.coll_arrive s.comm ~seq:s.coll_seqs.(rank) ~rank ~time:arrive_time
+          ~kind:ast ~bytes
+      in
+      if c.Comm.finished then wake_collective s c;
+      let resume =
+        if c.Comm.finished then c.Comm.finish_time
+        else begin
+          s.blocked_since.(rank) <- arrive_time;
+          s.wakes.(rank) <- Wake_coll c;
+          Effect.perform Block
+        end
+      in
+      s.clock.(rank) <- Float.max s.clock.(rank) resume;
+      wait := Float.max 0.0 (c.Comm.start_time -. arrive_time);
+      collective :=
+        Some
+          {
+            Instrument.coll_seq = c.Comm.coll_seq;
+            arrive_time;
+            start_time = c.Comm.start_time;
+            last_arrival_rank = c.Comm.last_arrival_rank;
+          });
+  let exit_time = s.clock.(rank) in
+  s.mpi_sec.(rank) <- s.mpi_sec.(rank) +. (exit_time -. enter_time);
+  s.wait_sec.(rank) <- s.wait_sec.(rank) +. !wait;
+  let ctx_span = { ctx_enter with Instrument.time = enter_time } in
+  let span_overhead =
+    tool_sum s.cfg (fun tool ->
+        tool.Instrument.on_interval ctx_span ~stop:exit_time
+          (Instrument.Mpi_span { call = ast; wait_seconds = !wait }))
+  in
+  let exit_info =
+    {
+      Instrument.call = ast;
+      enter_time;
+      exit_time;
+      wait_seconds = !wait;
+      deps = !deps;
+      sends = !sends;
+      collective = !collective;
+    }
+  in
+  let ctx_exit = ctx_of s rank ~loc in
+  let overhead_out =
+    tool_sum s.cfg (fun tool -> tool.Instrument.on_mpi_exit ctx_exit exit_info)
+  in
+  s.clock.(rank) <- s.clock.(rank) +. span_overhead +. overhead_out
+
+(* --- fibers and the scheduler loop --- *)
+
+let handler s rank =
+  {
+    Effect.Deep.retc = (fun () -> s.status.(rank) <- st_finished);
     exnc =
       (function
       (* a killed rank stops cleanly: whatever it measured so far stays,
          peers waiting on it are stranded and handled at end of run *)
       | Rank_killed ->
-          p.status <- Finished;
-          sched.killed <- p.rank :: sched.killed
+          s.status.(rank) <- st_finished;
+          s.killed <- rank :: s.killed
       | e -> raise e);
     effc =
       (fun (type a) (eff : a Effect.t) ->
         match eff with
-        | Block wake ->
+        | Block ->
             Some
               (fun (k : (a, _) Effect.Deep.continuation) ->
-                match wake with
-                | Wake_reqs reqs ->
-                    p.status <- Blocked (wake, k);
-                    List.iter
+                s.status.(rank) <- st_blocked;
+                s.conts.(rank) <- Some k;
+                (* registration only: the awaited condition cannot have
+                   completed between the check in await_* and here —
+                   execution is single-threaded and nothing ran in
+                   between *)
+                match s.wakes.(rank) with
+                | Wake_one r ->
+                    if not r.Comm.completed then r.Comm.waiter <- rank
+                | Wake_two (r1, r2) ->
+                    if not r1.Comm.completed then r1.Comm.waiter <- rank;
+                    if not r2.Comm.completed then r2.Comm.waiter <- rank
+                | Wake_many rs ->
+                    Array.iter
                       (fun (r : Comm.request) ->
-                        if not r.completed then
-                          Hashtbl.replace sched.req_waiter r.req_id p.rank)
-                      reqs;
-                    (* all may have completed between the check in [await]
-                       and here only if await raced — single-threaded, so
-                       no race; but guard anyway *)
-                    if List.for_all (fun (r : Comm.request) -> r.completed) reqs
-                    then on_request_complete sched (List.hd reqs)
-                | Wake_coll c ->
-                    p.status <- Blocked (wake, k);
-                    let waiters =
-                      match Hashtbl.find_opt sched.coll_waiters c.coll_seq with
-                      | Some l -> l
-                      | None ->
-                          let l = ref [] in
-                          Hashtbl.replace sched.coll_waiters c.coll_seq l;
-                          l
-                    in
-                    waiters := p.rank :: !waiters;
-                    if c.finished then wake_collective sched c)
+                        if not r.completed then r.waiter <- rank)
+                      rs
+                | Wake_coll c -> c.Comm.waiters <- rank :: c.Comm.waiters
+                | Wake_none -> assert false)
         | _ -> None);
   }
 
-let start_fiber sched p =
-  p.status <- Running;
+let start_fiber s rank =
+  s.status.(rank) <- st_running;
   Effect.Deep.match_with
     (fun () ->
-      let main = Ast.main_func sched.program in
-      let frame = { vars = ref []; freqs = Hashtbl.create 4 } in
-      exec_stmts sched p frame main.fbody)
-    () (handler sched p)
+      let f = s.cmain in
+      exec_block s rank (new_frame rank f) f.cf_body)
+    () (handler s rank)
+
+let rec drive s =
+  let rank = Heap.pop_val s.ready in
+  if rank >= 0 then begin
+    let st = s.status.(rank) in
+    if st = st_not_started then start_fiber s rank
+    else if st = st_ready then begin
+      s.status.(rank) <- st_running;
+      match s.conts.(rank) with
+      | Some k ->
+          s.conts.(rank) <- None;
+          Effect.Deep.continue k s.resume_at.(rank)
+      | None -> assert false
+    end;
+    drive s
+  end
+
+(* --- top-level run --- *)
 
 let run_body ~cfg (program : Ast.program) =
-  let comm = Comm.create ~net:cfg.net ~nprocs:cfg.nprocs in
-  let procs =
-    Array.init cfg.nprocs (fun rank ->
-        {
-          rank;
-          clock = 0.0;
-          status = Not_started;
-          callpath = [];
-          coll_seq = 0;
-          blocked_since = 0.0;
-          comp_pmu = Pmu.zero;
-          comp_seconds = 0.0;
-          mpi_seconds = 0.0;
-          wait_seconds = 0.0;
-        })
-  in
-  let sched =
+  let merged_params = merge_params program cfg.params in
+  let cmain = compile_program ~nprocs:cfg.nprocs ~params:merged_params program in
+  let n = cfg.nprocs in
+  let comm = Comm.create ~net:cfg.net ~nprocs:n in
+  let s =
     {
       cfg;
-      program;
-      merged_params = merge_params program cfg.params;
+      cmain;
+      has_tools = cfg.tools <> [];
+      inject_on = not (Inject.is_empty cfg.inject);
       comm;
-      procs;
-      ready = Heap.create ();
-      req_waiter = Hashtbl.create 64;
-      coll_waiters = Hashtbl.create 16;
+      nprocs = n;
+      net = cfg.net;
+      clock = Array.make n 0.0;
+      blocked_since = Array.make n 0.0;
+      comp_sec = Array.make n 0.0;
+      mpi_sec = Array.make n 0.0;
+      wait_sec = Array.make n 0.0;
+      pmu_tot_ins = Array.make n 0.0;
+      pmu_tot_lst = Array.make n 0.0;
+      pmu_tot_cyc = Array.make n 0.0;
+      pmu_miss = Array.make n 0.0;
+      pmu_fp = Array.make n 0.0;
+      coll_seqs = Array.make n 0;
+      status = Array.make n st_not_started;
+      conts = Array.make n None;
+      resume_at = Array.make n 0.0;
+      wakes = Array.make n Wake_none;
+      callpaths = Array.make n [];
+      kill_at =
+        Array.init n (fun rank ->
+            match Faults.kill_time cfg.faults ~rank with
+            | Some t -> t
+            | None -> infinity);
+      comp_scale = Array.init n (fun rank -> Faults.comp_scale cfg.faults ~rank);
+      scratch = Array.make 5 0.0;
+      ready = Heap.create ~capacity:(max 16 n) ();
       events = 0;
       killed = [];
     }
   in
-  Comm.set_on_complete comm (on_request_complete sched);
-  Array.iter (fun p -> Heap.push sched.ready 0.0 p.rank) procs;
-  let rec loop () =
-    match Heap.pop sched.ready with
-    | None -> ()
-    | Some (_, rank) ->
-        let p = procs.(rank) in
-        (match p.status with
-        | Not_started -> start_fiber sched p
-        | Ready (resume, k) ->
-            p.status <- Running;
-            Effect.Deep.continue k resume
-        | Running | Blocked _ | Finished -> ());
-        loop ()
-  in
-  loop ();
-  let stuck =
-    Array.to_list procs
-    |> List.filter (fun p -> p.status <> Finished)
-    |> List.map (fun p -> p.rank)
-  in
-  let killed_ranks = List.sort compare sched.killed in
+  Comm.set_on_complete comm (on_request_complete s);
+  for rank = 0 to n - 1 do
+    Heap.push s.ready 0.0 rank
+  done;
+  drive s;
+  let stuck = ref [] in
+  for rank = n - 1 downto 0 do
+    if s.status.(rank) <> st_finished then stuck := rank :: !stuck
+  done;
+  let stuck = !stuck in
+  let killed_ranks = List.sort compare s.killed in
   (* a genuine deadlock is still fatal; ranks blocked on a killed peer are
      the expected degraded outcome and are reported, not raised *)
   if stuck <> [] && killed_ranks = [] then
@@ -553,18 +1025,26 @@ let run_body ~cfg (program : Ast.program) =
          (Printf.sprintf "ranks {%s} blocked at end of run\n%s"
             (String.concat "," (List.map string_of_int stuck))
             (Comm.pending_summary comm)));
-  let elapsed = Array.fold_left (fun acc p -> Float.max acc p.clock) 0.0 procs in
+  let elapsed = Array.fold_left Float.max 0.0 s.clock in
   List.iter
     (fun tool -> tool.Instrument.on_run_end ~nprocs:cfg.nprocs ~elapsed)
     cfg.tools;
   {
     elapsed;
-    rank_finish = Array.map (fun p -> p.clock) procs;
-    comp_seconds = Array.map (fun p -> p.comp_seconds) procs;
-    mpi_seconds = Array.map (fun p -> p.mpi_seconds) procs;
-    wait_seconds = Array.map (fun p -> p.wait_seconds) procs;
-    comp_pmu = Array.map (fun p -> p.comp_pmu) procs;
-    events = sched.events;
+    rank_finish = s.clock;
+    comp_seconds = s.comp_sec;
+    mpi_seconds = s.mpi_sec;
+    wait_seconds = s.wait_sec;
+    comp_pmu =
+      Array.init n (fun rank ->
+          {
+            Pmu.tot_ins = s.pmu_tot_ins.(rank);
+            tot_lst_ins = s.pmu_tot_lst.(rank);
+            tot_cyc = s.pmu_tot_cyc.(rank);
+            cache_miss = s.pmu_miss.(rank);
+            fp_ins = s.pmu_fp.(rank);
+          });
+    events = s.events;
     messages = comm.Comm.messages_sent;
     killed_ranks;
     stranded_ranks = stuck;

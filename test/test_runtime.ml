@@ -34,6 +34,111 @@ let test_heap_empty () =
       check_int "value" 7 v
   | None -> Alcotest.fail "pop"
 
+(* Key lists for the Indexed properties: up to 32 keys drawn from a
+   coarse grid so duplicates (the tie cases) are common. *)
+let keys_arb = Prop.list_of ~max_len:32 (Prop.float_range 0.0 16.0)
+
+let drain_indexed h =
+  let rec go acc =
+    if Heap.Indexed.is_empty h then List.rev acc
+    else
+      let k = Heap.Indexed.min_key h in
+      let v = Heap.Indexed.pop_val h in
+      go ((k, v) :: acc)
+  in
+  go []
+
+let sorted_keys kvs =
+  let ks = List.map fst kvs in
+  List.sort compare ks = ks
+
+let heap_indexed_sorted =
+  Prop.test ~count:300 "indexed heap pops sorted" keys_arb (fun keys ->
+      let n = List.length keys in
+      let h = Heap.Indexed.create n in
+      List.iteri (fun i k -> Heap.Indexed.push h k i) keys;
+      let out = drain_indexed h in
+      sorted_keys out
+      && List.sort compare (List.map snd out) = List.init n Fun.id)
+
+(* The doc's frozen-contract claim, verified directly: under the same
+   push sequence both heap variants evolve the same array layout, so
+   their pop sequences agree payload-for-payload — including the tie
+   order among equal keys. *)
+let heap_indexed_matches_plain =
+  Prop.test ~count:300 "indexed tie order = plain heap" keys_arb (fun keys ->
+      let n = List.length keys in
+      let plain = Heap.create () in
+      let idx = Heap.Indexed.create n in
+      List.iteri
+        (fun i k ->
+          Heap.push plain k i;
+          Heap.Indexed.push idx k i)
+        keys;
+      let rec agree () =
+        let a = Heap.pop_val plain in
+        let b = Heap.Indexed.pop_val idx in
+        a = b && (a = -1 || agree ())
+      in
+      agree ())
+
+let heap_decrease_key =
+  Prop.test ~count:300 "decrease_key preserves invariant"
+    (Prop.pair keys_arb (Prop.list_of ~max_len:16 (Prop.int_range 0 1023)))
+    (fun (keys, picks) ->
+      let n = List.length keys in
+      let h = Heap.Indexed.create n in
+      List.iteri (fun i k -> Heap.Indexed.push h k i) keys;
+      let expected = Array.of_list keys in
+      List.iter
+        (fun pick ->
+          if n > 0 then begin
+            let v = pick mod n in
+            let k = Heap.Indexed.key h v /. 2.0 in
+            Heap.Indexed.decrease_key h k v;
+            expected.(v) <- k
+          end)
+        picks;
+      let out = drain_indexed h in
+      sorted_keys out
+      && List.for_all (fun (k, v) -> k = expected.(v)) out
+      && List.length out = n)
+
+let heap_replace_min =
+  Prop.test ~count:300 "replace_min = pop+push"
+    (Prop.pair keys_arb (Prop.float_range 0.0 16.0))
+    (fun (keys, k') ->
+      let n = List.length keys in
+      n = 0
+      ||
+      let h = Heap.Indexed.create n in
+      List.iteri (fun i k -> Heap.Indexed.push h k i) keys;
+      let v = Heap.Indexed.min_val h in
+      Heap.Indexed.replace_min h k' v;
+      let out = drain_indexed h in
+      sorted_keys out
+      && List.length out = n
+      && List.exists (fun (k, pv) -> pv = v && k = k') out)
+
+let test_heap_indexed_errors () =
+  let h = Heap.Indexed.create 4 in
+  Heap.Indexed.push h 5.0 2;
+  (match Heap.Indexed.push h 1.0 2 with
+  | exception Invalid_argument _ -> ()
+  | () -> Alcotest.fail "duplicate push");
+  (match Heap.Indexed.decrease_key h 9.0 2 with
+  | exception Invalid_argument _ -> ()
+  | () -> Alcotest.fail "key increase");
+  (match Heap.Indexed.decrease_key h 1.0 3 with
+  | exception Invalid_argument _ -> ()
+  | () -> Alcotest.fail "absent payload");
+  Heap.Indexed.decrease_key h 1.0 2;
+  check_float "decreased" 1.0 (Heap.Indexed.key h 2);
+  check_int "pops it" 2 (Heap.Indexed.pop_val h);
+  match Heap.Indexed.replace_min h 0.0 0 with
+  | exception Invalid_argument _ -> ()
+  | () -> Alcotest.fail "replace_min on empty"
+
 (* --- pmu / cost model --- *)
 
 let test_pmu_arith () =
@@ -556,11 +661,92 @@ let random_programs_terminate =
       let r2 = run ~nprocs:5 prog in
       r1.Exec.elapsed = r2.Exec.elapsed && r1.Exec.events = r2.Exec.events)
 
+(* --- engine equivalence ---
+
+   The compiled struct-of-arrays engine must be observably identical to
+   the reference interpreter it replaced: same clocks, same PMU sums,
+   same message counts, same kill/strand sets, to the last bit.  These
+   digests were captured from the reference engine over the full
+   application registry, clean and under a fault plan, at three scales;
+   a changed digest means simulated behavior changed. *)
+
+let equivalence_fault_plan =
+  Faults.plan ~seed:7
+    [
+      Faults.kill_rank ~rank:1 ~after:1e-5 ();
+      Faults.clock_skew ~rank:0 ~factor:1.7;
+    ]
+
+let reference_digests =
+  [
+    ("bt", 4, "9e5609946655375715b6281d702a6323", "0e03162b640a6d846c205801a2748405");
+    ("bt", 16, "cc8e411225371251c18272b5b958a1e8", "b8692e2ad4c4e7ec53c75cc0ef3ae45e");
+    ("bt", 64, "5d985beb8fd8d0df2d38bffe38a27e1e", "313fd500dd17a440bbac871f530f7838");
+    ("cg", 4, "258dd3782cac585ff928ec51acea00a3", "ada52ac5527c397abfe5d9845ee4d755");
+    ("cg", 16, "ad5efb2f8b8cea98fbe1987092aa63a0", "fbecfda029ea52adca1cbe4e4a4f3d69");
+    ("cg", 64, "8a897d9b03040cac9473f2bccc4517d0", "485621f408b5f110bedc1730b8cac7d9");
+    ("ep", 4, "95a7a59a3cce7a1d827601af8f83d682", "5606567496a434e86d1859e9d4e19144");
+    ("ep", 16, "d59517df22fda4a02ebf05c9f219af68", "229b1558cb00d7ec7bc0a4f99b217e17");
+    ("ep", 64, "b7734040d3bdcf2f98c493a184ede3c9", "c3188863575c2409af137970a9ea41bc");
+    ("ft", 4, "ba323411bab0ccaf0d545e505299b526", "92999261769dfdb717686ce4dc316a96");
+    ("ft", 16, "562efe7457e26a0cdf2f16d041011794", "c0ce820ea705ed6d465e6314fa5d5d32");
+    ("ft", 64, "5596323b5867fb55fc2d20acf6b5b1e0", "fec8246fdfa9283a003e838b0dbabaca");
+    ("mg", 4, "b01a6502b18a104e3e23f33ceba1255e", "68939202cfd4bb0c0821a0675d0314ea");
+    ("mg", 16, "a381ef5bce7305b55d130cc246e188c1", "48fa98aa8182d71ab014e06878be68a3");
+    ("mg", 64, "3c79019a02c14d91f87eaaf4e57a3666", "49f3878f7ed7f78ab02fa97d8ed718fa");
+    ("sp", 4, "87abcb04b71035637fad676e1bff36b0", "0e03162b640a6d846c205801a2748405");
+    ("sp", 16, "b4576fdea2fea861052f76f269e5de6a", "b8692e2ad4c4e7ec53c75cc0ef3ae45e");
+    ("sp", 64, "92c7d943b11bdf205c44cf4d2d709b28", "313fd500dd17a440bbac871f530f7838");
+    ("lu", 4, "d827c164e70095c1d0135c9bbb1d4f44", "fccebd09180ccf7c2f037910ef44a0d0");
+    ("lu", 16, "8b1493e94a04318d0713fee25bd36c6b", "a86c52d7cbbd08581279438ecc021331");
+    ("lu", 64, "d4ac9f5f611ffcdf8a2241d8eb2cb934", "7d636712c23326114874e238316eaa8e");
+    ("is", 4, "ab24dfb4e984a02f5660195f610ac61c", "cc4b01847aeacc4d69f8fa684b07887a");
+    ("is", 16, "5b220b25624d8ac8db39d901e5210c80", "70ea50a1770ddcddf197fcd8c950f138");
+    ("is", 64, "9ed7a03715dcf436b2cbee882c653eda", "e8a4352464232737cfea531d6d9ccc55");
+    ("sst", 4, "54cb4b029bfc982f82998eb30165e5e9", "0f22dedeb3dfe4c3095914260622006f");
+    ("sst", 16, "8a42da52ffb267c125a0928b75c288f3", "8f6370535399bafdf99faa348886b694");
+    ("sst", 64, "4440d3179a35a83e39da2c0d7d5aa2e3", "cc7683f5cc42eac2e4716d8a87a25d14");
+    ("nekbone", 4, "879dd1e00e794e3c39e310a2b0fa1dbd", "b3fbbfa2f36000ecaa4aad0b8e08aee9");
+    ("nekbone", 16, "b2432bc6e05b8b731661ac4ec34afd51", "6717f045a8b7ec27ffa31b0de173942e");
+    ("nekbone", 64, "b9006b65290b085686a72124cb0111f0", "e62aac40e3c4904a216782012c1a549d");
+    ("zeusmp", 4, "96578cf6f769266d7e6ae859102c0f04", "9b939b4b3ba458dcb509561d36739c0a");
+    ("zeusmp", 16, "6b48e16fc247c3bbe2e7e6b5bb5e4768", "d28cfec99ecebc2542b66361d3027cdb");
+    ("zeusmp", 64, "4965296d2984b55a6a0080680bdb9634", "f3242140afbaf3ee93df86063c345b6c");
+  ]
+
+let digest_result (r : Exec.result) =
+  Digest.to_hex (Digest.string (Marshal.to_string r []))
+
+let test_engine_reference_digests () =
+  List.iter
+    (fun (name, np, clean_d, faulted_d) ->
+      let e = Scalana_apps.Registry.find name in
+      let cfg = Exec.config ~nprocs:np ~cost:e.cost () in
+      let clean = Exec.run ~cfg (e.make ()) in
+      check_string
+        (Printf.sprintf "%s np=%d clean" name np)
+        clean_d (digest_result clean);
+      let armed = Faults.arm equivalence_fault_plan ~nprocs:np ~attempt:1 in
+      let fcfg = Exec.config ~nprocs:np ~cost:e.cost ~faults:armed () in
+      let faulted = Exec.run ~cfg:fcfg (e.make ()) in
+      check_string
+        (Printf.sprintf "%s np=%d faulted" name np)
+        faulted_d (digest_result faulted))
+    reference_digests
+
 let () =
   Alcotest.run "runtime"
     [
       ( "heap",
-        [ heap_sorted; Alcotest.test_case "empty/one" `Quick test_heap_empty ] );
+        [
+          heap_sorted;
+          Alcotest.test_case "empty/one" `Quick test_heap_empty;
+          heap_indexed_sorted;
+          heap_indexed_matches_plain;
+          heap_decrease_key;
+          heap_replace_min;
+          Alcotest.test_case "indexed errors" `Quick test_heap_indexed_errors;
+        ] );
       ( "models",
         [
           Alcotest.test_case "pmu arithmetic" `Quick test_pmu_arith;
@@ -621,5 +807,10 @@ let () =
             test_fault_draws_keyed_on_attempt;
           Alcotest.test_case "poison determinism" `Quick
             test_fault_poison_determinism;
+        ] );
+      ( "engine",
+        [
+          Alcotest.test_case "reference digests (full registry)" `Quick
+            test_engine_reference_digests;
         ] );
     ]
