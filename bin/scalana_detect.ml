@@ -7,8 +7,8 @@
 
 open Cmdliner
 
-let run session abnorm_thd domains follow_def_use trace metrics_out
-    wait_states rank_trace timeline_np =
+let run session abnorm_thd domains follow_def_use static_crosscheck trace
+    metrics_out wait_states rank_trace timeline_np =
   Cli_common.run_cli @@ fun () ->
   (* observability on before the session loads, so artifact salvage work
      is on the trace too; the report then carries a pipeline-cost section *)
@@ -25,6 +25,7 @@ let run session abnorm_thd domains follow_def_use trace metrics_out
       abnorm_thd;
       analysis_domains = domains;
       follow_def_use;
+      static_crosscheck;
     }
   in
   let timeline =
@@ -85,6 +86,17 @@ let follow_def_use_arg =
            available instead of sibling order (default: the paper's \
            Algorithm 1).")
 
+let static_crosscheck_arg =
+  Arg.(
+    value & flag
+    & info [ "static-crosscheck" ]
+        ~doc:
+          "Cross-check each non-scalable vertex's fitted slope against \
+           the symbolic communication model evaluated at the session's \
+           scales: agreements annotate the ranking \
+           ($(b,[predicted O(p), ... — confirmed])) and raise root-cause \
+           confidence; divergences are listed as model mismatches.")
+
 let trace_arg =
   Arg.(
     value
@@ -143,7 +155,8 @@ let cmd =
        ~doc:"Scaling-loss detection and root-cause backtracking (offline)")
     Term.(
       const run $ Cli_common.session_arg $ Cli_common.abnorm_thd_arg
-      $ Cli_common.domains_arg $ follow_def_use_arg $ trace_arg
-      $ metrics_out_arg $ wait_states_arg $ rank_trace_arg $ timeline_np_arg)
+      $ Cli_common.domains_arg $ follow_def_use_arg $ static_crosscheck_arg
+      $ trace_arg $ metrics_out_arg $ wait_states_arg $ rank_trace_arg
+      $ timeline_np_arg)
 
 let () = exit (Cmd.eval' cmd)

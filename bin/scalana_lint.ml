@@ -1,13 +1,41 @@
 (* scalana-lint: run the static scaling-loss linter over a program and
    print the findings.  Exits 1 when findings exist (for CI use), 0 when
-   the program is clean. *)
+   the program is clean.  --json emits the machine-readable form:
+
+     { "program": "...",
+       "findings": [ { "rule": "...", "file": "...", "line": N,
+                       "func": "...", "message": "..." }, ... ],
+       "count": N }
+
+   with findings in the same source-location order as the text report. *)
 
 open Cmdliner
 
 let parse_rule s =
   List.find_opt (fun r -> String.equal (Lint.rule_name r) s) Lint.all_rules
 
-let run program_name file rules quiet =
+let json_report program_name findings =
+  let open Scalana_obs.Obs.Json in
+  Obj
+    [
+      ("program", Str program_name);
+      ( "findings",
+        Arr
+          (List.map
+             (fun (f : Lint.finding) ->
+               Obj
+                 [
+                   ("rule", Str (Lint.rule_name f.Lint.rule));
+                   ("file", Str f.Lint.loc.Scalana_mlang.Loc.file);
+                   ("line", Num (float_of_int f.Lint.loc.Scalana_mlang.Loc.line));
+                   ("func", Str f.Lint.func);
+                   ("message", Str f.Lint.msg);
+                 ])
+             findings) );
+      ("count", Num (float_of_int (List.length findings)));
+    ]
+
+let run program_name file rules quiet json =
   Cli_common.run_cli @@ fun () ->
   let program, _cost = Cli_common.load_program ~program_name ~file in
   let selected =
@@ -28,7 +56,11 @@ let run program_name file rules quiet =
     List.filter (fun (f : Lint.finding) -> List.mem f.rule selected)
       (Lint.run program)
   in
-  if not quiet then Fmt.pr "%a" Lint.pp_report findings;
+  if json then
+    print_endline
+      (Scalana_obs.Obs.Json.to_string
+         (json_report program.Scalana_mlang.Ast.pname findings))
+  else if not quiet then Fmt.pr "%a" Lint.pp_report findings;
   if findings = [] then Cli_common.exit_ok else Cli_common.exit_findings
 
 let rules_arg =
@@ -46,12 +78,21 @@ let quiet_arg =
     value & flag
     & info [ "q"; "quiet" ] ~doc:"Suppress output; only the exit code.")
 
+let json_arg =
+  Arg.(
+    value & flag
+    & info [ "json" ]
+        ~doc:
+          "Emit the findings as a JSON object \
+           $(i,{program, findings: [{rule, file, line, func, message}], \
+           count}) instead of text.  The exit code is unchanged.")
+
 let cmd =
   Cmd.v
     (Cmd.info "scalana-lint" ~exits:Cli_common.exits
        ~doc:"Static scaling-loss linter (exit 1 on findings)")
     Term.(
       const run $ Cli_common.program_arg $ Cli_common.file_arg $ rules_arg
-      $ quiet_arg)
+      $ quiet_arg $ json_arg)
 
 let () = exit (Cmd.eval' cmd)

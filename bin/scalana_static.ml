@@ -5,7 +5,7 @@
 
 open Cmdliner
 
-let run program_name file session max_loop_depth dump lint =
+let run program_name file session max_loop_depth dump predict lint =
   Cli_common.run_cli @@ fun () ->
   let program, _cost = Cli_common.load_program ~program_name ~file in
   let static = Scalana.Static.analyze ~max_loop_depth program in
@@ -19,6 +19,8 @@ let run program_name file session max_loop_depth dump lint =
     print_endline "-- contracted PSG --";
     Fmt.pr "%a@." Scalana_psg.Psg.pp (Scalana.Static.psg static)
   end;
+  if predict then
+    Fmt.pr "%a" Scalana_cfg.Commcost.render static.Scalana.Static.commcost;
   if lint then begin
     let findings = Lint.run program in
     print_endline "-- static lint --";
@@ -29,6 +31,16 @@ let run program_name file session max_loop_depth dump lint =
 
 let dump_arg =
   Arg.(value & flag & info [ "dump-psg" ] ~doc:"Print the contracted PSG.")
+
+let predict_arg =
+  Arg.(
+    value & flag
+    & info [ "predict" ]
+        ~doc:
+          "Print the symbolic communication-complexity predictions: \
+           per-statement scaling classes, message counts, byte volumes, \
+           destination expressions, and per-function communication \
+           patterns and matrices.")
 
 let lint_arg =
   Arg.(
@@ -43,6 +55,6 @@ let cmd =
     Term.(
       const run $ Cli_common.program_arg $ Cli_common.file_arg
       $ Cli_common.session_arg $ Cli_common.max_loop_depth_arg $ dump_arg
-      $ lint_arg)
+      $ predict_arg $ lint_arg)
 
 let () = exit (Cmd.eval' cmd)

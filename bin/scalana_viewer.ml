@@ -4,7 +4,7 @@
 
 open Cmdliner
 
-let run session context html timeline timeline_np =
+let run session context html timeline timeline_np static_crosscheck =
   Cli_common.run_cli @@ fun () ->
   let s = Scalana.Artifact.load_session session in
   List.iter
@@ -26,7 +26,8 @@ let run session context html timeline timeline_np =
     end
     else None
   in
-  let pipeline = Scalana.Pipeline.detect_session ?timeline:tl s in
+  let config = { Scalana.Config.default with static_crosscheck } in
+  let pipeline = Scalana.Pipeline.detect_session ~config ?timeline:tl s in
   (match html with
   | Some path ->
       Scalana.Htmlreport.write pipeline ~path;
@@ -67,12 +68,21 @@ let timeline_np_arg =
           "Scale of the timeline replay (default: the largest scale \
            profiled in the session).")
 
+let static_crosscheck_arg =
+  Arg.(
+    value & flag
+    & info [ "static-crosscheck" ]
+        ~doc:
+          "Cross-check the static complexity predictions against the \
+           measured log-log fits; the report (text and HTML) gains the \
+           cross-check annotations and section.")
+
 let cmd =
   Cmd.v
     (Cmd.info "scalana-viewer" ~exits:Cli_common.exits
        ~doc:"Root-cause source viewer")
     Term.(
       const run $ Cli_common.session_arg $ context_arg $ html_arg
-      $ timeline_arg $ timeline_np_arg)
+      $ timeline_arg $ timeline_np_arg $ static_crosscheck_arg)
 
 let () = exit (Cmd.eval' cmd)

@@ -23,6 +23,7 @@ module Solver (L : LATTICE) = struct
   type result = {
     input : L.t array;  (* fact entering each block (in its direction) *)
     output : L.t array;  (* fact leaving each block *)
+    iterations : int;  (* worklist pops until the fixed point *)
   }
 
   let solve ~direction ?(entry_fact = L.bottom) ~transfer (cfg : Cfg.t) =
@@ -54,9 +55,11 @@ module Solver (L : LATTICE) = struct
       end
     in
     List.iter push order;
+    let iterations = ref 0 in
     while not (Queue.is_empty queue) do
       let id = Queue.pop queue in
       queued.(id) <- false;
+      incr iterations;
       let in_fact =
         List.fold_left
           (fun acc p -> L.join acc output.(p))
@@ -70,5 +73,5 @@ module Solver (L : LATTICE) = struct
         List.iter push (nexts id)
       end
     done;
-    { input; output }
+    { input; output; iterations = !iterations }
 end

@@ -20,6 +20,11 @@ module Solver (L : LATTICE) : sig
   type result = {
     input : L.t array;  (** fact entering each block (in its direction) *)
     output : L.t array;  (** fact leaving each block *)
+    iterations : int;
+        (** worklist pops until the fixed point — bounded by
+            [n_blocks × lattice height] on any terminating instance, and
+            close to [n_blocks] on reducible graphs thanks to the
+            reverse-postorder seeding *)
   }
 
   (** [solve ~direction ~transfer cfg] iterates [transfer id input] to a

@@ -18,6 +18,9 @@ type t = {
   analysis_domains : int;  (* parallelism of the analysis fan-outs *)
   max_run_retries : int;  (* extra profiling attempts for fault-killed runs *)
   timeline_max_events : int;  (* rank-timeline recorder cap *)
+  static_crosscheck : bool;
+      (* cross-check non-scalable slopes against the symbolic
+         communication model; off = reports byte-identical *)
 }
 
 let default =
@@ -35,6 +38,7 @@ let default =
     analysis_domains = Pool.default_size ();
     max_run_retries = 2;
     timeline_max_events = Scalana_profile.Timeline.default_config.max_events;
+    static_crosscheck = false;
   }
 
 let profiler_config t =

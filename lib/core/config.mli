@@ -27,6 +27,11 @@ type t = {
       (** Event cap (intervals + messages) of the rank-timeline
           recorder; past it events are dropped with explicit truncation
           accounting.  Default {!Scalana_profile.Timeline.default_config}. *)
+  static_crosscheck : bool;
+      (** Cross-check the non-scalable vertices' fitted slopes against
+          the symbolic communication model
+          ({!Scalana_detect.Crosscheck}).  Default [false]: reports
+          stay byte-identical. *)
 }
 
 val default : t

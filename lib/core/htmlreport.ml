@@ -149,24 +149,67 @@ let render (pipe : Pipeline.t) =
   end;
 
   let lint_locs = List.map (fun (f : Lint.finding) -> f.Lint.loc) pipe.lint in
+  let crosscheck = pipe.analysis.Rootcause.crosscheck in
   out "<h2>Non-scalable vertices</h2><table><tr><th>vertex</th><th>location</th>\
        <th>slope</th><th>share</th><th>series</th>\
-       <th>predicted statically</th></tr>";
+       <th>predicted statically</th>%s</tr>"
+    (match crosscheck with
+    | Some _ -> "<th>static model</th>"
+    | None -> "");
   List.iter
     (fun (f : Nonscalable.finding) ->
       let v = Psg.vertex psg f.vertex in
       out
         "<tr><td>%s</td><td>%s</td><td>%+.2f</td><td>%.1f%%</td><td>%s</td>\
-         <td>%s</td></tr>"
+         <td>%s</td>%s</tr>"
         (esc (Vertex.label v))
         (esc (Loc.to_string v.Vertex.loc))
         f.slope (100.0 *. f.fraction)
         (esc
            (String.concat " → "
               (List.map (fun (n, t) -> Printf.sprintf "%d:%.3fs" n t) f.series)))
-        (if Report.predicted ~psg ~locs:lint_locs f.vertex then "yes" else "—"))
+        (if Report.predicted ~psg ~locs:lint_locs f.vertex then "yes" else "—")
+        (match crosscheck with
+        | None -> ""
+        | Some cx ->
+            Printf.sprintf "<td>%s</td>"
+              (match Crosscheck.verdict_for cx f.vertex with
+              | Some verdict -> esc (String.trim (Crosscheck.annotation verdict))
+              | None -> "—")))
     pipe.analysis.nonscalable;
   out "</table>";
+  (match crosscheck with
+  | None -> ()
+  | Some cx ->
+      out "<h2>Static model cross-check</h2>";
+      out "<p class=\"meta\">scales %s · tolerance %.2f · %d confirmed · \
+           %d mismatched%s</p>"
+        (esc (String.concat ", " (List.map string_of_int cx.Crosscheck.cx_scales)))
+        cx.Crosscheck.cx_tolerance
+        (List.length (Crosscheck.confirmed cx))
+        (List.length (Crosscheck.mismatches cx))
+        (if cx.Crosscheck.cx_exact then ""
+         else " · model approximate (walks hit unanalyzable constructs)");
+      match Crosscheck.mismatches cx with
+      | [] -> ()
+      | mis ->
+          out "<table><tr><th>vertex</th><th>location</th><th>predicted</th>\
+               <th>model slope</th><th>measured slope</th></tr>";
+          List.iter
+            (fun (verdict : Crosscheck.verdict) ->
+              let v = Psg.vertex psg verdict.Crosscheck.cv_vertex in
+              out
+                "<tr><td>%s</td><td>%s</td><td>%s</td><td>%s</td>\
+                 <td>%+.2f</td></tr>"
+                (esc (Vertex.label v))
+                (esc (Loc.to_string v.Vertex.loc))
+                (esc verdict.Crosscheck.cv_pred.Scalana_cfg.Commcost.pred_label)
+                (match verdict.Crosscheck.cv_model_slope with
+                | Some m -> Printf.sprintf "%+.2f" m
+                | None -> "?")
+                verdict.Crosscheck.cv_measured_slope)
+            mis;
+          out "</table>");
   if pipe.lint <> [] then begin
     out "<h2>Static lint findings</h2><table><tr><th>rule</th>\
          <th>location</th><th>function</th><th>finding</th></tr>";
@@ -206,6 +249,11 @@ let render (pipe : Pipeline.t) =
         (if c.imbalance = infinity then "∞"
          else Printf.sprintf "%.2fx" c.imbalance)
         (esc (String.concat "," (List.map string_of_int c.culprit_ranks)));
+      (match crosscheck with
+      | Some cx when Crosscheck.confirms_path cx c.example_path ->
+          out "<br><span class=\"meta\">confidence raised: static model \
+               confirms the measured scaling on this path</span>"
+      | _ -> ());
       if c.wait_evidence <> [] then
         out "<br><span class=\"meta\">wait-state evidence: %s</span>"
           (esc

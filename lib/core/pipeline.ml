@@ -137,6 +137,23 @@ let detect_with ?(config = Config.default) ?pool
         ~ab_config:(Config.ab_config config)
         ~bt_config:(Config.bt_config config) ?pool ?waitstate crossscale
     in
+    (* the static-model cross-check re-derives the symbolic
+       communication model at exactly the scales that were profiled and
+       fits it with the same log-log estimator; off by default so the
+       analysis (and the report below) is unchanged *)
+    let analysis =
+      if config.Config.static_crosscheck then
+        let scales = List.map fst runs in
+        {
+          analysis with
+          Rootcause.crosscheck =
+            Some
+              (Crosscheck.run ~psg:(Static.psg static)
+                 ~program:static.Static.program ~scales
+                 analysis.Rootcause.nonscalable);
+        }
+      else analysis
+    in
     (crossscale, analysis)
   in
   let detect_seconds = Unix.gettimeofday () -. t0 in

@@ -17,10 +17,36 @@ type t = {
   contraction : Contract.result;
   mutable index : Index.t;
   datadep : Datadep.summary;
+  commcost : Commcost.t;
   stats : Stats.t;
 }
 
 let psg t = t.contraction.Contract.psg
+
+(* Attach the symbolic scaling predictions of the communication-cost
+   analysis to the contracted PSG: MPI vertices get their per-statement
+   fact (class, symbolic message count, bytes, destination, pattern),
+   structural vertices their symbolic execution count's class. *)
+let annotate_predictions (cc : Commcost.t) (psg : Psg.t) =
+  Psg.iter
+    (fun (v : Vertex.t) ->
+      match v.Vertex.kind with
+      | Vertex.Root _ -> ()
+      | Vertex.Mpi _ -> (
+          match Commcost.find_fact cc ~func:v.Vertex.func ~loc:v.Vertex.loc with
+          | Some fact ->
+              Psg.set_static_pred psg v.Vertex.id (Commcost.pred_of_fact cc fact)
+          | None -> (
+              match Commcost.count_at cc ~func:v.Vertex.func ~loc:v.Vertex.loc with
+              | Some count ->
+                  Psg.set_static_pred psg v.Vertex.id (Commcost.count_pred count)
+              | None -> ()))
+      | Vertex.Loop _ | Vertex.Branch | Vertex.Comp _ | Vertex.Callsite _ -> (
+          match Commcost.count_at cc ~func:v.Vertex.func ~loc:v.Vertex.loc with
+          | Some count ->
+              Psg.set_static_pred psg v.Vertex.id (Commcost.count_pred count)
+          | None -> ()))
+    psg
 
 let analyze ?(max_loop_depth = Contract.default_max_loop_depth) ?pool
     (program : Ast.program) =
@@ -35,13 +61,16 @@ let analyze ?(max_loop_depth = Contract.default_max_loop_depth) ?pool
   let contraction = Contract.run ~max_loop_depth full in
   let index = Index.build ~full ~contraction in
   let datadep = Datadep.annotate ?pool ~full ~contraction program in
+  let commcost = Commcost.analyze program in
+  annotate_predictions commcost contraction.Contract.psg;
   let stats =
     Stats.of_psgs ~defs:datadep.Datadep.defs ~uses:datadep.Datadep.uses
-      ~dd_edges:datadep.Datadep.edges ~program:program.pname
-      ~lines:(Ast.line_count program) ~full
+      ~dd_edges:datadep.Datadep.edges
+      ~preds:(Psg.n_static_preds contraction.Contract.psg)
+      ~program:program.pname ~lines:(Ast.line_count program) ~full
       ~contracted:contraction.Contract.psg ()
   in
-  { program; locals; full; contraction; index; datadep; stats }
+  { program; locals; full; contraction; index; datadep; commcost; stats }
 
 (* The base "compilation": parse + validate + per-function middle-end
    analyses.  A production compiler runs a long pass pipeline over the

@@ -3,6 +3,7 @@
     index — plus the Table III static-overhead measurement. *)
 
 open Scalana_mlang
+open Scalana_cfg
 open Scalana_psg
 
 type t = {
@@ -12,6 +13,7 @@ type t = {
   contraction : Contract.result;
   mutable index : Index.t;
   datadep : Datadep.summary;  (** def-use counts; edges live in the PSG *)
+  commcost : Commcost.t;  (** symbolic communication-cost analysis *)
   stats : Stats.t;
 }
 

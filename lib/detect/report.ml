@@ -4,7 +4,7 @@
 
 open Scalana_psg
 
-let pp_cause ~psg ?program ppf (i, (c : Rootcause.cause)) =
+let pp_cause ~psg ?program ?crosscheck ppf (i, (c : Rootcause.cause)) =
   Fmt.pf ppf "#%d  %s @%a@." (i + 1) c.Rootcause.cause_label
     Scalana_mlang.Loc.pp c.cause_loc;
   Fmt.pf ppf "    paths=%d  total=%.4fs  imbalance=%s  culprit ranks=%s@."
@@ -39,6 +39,12 @@ let pp_cause ~psg ?program ppf (i, (c : Rootcause.cause)) =
             (fun (cls, t) ->
               Printf.sprintf "%s %.6fs" (Waitstate.class_name cls) t)
             c.wait_evidence));
+  (match crosscheck with
+  | Some cx when Crosscheck.confirms_path cx c.example_path ->
+      Fmt.pf ppf
+        "    confidence: raised (static model confirms the measured \
+         scaling on this path)@."
+  | _ -> ());
   Fmt.pf ppf "    backtracking path:@.      %a@."
     (Backtrack.pp_path psg) c.example_path
 
@@ -139,11 +145,26 @@ let render ?program ?(predicted_locs = []) ?(quality = Quality.clean)
   Fmt.pf ppf "@.-- non-scalable vertices (log-log slope ranking) --@.";
   List.iter
     (fun (f : Nonscalable.finding) ->
+      (* the symbolic-model verdict supersedes the plain lint marker on
+         rows it covers; rows without a prediction keep the old marker *)
+      let crosscheck_annot =
+        match analysis.Rootcause.crosscheck with
+        | None -> None
+        | Some cx ->
+            Option.map Crosscheck.annotation
+              (Crosscheck.verdict_for cx f.Nonscalable.vertex)
+      in
       Fmt.pf ppf "  %a%s@." (Nonscalable.pp_finding psg) f
-        (if predicted ~psg ~locs:predicted_locs f.Nonscalable.vertex then
-           "  [predicted statically]"
-         else ""))
+        (match crosscheck_annot with
+        | Some a -> a
+        | None ->
+            if predicted ~psg ~locs:predicted_locs f.Nonscalable.vertex then
+              "  [predicted statically]"
+            else ""))
     analysis.Rootcause.nonscalable;
+  Option.iter
+    (fun cx -> Crosscheck.pp psg ppf cx)
+    analysis.Rootcause.crosscheck;
   if analysis.Rootcause.insufficient <> [] then begin
     Fmt.pf ppf "@.-- vertices with insufficient data (not ranked) --@.";
     List.iter
@@ -157,7 +178,9 @@ let render ?program ?(predicted_locs = []) ?(quality = Quality.clean)
   Fmt.pf ppf "@.-- root causes (%d paths) --@."
     (List.length analysis.paths);
   List.iteri
-    (fun i c -> pp_cause ~psg ?program ppf (i, c))
+    (fun i c ->
+      pp_cause ~psg ?program ?crosscheck:analysis.Rootcause.crosscheck ppf
+        (i, c))
     analysis.causes;
   Option.iter
     (pp_waitstate ~psg ?ppg analysis ppf)

@@ -4,6 +4,7 @@
 val pp_cause :
   psg:Scalana_psg.Psg.t ->
   ?program:Scalana_mlang.Ast.program ->
+  ?crosscheck:Crosscheck.t ->
   Format.formatter ->
   int * Rootcause.cause ->
   unit
@@ -24,7 +25,14 @@ val predicted :
     [analysis.waitstate] is set, a wait-state section is appended with
     per-class totals and the top waiting vertices cross-referenced
     against the detected ones; [ppg] adds the profiler's independently
-    sampled wait per vertex as a cross-check. *)
+    sampled wait per vertex as a cross-check.  When
+    [analysis.crosscheck] is set, each non-scalable row covered by a
+    symbolic prediction carries a
+    ["[predicted O(p), model slope -0.50, measured -0.50 — confirmed]"]
+    annotation, a cross-check section (with model-mismatch rows)
+    follows the ranking, and causes whose backtracking path the model
+    confirms gain a raised-confidence line; [None] (the default) leaves
+    the report byte-identical. *)
 val render :
   ?program:Scalana_mlang.Ast.program ->
   ?predicted_locs:Scalana_mlang.Loc.t list ->

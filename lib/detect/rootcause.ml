@@ -27,6 +27,9 @@ type analysis = {
   paths : Backtrack.path list;
   causes : cause list;
   waitstate : Waitstate.t option;
+  crosscheck : Crosscheck.t option;
+      (* static-model cross-check; attached by the pipeline when
+         requested, None by default so reports are unchanged *)
 }
 
 (* The root cause of a path: among the Comp/Loop vertices the walk
@@ -170,4 +173,5 @@ let analyze ?(ns_config = Nonscalable.default_config)
     paths;
     causes;
     waitstate;
+    crosscheck = None;
   }

@@ -26,6 +26,10 @@ type analysis = {
   causes : cause list;  (** ranked: paths, time, imbalance *)
   waitstate : Waitstate.t option;
       (** the wait-state replay the evidence was drawn from *)
+  crosscheck : Crosscheck.t option;
+      (** static-model cross-check of the non-scalable findings;
+          attached by the pipeline when requested ([analyze] itself
+          always leaves it [None], keeping default reports unchanged) *)
 }
 
 (** Deviation-weighted score of a path step as a root-cause candidate. *)

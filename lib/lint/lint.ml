@@ -25,6 +25,9 @@ type rule =
   | Loop_invariant_comm  (* identical message re-sent every iteration *)
   | Unwaited_request  (* nonblocking call whose request is never waited *)
   | Duplicate_waitall  (* the same request listed twice in one waitall *)
+  | Send_recv_mismatch  (* sends to a rank outnumber its posted receives *)
+  | Rank_tag_mismatch  (* channel exists but no receive matches its tag *)
+  | Collective_divergence  (* ranks execute a collective unequally often *)
 
 let rule_name = function
   | Nprocs_volume -> "nprocs-volume"
@@ -33,6 +36,9 @@ let rule_name = function
   | Loop_invariant_comm -> "loop-invariant-comm"
   | Unwaited_request -> "unwaited-request"
   | Duplicate_waitall -> "duplicate-waitall"
+  | Send_recv_mismatch -> "send-recv-mismatch"
+  | Rank_tag_mismatch -> "rank-tag-mismatch"
+  | Collective_divergence -> "collective-divergence"
 
 let all_rules =
   [
@@ -42,6 +48,9 @@ let all_rules =
     Loop_invariant_comm;
     Unwaited_request;
     Duplicate_waitall;
+    Send_recv_mismatch;
+    Rank_tag_mismatch;
+    Collective_divergence;
   ]
 
 type finding = { rule : rule; loc : Loc.t; func : string; msg : string }
@@ -352,6 +361,162 @@ let check_waitall func (s : Ast.stmt) reqs findings =
         :: !findings
   | None -> ()
 
+(* --- rules 7-9: interprocedural channel audit --- *)
+
+(* The first six rules are intraprocedural heuristics.  These three
+   instead walk every rank's control flow concretely (the communication
+   -cost analysis' audit walker) at two scales and check the *global*
+   channel structure: every send needs a posted receive, tags must
+   route, and collectives must be executed in lockstep.  A rule only
+   fires when the walk was exact — an approximate walk (recursion,
+   unresolved calls, fuel) can miss postings and would lie. *)
+
+let audit_scales = [ 4; 16 ]
+
+let dedup seen rule loc f =
+  if not (Hashtbl.mem seen (rule, loc)) then begin
+    Hashtbl.add seen (rule, loc) ();
+    f ()
+  end
+
+(* Per-destination parity: messages sent into a rank vs receives it
+   posts.  An excess of sends never completes (or overflows buffers);
+   an excess of receives hangs.  Programs that post no receive at all
+   are half-modelled sketches (one side of an exchange), not broken
+   matchings — the rule stays quiet on them. *)
+let check_send_parity (au : Scalana_cfg.Commcost.audit) seen findings =
+  let open Scalana_cfg.Commcost in
+  if au.au_recvs = [] then ()
+  else begin
+  let sends_to = Hashtbl.create 16 in
+  List.iter
+    (fun ((_, dst, _), (n, loc, func)) ->
+      let tot, site =
+        Option.value
+          (Hashtbl.find_opt sends_to dst)
+          ~default:(0, (loc, func))
+      in
+      Hashtbl.replace sends_to dst (tot + n, site))
+    au.au_sends;
+  let recvs_at = Hashtbl.create 16 in
+  List.iter
+    (fun ((dst, _, _), (n, _, _)) ->
+      Hashtbl.replace recvs_at dst
+        (Option.value (Hashtbl.find_opt recvs_at dst) ~default:0 + n))
+    au.au_recvs;
+  Hashtbl.iter
+    (fun dst (sent, (loc, func)) ->
+      let recvd = Option.value (Hashtbl.find_opt recvs_at dst) ~default:0 in
+      if sent <> recvd then
+        dedup seen Send_recv_mismatch loc @@ fun () ->
+        findings :=
+          {
+            rule = Send_recv_mismatch;
+            loc;
+            func;
+            msg =
+              Fmt.str
+                "at %d ranks, %d message(s) sent to rank %d but %d \
+                 receive(s) posted there — unmatched point-to-point traffic"
+                au.au_nprocs sent dst recvd;
+          }
+          :: !findings)
+    sends_to;
+  (* receives into ranks nobody sends to hang symmetrically *)
+  List.iter
+    (fun ((dst, _, _), (_, loc, func)) ->
+      if not (Hashtbl.mem sends_to dst) then
+        dedup seen Send_recv_mismatch loc @@ fun () ->
+        findings :=
+          {
+            rule = Send_recv_mismatch;
+            loc;
+            func;
+            msg =
+              Fmt.str
+                "at %d ranks, rank %d posts receives but no message is \
+                 ever sent to it"
+                au.au_nprocs dst;
+          }
+          :: !findings)
+    au.au_recvs
+  end
+
+(* Tag routing: the per-destination totals balance, yet a concrete send
+   channel (src, dst, tag) has no receive at [dst] accepting that source
+   and tag — typically rank-dependent tag arithmetic that diverged
+   between the two sides. *)
+let check_tag_routing (au : Scalana_cfg.Commcost.audit) seen findings =
+  let open Scalana_cfg.Commcost in
+  List.iter
+    (fun ((src, dst, tag), (_, loc, func)) ->
+      let matched =
+        List.exists
+          (fun ((d, s, t), _) ->
+            d = dst
+            && (s = None || s = Some src)
+            && (t = None || t = Some tag))
+          au.au_recvs
+      in
+      let dst_has_recvs =
+        List.exists (fun ((d, _, _), _) -> d = dst) au.au_recvs
+      in
+      if (not matched) && dst_has_recvs then
+        dedup seen Rank_tag_mismatch loc @@ fun () ->
+        findings :=
+          {
+            rule = Rank_tag_mismatch;
+            loc;
+            func;
+            msg =
+              Fmt.str
+                "at %d ranks, the send rank %d -> rank %d with tag %d \
+                 matches none of the receives rank %d posts — the tag \
+                 expressions diverge between sender and receiver"
+                au.au_nprocs src dst tag dst;
+          }
+          :: !findings)
+    au.au_sends
+
+(* Collectives are synchronizing: every rank must execute a given
+   collective site the same number of times, or the slow side blocks
+   forever.  Unequal counts mean the call sits under a rank-divergent
+   branch (or a rank-dependent trip count). *)
+let check_collective_lockstep (au : Scalana_cfg.Commcost.audit) seen findings =
+  let open Scalana_cfg.Commcost in
+  List.iter
+    (fun ((func, loc), (op, counts)) ->
+      let mn = Array.fold_left min max_int counts in
+      let mx = Array.fold_left max 0 counts in
+      if mn <> mx then
+        dedup seen Collective_divergence loc @@ fun () ->
+        findings :=
+          {
+            rule = Collective_divergence;
+            loc;
+            func;
+            msg =
+              Fmt.str
+                "at %d ranks, %s executes between %d and %d times \
+                 depending on the rank — a collective under a \
+                 rank-divergent branch deadlocks"
+                au.au_nprocs op mn mx;
+          }
+          :: !findings)
+    au.au_colls
+
+let check_audit (program : Ast.program) findings =
+  let seen = Hashtbl.create 16 in
+  List.iter
+    (fun nprocs ->
+      let au = Scalana_cfg.Commcost.audit program ~nprocs in
+      if au.Scalana_cfg.Commcost.au_exact then begin
+        check_send_parity au seen findings;
+        check_tag_routing au seen findings;
+        check_collective_lockstep au seen findings
+      end)
+    audit_scales
+
 (* --- driver --- *)
 
 let run (program : Ast.program) =
@@ -385,6 +550,7 @@ let run (program : Ast.program) =
       in
       walk ~loops:[] f.fbody)
     program.funcs;
+  check_audit program findings;
   List.sort
     (fun a b ->
       match Loc.compare a.loc b.loc with

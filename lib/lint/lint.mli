@@ -30,6 +30,17 @@ type rule =
       (** [Isend]/[Irecv] whose request never reaches a wait, per the
           def-use chains *)
   | Duplicate_waitall  (** the same request listed twice in one waitall *)
+  | Send_recv_mismatch
+      (** interprocedural channel audit (concrete walk at 4 and 16
+          ranks): messages sent into a rank and receives it posts
+          disagree — unmatched traffic or a hanging receive *)
+  | Rank_tag_mismatch
+      (** per-destination totals balance, but a concrete send channel
+          matches no receive's source/tag at its destination —
+          rank-dependent tag arithmetic diverged between the sides *)
+  | Collective_divergence
+      (** a collective site executes a different number of times on
+          different ranks (rank-divergent branch): deadlock *)
 
 val rule_name : rule -> string
 (** Kebab-case identifier, e.g. ["p2p-collective"]. *)

@@ -15,6 +15,9 @@ type t = {
   cycle : (int, int) Hashtbl.t;  (* recursive callsite -> entry vertex *)
   datadep : (int, int list) Hashtbl.t;
       (* use vertex -> defining vertices, stored reversed *)
+  static_pred : (int, Scalana_cfg.Commcost.pred) Hashtbl.t;
+      (* vertex -> symbolic scaling prediction (plain data: the PSG is
+         marshalled into session artifacts) *)
   mutable n_datadep : int;
   mutable next_id : int;
   mutable root : int;
@@ -27,6 +30,7 @@ let create () =
     parent = Hashtbl.create 64;
     cycle = Hashtbl.create 4;
     datadep = Hashtbl.create 16;
+    static_pred = Hashtbl.create 16;
     n_datadep = 0;
     next_id = 0;
     root = -1;
@@ -79,6 +83,12 @@ let data_deps t use =
   match Hashtbl.find_opt t.datadep use with
   | Some l -> List.rev l
   | None -> []
+
+(* Symbolic scaling predictions of the static communication-complexity
+   analysis (Commcost), attached per contracted vertex. *)
+let set_static_pred t id pred = Hashtbl.replace t.static_pred id pred
+let static_pred t id = Hashtbl.find_opt t.static_pred id
+let n_static_preds t = Hashtbl.length t.static_pred
 
 let n_data_dep_edges t = t.n_datadep
 let root t = t.root

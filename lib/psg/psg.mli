@@ -38,6 +38,14 @@ val add_data_dep : t -> use:int -> def:int -> unit
 val data_deps : t -> int -> int list
 
 val n_data_dep_edges : t -> int
+
+(** Attach the symbolic scaling prediction of the static
+    communication-complexity analysis to a vertex (plain data — the PSG
+    is marshalled into session artifacts). *)
+val set_static_pred : t -> int -> Scalana_cfg.Commcost.pred -> unit
+
+val static_pred : t -> int -> Scalana_cfg.Commcost.pred option
+val n_static_preds : t -> int
 val root : t -> int
 val vertex : t -> int -> Vertex.t
 val vertex_opt : t -> int -> Vertex.t option

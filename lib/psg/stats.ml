@@ -14,13 +14,14 @@ type t = {
   defs : int;  (* definition sites (Defuse) *)
   uses : int;  (* use occurrences (Defuse) *)
   dd_edges : int;  (* data-dependence edges in the contracted PSG *)
+  preds : int;  (* vertices carrying a symbolic scaling prediction *)
 }
 
 let count_kind psg pred =
   Psg.fold (fun acc v -> if pred v then acc + 1 else acc) 0 psg
 
-let of_psgs ?(defs = 0) ?(uses = 0) ?(dd_edges = 0) ~program ~lines
-    ~(full : Psg.t) ~(contracted : Psg.t) () =
+let of_psgs ?(defs = 0) ?(uses = 0) ?(dd_edges = 0) ?(preds = 0) ~program
+    ~lines ~(full : Psg.t) ~(contracted : Psg.t) () =
   {
     program;
     kloc = float_of_int lines /. 1000.0;
@@ -34,18 +35,20 @@ let of_psgs ?(defs = 0) ?(uses = 0) ?(dd_edges = 0) ~program ~lines
     defs;
     uses;
     dd_edges;
+    preds;
   }
 
 let contraction_ratio t =
   if t.vbc = 0 then 0.0 else 1.0 -. (float_of_int t.vac /. float_of_int t.vbc)
 
 let header =
-  Printf.sprintf "%-14s %8s %6s %6s %6s %7s %6s %5s %5s %5s %5s" "Program"
+  Printf.sprintf "%-14s %8s %6s %6s %6s %7s %6s %5s %5s %5s %5s %5s" "Program"
     "KLoc" "#VBC" "#VAC" "#Loop" "#Branch" "#Comp" "#MPI" "#Def" "#Use" "#DD"
+    "#Pred"
 
 let row t =
-  Printf.sprintf "%-14s %8.1f %6d %6d %6d %7d %6d %5d %5d %5d %5d" t.program
-    t.kloc t.vbc t.vac t.loops t.branches t.comps t.mpis t.defs t.uses
-    t.dd_edges
+  Printf.sprintf "%-14s %8.1f %6d %6d %6d %7d %6d %5d %5d %5d %5d %5d"
+    t.program t.kloc t.vbc t.vac t.loops t.branches t.comps t.mpis t.defs
+    t.uses t.dd_edges t.preds
 
 let pp ppf t = Fmt.string ppf (row t)

@@ -14,12 +14,14 @@ type t = {
   defs : int;  (** definition sites across all functions *)
   uses : int;  (** use occurrences across all functions *)
   dd_edges : int;  (** data-dependence edges in the contracted PSG *)
+  preds : int;  (** vertices carrying a symbolic scaling prediction *)
 }
 
 val of_psgs :
   ?defs:int ->
   ?uses:int ->
   ?dd_edges:int ->
+  ?preds:int ->
   program:string ->
   lines:int ->
   full:Psg.t ->

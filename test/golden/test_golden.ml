@@ -17,11 +17,15 @@
 
 let max_np = 16
 
-let report ?(timeline = false) name =
+let report ?(timeline = false) ?(crosscheck = false) name =
   let entry = Scalana_apps.Registry.find name in
   let scales = Scalana_apps.Registry.scales entry ~min_np:4 ~max_np in
+  let config =
+    { Scalana.Config.default with static_crosscheck = crosscheck }
+  in
   let pipeline =
-    Scalana.Pipeline.run ~cost:entry.cost ~scales ~timeline (entry.make ())
+    Scalana.Pipeline.run ~config ~cost:entry.cost ~scales ~timeline
+      (entry.make ())
   in
   pipeline.Scalana.Pipeline.report
 
@@ -30,6 +34,9 @@ let () =
   | [| _; name |] -> print_string (report name)
   | [| _; name; "--wait-states" |] ->
       print_string (report ~timeline:true name)
+  | [| _; name; "--static-crosscheck" |] ->
+      print_string (report ~crosscheck:true name)
   | _ ->
-      prerr_endline "usage: test_golden.exe PROGRAM [--wait-states]";
+      prerr_endline
+        "usage: test_golden.exe PROGRAM [--wait-states | --static-crosscheck]";
       exit 2

@@ -180,6 +180,75 @@ let test_solver_reachability () =
     (fun id reaches -> check_bool (Printf.sprintf "bwd block %d" id) true reaches)
     bwd.BoolSolver.output
 
+let test_solver_fixpoint () =
+  (* the returned solution really is a fixed point: re-applying the join
+     and the transfer changes nothing, and every block was popped at
+     least once (the iteration count proves the worklist visited it) *)
+  let cfg = Cfg.of_func (func_of (diamond_program ()) "main") in
+  let transfer _ fact = fact in
+  let r =
+    BoolSolver.solve ~direction:Dataflow.Forward ~entry_fact:true ~transfer cfg
+  in
+  check_bool "at least one pop per block" true
+    (r.BoolSolver.iterations >= Cfg.n_blocks cfg);
+  let preds = Cfg.predecessors cfg in
+  Array.iteri
+    (fun id out ->
+      let in_fact =
+        List.fold_left
+          (fun acc p -> acc || r.BoolSolver.output.(p))
+          (id = cfg.Cfg.entry) preds.(id)
+      in
+      check_bool (Printf.sprintf "input %d stable" id)
+        r.BoolSolver.input.(id) in_fact;
+      check_bool (Printf.sprintf "output %d stable" id) out (transfer id in_fact))
+    r.BoolSolver.output
+
+(* entry -> {a, b}; a <-> b; a -> exit.  The cycle {a, b} is entered at
+   two blocks, so neither edge is a back edge to a dominator: the graph
+   is irreducible.  [Cfg.of_func] can never produce this shape (the AST
+   is structured), so it is built by hand. *)
+let irreducible_cfg () =
+  let blk id term = { Cfg.id; stmts = []; term; origin = Cfg.Plain } in
+  {
+    Cfg.fname = "irreducible";
+    entry = 0;
+    exit_ = 3;
+    blocks =
+      [|
+        blk 0 (Cfg.Cond { cond = Expr.Rank; on_true = 1; on_false = 2 });
+        blk 1 (Cfg.Cond { cond = Expr.Rank; on_true = 2; on_false = 3 });
+        blk 2 (Cfg.Jump 1);
+        blk 3 Cfg.Ret;
+      |];
+  }
+
+let test_irreducible_loops () =
+  let cfg = irreducible_cfg () in
+  let dom = Dominance.compute cfg in
+  check_bool "entry dominates all" true
+    (List.for_all
+       (Dominance.dominates dom cfg.Cfg.entry)
+       (Cfg.reverse_postorder cfg));
+  check_bool "a does not dominate b" false (Dominance.dominates dom 1 2);
+  check_bool "b does not dominate a" false (Dominance.dominates dom 2 1);
+  (* the two-entry cycle must not be reported as a natural loop *)
+  let loops = Loops.compute cfg in
+  check_int "no natural loops" 0 (Loops.count loops);
+  check_int "max depth" 0 (Loops.max_depth loops);
+  (* and the dataflow solver still terminates on the irreducible cycle *)
+  let r =
+    BoolSolver.solve ~direction:Dataflow.Forward ~entry_fact:true
+      ~transfer:(fun _ f -> f)
+      cfg
+  in
+  Array.iteri
+    (fun id reached ->
+      check_bool (Printf.sprintf "block %d reached" id) true reached)
+    r.BoolSolver.output;
+  check_bool "terminates in bounded pops" true
+    (r.BoolSolver.iterations <= 4 * Cfg.n_blocks cfg)
+
 let test_defuse_primitives () =
   let isend =
     Ast.Isend { dest = Expr.Int 0; tag = Expr.Int 0; bytes = Expr.Int 8; req = "r" }
@@ -347,6 +416,8 @@ let () =
         [
           Alcotest.test_case "solver reachability" `Quick
             test_solver_reachability;
+          Alcotest.test_case "solver fixpoint" `Quick test_solver_fixpoint;
+          Alcotest.test_case "irreducible cycle" `Quick test_irreducible_loops;
           Alcotest.test_case "def/use primitives" `Quick test_defuse_primitives;
           Alcotest.test_case "reaching chains" `Quick test_reaching_chains;
           Alcotest.test_case "live variables" `Quick test_live_variables;

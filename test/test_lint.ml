@@ -58,8 +58,10 @@ let test_root_centralized_fan_loop () =
                   [ Builder.send b ~dest:(i 0) ~bytes:(i 8) () ])
                 (fun () ->
                   [
-                    Builder.loop b ~var:"r" ~count:np (fun () ->
-                        [ Builder.recv b ~src:(v "r") ~bytes:(i 8) () ]);
+                    (* np-1 receives, one per non-root sender, so the
+                       channel audit sees a balanced matching *)
+                    Builder.loop b ~var:"r" ~count:(np - i 1) (fun () ->
+                        [ Builder.recv b ~src:(v "r" + i 1) ~bytes:(i 8) () ]);
                   ]);
             ]))
   in
@@ -122,17 +124,112 @@ let test_duplicate_waitall () =
     (build (fun b ->
          Builder.func b "main" (fun () ->
              [
-               Builder.isend b ~dest:(i 0) ~bytes:(i 8) ~req:"r0" ();
+               (* ring neighbour, so every posted receive has a sender
+                  and the channel audit stays quiet *)
+               Builder.isend b
+                 ~dest:((rank + i 1) % np)
+                 ~bytes:(i 8) ~req:"r0" ();
                Builder.irecv b ~bytes:(i 8) ~req:"r1" ();
                Builder.waitall b ~reqs:[ "r0"; "r1"; "r0" ];
              ])))
+
+(* --- the interprocedural channel-audit rules --- *)
+
+let test_send_recv_mismatch () =
+  let open Expr.Infix in
+  (* rank 1 posts two receives for rank 0's single send: the per-rank
+     concrete walk sees 1 message in, 2 receives posted *)
+  check_rules "double receive for a single send" [ Lint.Send_recv_mismatch ]
+    (build (fun b ->
+         Builder.func b "main" (fun () ->
+             [
+               Builder.branch b
+                 ~cond:(rank = i 0)
+                 ~else_:(fun () ->
+                   [
+                     Builder.branch b
+                       ~cond:(rank = i 1)
+                       (fun () ->
+                         [
+                           Builder.recv b ~src:(i 0) ~bytes:(i 8) ();
+                           Builder.recv b ~src:(i 0) ~bytes:(i 8) ();
+                         ]);
+                   ])
+                 (fun () -> [ Builder.send b ~dest:(i 1) ~bytes:(i 8) () ]);
+             ])));
+  (* a balanced ring is clean *)
+  check_rules "balanced ring is clean" []
+    (build (fun b ->
+         Builder.func b "main" (fun () ->
+             [
+               Builder.sendrecv b
+                 ~dest:((rank + i 1) % np)
+                 ~src:((rank + np - i 1) % np)
+                 ~sbytes:(i 8) ~rbytes:(i 8) ();
+             ])))
+
+let test_rank_tag_mismatch () =
+  let open Expr.Infix in
+  (* the totals balance (one send, one receive) but the receiver's tag
+     never matches the sender's: the exchange hangs on tag routing *)
+  check_rules "diverging tag expressions" [ Lint.Rank_tag_mismatch ]
+    (build (fun b ->
+         Builder.func b "main" (fun () ->
+             [
+               Builder.branch b
+                 ~cond:(rank = i 0)
+                 ~else_:(fun () ->
+                   [
+                     Builder.branch b
+                       ~cond:(rank = i 1)
+                       (fun () ->
+                         [
+                           Builder.recv b ~src:(i 0) ~tag:(i 2) ~bytes:(i 8) ();
+                         ]);
+                   ])
+                 (fun () ->
+                   [ Builder.send b ~dest:(i 1) ~tag:(i 1) ~bytes:(i 8) () ]);
+             ])));
+  (* a wildcard-tag receive accepts any tag: clean *)
+  check_rules "wildcard receive matches" []
+    (build (fun b ->
+         Builder.func b "main" (fun () ->
+             [
+               Builder.branch b
+                 ~cond:(rank = i 0)
+                 ~else_:(fun () ->
+                   [
+                     Builder.branch b
+                       ~cond:(rank = i 1)
+                       (fun () -> [ Builder.recv b ~bytes:(i 8) () ]);
+                   ])
+                 (fun () ->
+                   [ Builder.send b ~dest:(i 1) ~tag:(i 1) ~bytes:(i 8) () ]);
+             ])))
+
+let test_collective_divergence () =
+  let open Expr.Infix in
+  (* only rank 0 enters the allreduce: the other ranks never arrive *)
+  check_rules "collective under a rank branch" [ Lint.Collective_divergence ]
+    (build (fun b ->
+         Builder.func b "main" (fun () ->
+             [
+               Builder.branch b
+                 ~cond:(rank = i 0)
+                 (fun () -> [ Builder.allreduce b ~bytes:(i 8) ]);
+             ])));
+  (* every rank executes it: lockstep, clean *)
+  check_rules "lockstep collective is clean" []
+    (build (fun b ->
+         Builder.func b "main" (fun () ->
+             [ Builder.allreduce b ~bytes:(i 8) ])))
 
 (* --- report plumbing --- *)
 
 let test_rule_names_distinct () =
   let names = List.map Lint.rule_name Lint.all_rules in
-  check_int "six rules" 6 (List.length names);
-  check_int "names distinct" 6
+  check_int "nine rules" 9 (List.length names);
+  check_int "names distinct" 9
     (List.length (List.sort_uniq compare names))
 
 let test_report_renders () =
@@ -194,6 +291,14 @@ let () =
             test_loop_invariant_comm;
           Alcotest.test_case "unwaited request" `Quick test_unwaited_request;
           Alcotest.test_case "duplicate waitall" `Quick test_duplicate_waitall;
+        ] );
+      ( "channel audit",
+        [
+          Alcotest.test_case "send/recv mismatch" `Quick
+            test_send_recv_mismatch;
+          Alcotest.test_case "rank-tag mismatch" `Quick test_rank_tag_mismatch;
+          Alcotest.test_case "collective divergence" `Quick
+            test_collective_divergence;
         ] );
       ( "report",
         [

@@ -1,0 +1,274 @@
+(* Tests for the symbolic communication-complexity analysis: the
+   polynomial domain, abstract expression evaluation, CFG block counts,
+   exponent recovery from probes, the pattern classifier, and the
+   acceptance pins on the registry — every app's known hotspot gets the
+   expected scaling class (the NPB-CG transpose exchange is O(p)). *)
+
+open Scalana_mlang
+open Scalana_cfg
+open Testutil
+
+let sym = Alcotest.testable Symbolic.pp Symbolic.equal
+
+let check_sym msg expected actual = Alcotest.check sym msg expected actual
+
+(* --- domain operations --- *)
+
+let test_domain_ops () =
+  let open Symbolic in
+  check_sym "1 + 1 = 2" (const 2.0) (add one one);
+  check_sym "p * p" (mono ~coeff:1.0 ~p_exp:2.0 ~log_exp:0.0) (mul p p);
+  check_sym "p * log p"
+    (mono ~coeff:1.0 ~p_exp:1.0 ~log_exp:1.0)
+    (mul p log_p);
+  check_sym "p / p = 1" one (div p p);
+  check_bool "top absorbs add" true (is_top (add top one));
+  check_bool "top absorbs mul" true (is_top (mul top p));
+  check_sym "join takes the larger coeff" (const 3.0)
+    (join (const 2.0) (const 3.0));
+  (* join is an upper bound across distinct monomials *)
+  let j = join p log_p in
+  check_bool "join keeps p" true (cls_equal (cls_of j) (cls_of p));
+  check_sym "zero is the add identity" p (add zero p)
+
+let test_classes () =
+  let open Symbolic in
+  check_bool "p is O(p)" true (String.equal (cls_label (cls_of p)) "O(p)");
+  check_bool "log p" true
+    (String.equal (cls_label (cls_of log_p)) "O(log p)");
+  check_bool "const is O(1)" true
+    (String.equal (cls_label (cls_of (const 42.0))) "O(1)");
+  check_bool "top is unknown" true
+    (String.equal (cls_label (cls_of top)) "O(?)");
+  check_bool "p^2 sorts above p" true
+    (cls_compare (cls_of (mul p p)) (cls_of p) > 0);
+  check_bool "unknown sorts above p^2" true
+    (cls_compare Unknown (cls_of (mul p p)) > 0)
+
+(* --- abstract expression evaluation --- *)
+
+let test_of_expr () =
+  let open Expr.Infix in
+  let env = Symbolic.env ~params:[ ("n", 1024) ] ~vars:[] in
+  let ev e = Symbolic.of_expr env e in
+  check_sym "np is p" Symbolic.p (ev np);
+  check_bool "np*np is O(p^2)" true
+    (Symbolic.cls_equal
+       (Symbolic.cls_of (ev (np * np)))
+       (Symbolic.cls_of (Symbolic.mul Symbolic.p Symbolic.p)));
+  check_bool "log2 np" true
+    (Symbolic.cls_equal
+       (Symbolic.cls_of (ev (log2 np)))
+       (Symbolic.cls_of Symbolic.log_p));
+  check_sym "params fold to constants" (Symbolic.const 1024.0) (ev (p "n"));
+  check_sym "n/np shrinks"
+    (Symbolic.mono ~coeff:1024.0 ~p_exp:(-1.0) ~log_exp:0.0)
+    (ev (p "n" / np));
+  check_bool "rank is top" true (Symbolic.is_top (ev rank));
+  check_bool "unbound var is top" true (Symbolic.is_top (ev (v "ghost")))
+
+let test_block_counts () =
+  let prog =
+    let open Expr.Infix in
+    let b = Builder.create ~file:"bc.mmp" ~name:"bc" () in
+    Builder.func b "main" (fun () ->
+        [
+          Builder.loop b ~var:"r" ~count:np (fun () ->
+              [ Builder.comp b ~flops:(i 1) ~mem:(i 1) () ]);
+        ]);
+    Builder.program b
+  in
+  let cfg = Cfg.of_func (Ast.find_func prog "main") in
+  let env = Symbolic.env ~params:[] ~vars:[] in
+  let counts = Symbolic.block_counts env cfg in
+  check_bool "some block runs p times" true
+    (Array.exists (fun c -> Symbolic.equal c Symbolic.p) counts);
+  check_bool "entry runs once" true
+    (Symbolic.equal counts.(cfg.Cfg.entry) Symbolic.one)
+
+let test_fit_exponents () =
+  let lbl samples =
+    match Symbolic.fit_exponents samples with
+    | Some c -> Symbolic.cls_label c
+    | None -> "none"
+  in
+  check_bool "linear samples" true
+    (String.equal (lbl [ (16, 16.0); (64, 64.0); (256, 256.0) ]) "O(p)");
+  check_bool "log samples" true
+    (String.equal (lbl [ (16, 4.0); (64, 6.0); (256, 8.0) ]) "O(log p)");
+  check_bool "flat samples" true
+    (String.equal (lbl [ (16, 3.0); (64, 3.0); (256, 3.0) ]) "O(1)");
+  check_bool "sqrt samples" true
+    (String.equal (lbl [ (16, 4.0); (64, 8.0); (256, 16.0) ]) "O(sqrt(p))");
+  check_bool "one sample is not enough" true
+    (Symbolic.fit_exponents [ (16, 4.0) ] = None)
+
+(* --- the pattern classifier --- *)
+
+let test_classify_pattern () =
+  let ring np =
+    List.init np (fun r -> ((r, (r + 1) mod np), 1))
+  in
+  check_bool "ring" true
+    (String.equal (Commcost.classify_pattern ~np:16 (ring 16) []) "ring");
+  let fan_in np = List.init (np - 1) (fun r -> ((r + 1, 0), 1)) in
+  check_bool "root-centralized" true
+    (String.equal
+       (Commcost.classify_pattern ~np:16 (fan_in 16) [])
+       "root-centralized");
+  let all2all np =
+    List.concat_map
+      (fun s ->
+        List.filter_map (fun d -> if s = d then None else Some ((s, d), 1))
+          (List.init np Fun.id))
+      (List.init np Fun.id)
+  in
+  check_bool "all-to-all" true
+    (String.equal
+       (Commcost.classify_pattern ~np:16 (all2all 16) [])
+       "all-to-all");
+  (* hypercube exchange: symmetric, long hops, not dense *)
+  let hypercube np =
+    List.concat_map
+      (fun r ->
+        List.filter_map
+          (fun k ->
+            let d = r lxor (1 lsl k) in
+            if d < np then Some ((r, d), 1) else None)
+          [ 0; 1; 2; 3 ])
+      (List.init np Fun.id)
+  in
+  check_bool "transpose" true
+    (String.equal
+       (Commcost.classify_pattern ~np:16 (hypercube 16) [])
+       "transpose");
+  check_bool "collective only" true
+    (String.equal
+       (Commcost.classify_pattern ~np:16 [] [ "MPI_Allreduce" ])
+       "collective")
+
+(* --- the full analysis on synthetic programs --- *)
+
+let test_recursion_degrades () =
+  let prog =
+    let open Expr.Infix in
+    let b = Builder.create ~file:"mr.mmp" ~name:"mr" () in
+    Builder.func b "ping" (fun () ->
+        [ Builder.allreduce b ~bytes:(i 8); Builder.call b "pong" ]);
+    Builder.func b "pong" (fun () -> [ Builder.call b "ping" ]);
+    Builder.func b "main" (fun () -> [ Builder.call b "ping" ]);
+    Builder.program b
+  in
+  let cc = Commcost.analyze prog in
+  check_bool "walks are not exact under recursion" false (Commcost.exact cc);
+  (* the symbolic side widens the mutually recursive invocations to Top,
+     so the classes degrade to unknown instead of lying *)
+  List.iter
+    (fun (f : Commcost.fact) ->
+      check_bool "recursive fact is unknown" true
+        (f.Commcost.cc_cls = Symbolic.Unknown))
+    (Commcost.facts cc)
+
+(* --- acceptance pins: known hotspot classes across the registry --- *)
+
+let fact_class cc ~func ~op =
+  List.find_map
+    (fun (f : Commcost.fact) ->
+      if String.equal f.Commcost.cc_func func && String.equal f.Commcost.cc_op op
+      then Some (Symbolic.cls_label f.Commcost.cc_cls)
+      else None)
+    (Commcost.facts cc)
+
+let pattern_of cc func = List.assoc_opt func (Commcost.patterns cc)
+
+let analyze name =
+  Commcost.analyze ((Scalana_apps.Registry.find name).Scalana_apps.Registry.make ())
+
+let test_registry_hotspots () =
+  (* cg: the hypercube transpose exchange — the paper's running example —
+     must classify as O(p) network pressure with a transpose pattern *)
+  let cg = analyze "cg" in
+  check_bool "cg walks exact" true (Commcost.exact cg);
+  Alcotest.(check (option string))
+    "cg transpose is O(p)" (Some "O(p)")
+    (fact_class cg ~func:"conj_grad" ~op:"MPI_Sendrecv");
+  Alcotest.(check (option string))
+    "cg pattern" (Some "transpose")
+    (pattern_of cg "conj_grad");
+  (* ft and is: alltoall volume — O(p) pressure *)
+  Alcotest.(check (option string))
+    "ft alltoall is O(p)" (Some "O(p)")
+    (fact_class (analyze "ft") ~func:"transpose" ~op:"MPI_Alltoall");
+  (* bt: square-grid halo — row exchanges dilate with the grid side *)
+  let bt = analyze "bt" in
+  Alcotest.(check (option string))
+    "bt pattern" (Some "nearest-neighbor")
+    (pattern_of bt "adi_step");
+  (* mg: ring neighbours stay O(1) *)
+  let mg = analyze "mg" in
+  (match fact_class mg ~func:"residual" ~op:"MPI_Sendrecv" with
+  | Some l -> check_bool "mg halo is O(1)" true (String.equal l "O(1)")
+  | None -> Alcotest.fail "mg residual sendrecv fact missing");
+  (* every registry app analyzes without dying, and allreduces are
+     logarithmic wherever they appear *)
+  List.iter
+    (fun name ->
+      let cc = analyze name in
+      List.iter
+        (fun (f : Commcost.fact) ->
+          if String.equal f.Commcost.cc_op "MPI_Allreduce" && Commcost.exact cc
+          then
+            check_bool
+              (name ^ " allreduce is O(log p)")
+              true
+              (String.equal (Symbolic.cls_label f.Commcost.cc_cls) "O(log p)"))
+        (Commcost.facts cc))
+    Scalana_apps.Registry.names
+
+(* --- the static/dynamic cross-check on a real session --- *)
+
+let test_crosscheck_cg () =
+  let entry = Scalana_apps.Registry.find "cg" in
+  let scales = Scalana_apps.Registry.scales entry ~min_np:4 ~max_np:16 in
+  let config = { Scalana.Config.default with static_crosscheck = true } in
+  let pipe =
+    Scalana.Pipeline.run ~config
+      ~cost:entry.Scalana_apps.Registry.cost ~scales
+      (entry.Scalana_apps.Registry.make ())
+  in
+  match pipe.Scalana.Pipeline.analysis.Scalana_detect.Rootcause.crosscheck with
+  | None -> Alcotest.fail "crosscheck requested but absent"
+  | Some cx ->
+      check_bool "at least one verdict" true
+        (cx.Scalana_detect.Crosscheck.cx_verdicts <> []);
+      check_bool "cg verdicts all confirmed" true
+        (List.for_all
+           (fun (v : Scalana_detect.Crosscheck.verdict) ->
+             v.Scalana_detect.Crosscheck.cv_agrees = Some true)
+           cx.Scalana_detect.Crosscheck.cx_verdicts);
+      check_int "no mismatches" 0
+        (List.length (Scalana_detect.Crosscheck.mismatches cx))
+
+let () =
+  Alcotest.run "symbolic"
+    [
+      ( "domain",
+        [
+          Alcotest.test_case "operations" `Quick test_domain_ops;
+          Alcotest.test_case "classes" `Quick test_classes;
+          Alcotest.test_case "of_expr" `Quick test_of_expr;
+          Alcotest.test_case "block counts" `Quick test_block_counts;
+          Alcotest.test_case "fit exponents" `Quick test_fit_exponents;
+        ] );
+      ( "patterns",
+        [ Alcotest.test_case "classifier" `Quick test_classify_pattern ] );
+      ( "commcost",
+        [
+          Alcotest.test_case "recursion degrades" `Quick
+            test_recursion_degrades;
+          Alcotest.test_case "registry hotspots" `Quick test_registry_hotspots;
+        ] );
+      ( "crosscheck",
+        [ Alcotest.test_case "cg session confirms" `Quick test_crosscheck_cg ]
+      );
+    ]
