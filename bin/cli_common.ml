@@ -48,19 +48,31 @@ let load_program ~program_name ~file =
   | Some _, Some _ -> failwith "give either --program or --file, not both"
   | None, None -> failwith "one of --program or --file is required"
 
+(* Resolve a session program back to its registry entry (if it is a
+   built-in), searching every roster: Table II, extreme-scale and
+   elastic. *)
+let registry_entry (program : Ast.program) =
+  List.find_opt
+    (fun (e : Scalana_apps.Registry.entry) ->
+      String.equal e.name program.Ast.pname
+      || String.equal ("npb-" ^ e.name) program.Ast.pname)
+    Scalana_apps.Registry.(all @ extreme @ elastic)
+
 (* Built-in workloads carry their preferred machine model; any
    re-simulation of a session program (profiling, timeline replay) must
    run under the same model the stored profiles were collected with. *)
 let registry_cost (program : Ast.program) =
-  match
-    List.find_opt
-      (fun (e : Scalana_apps.Registry.entry) ->
-        String.equal e.name program.Ast.pname
-        || String.equal ("npb-" ^ e.name) program.Ast.pname)
-      Scalana_apps.Registry.all
-  with
+  match registry_entry program with
   | Some e -> e.cost
   | None -> Scalana_runtime.Costmodel.default
+
+(* Elastic built-ins declare a membership plan; profiling such a program
+   must run the epoch driver so stored profiles carry the membership
+   timeline the detection step expects. *)
+let registry_elastic_plan (program : Ast.program) =
+  match registry_entry program with
+  | Some e -> e.elastic_plan
+  | None -> None
 
 let program_arg =
   Arg.(

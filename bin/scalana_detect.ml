@@ -7,8 +7,8 @@
 
 open Cmdliner
 
-let run session abnorm_thd domains follow_def_use static_crosscheck trace
-    metrics_out wait_states rank_trace timeline_np =
+let run session abnorm_thd domains follow_def_use static_crosscheck elastic
+    trace metrics_out wait_states rank_trace timeline_np =
   Cli_common.run_cli @@ fun () ->
   (* observability on before the session loads, so artifact salvage work
      is on the trace too; the report then carries a pipeline-cost section *)
@@ -26,6 +26,7 @@ let run session abnorm_thd domains follow_def_use static_crosscheck trace
       analysis_domains = domains;
       follow_def_use;
       static_crosscheck;
+      elastic;
     }
   in
   let timeline =
@@ -97,6 +98,18 @@ let static_crosscheck_arg =
            ($(b,[predicted O(p), ... — confirmed])) and raise root-cause \
            confidence; divergences are listed as model mismatches.")
 
+let elastic_arg =
+  Arg.(
+    value & flag
+    & info [ "elastic" ]
+        ~doc:
+          "Render the elastic-execution evidence stored with the profiles: \
+           a membership-timeline section per scale (epochs, effective \
+           process counts) and the recovery-protocol costs \
+           (detect/agree/repartition, recovery-stall attribution).  \
+           Sessions whose runs carry no membership changes render \
+           byte-identically with or without this flag.")
+
 let trace_arg =
   Arg.(
     value
@@ -156,7 +169,7 @@ let cmd =
     Term.(
       const run $ Cli_common.session_arg $ Cli_common.abnorm_thd_arg
       $ Cli_common.domains_arg $ follow_def_use_arg $ static_crosscheck_arg
-      $ trace_arg $ metrics_out_arg $ wait_states_arg $ rank_trace_arg
-      $ timeline_np_arg)
+      $ elastic_arg $ trace_arg $ metrics_out_arg $ wait_states_arg
+      $ rank_trace_arg $ timeline_np_arg)
 
 let () = exit (Cmd.eval' cmd)

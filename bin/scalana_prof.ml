@@ -10,7 +10,16 @@ let run session nprocs freq measure_overhead =
   let entry_cost = Cli_common.registry_cost static.Scalana.Static.program in
   let config = { Scalana.Config.default with sampling_freq = freq } in
   let run =
-    Scalana.Prof.run ~config ~cost:entry_cost ~measure_overhead static ~nprocs ()
+    (* elastic built-ins run the epoch driver: ranks leave/join per the
+       registry plan and the stored profile carries the membership
+       timeline *)
+    match Cli_common.registry_elastic_plan static.Scalana.Static.program with
+    | Some plan ->
+        Scalana.Prof.run_elastic ~config ~cost:entry_cost ~plan static ~nprocs
+          ()
+    | None ->
+        Scalana.Prof.run ~config ~cost:entry_cost ~measure_overhead static
+          ~nprocs ()
   in
   Scalana.Artifact.save_run session run;
   (* re-save the static artifact: indirect-call refinement mutates it *)

@@ -4,7 +4,7 @@
 
 open Cmdliner
 
-let run session context html timeline timeline_np static_crosscheck =
+let run session context html timeline timeline_np static_crosscheck elastic =
   Cli_common.run_cli @@ fun () ->
   let s = Scalana.Artifact.load_session session in
   List.iter
@@ -26,7 +26,7 @@ let run session context html timeline timeline_np static_crosscheck =
     end
     else None
   in
-  let config = { Scalana.Config.default with static_crosscheck } in
+  let config = { Scalana.Config.default with static_crosscheck; elastic } in
   let pipeline = Scalana.Pipeline.detect_session ~config ?timeline:tl s in
   (match html with
   | Some path ->
@@ -77,12 +77,23 @@ let static_crosscheck_arg =
            measured log-log fits; the report (text and HTML) gains the \
            cross-check annotations and section.")
 
+let elastic_arg =
+  Arg.(
+    value & flag
+    & info [ "elastic" ]
+        ~doc:
+          "Render the elastic-execution evidence stored with the profiles \
+           (membership timelines, recovery-protocol costs); the \
+           --timeline rows additionally tag ranks that left, joined or \
+           were stranded.  Non-elastic sessions render byte-identically \
+           with or without this flag.")
+
 let cmd =
   Cmd.v
     (Cmd.info "scalana-viewer" ~exits:Cli_common.exits
        ~doc:"Root-cause source viewer")
     Term.(
       const run $ Cli_common.session_arg $ context_arg $ html_arg
-      $ timeline_arg $ timeline_np_arg $ static_crosscheck_arg)
+      $ timeline_arg $ timeline_np_arg $ static_crosscheck_arg $ elastic_arg)
 
 let () = exit (Cmd.eval' cmd)

@@ -1,0 +1,109 @@
+(* Elastic workloads: programs whose iteration range is parameterized
+   ([iter_lo], [iter_hi]) so an elastic session can run each membership
+   epoch as its own slice of the same AST.  One unified program ⇒ one
+   PSG ⇒ epoch profiles of different communicator sizes merge onto the
+   same vertices.
+
+   Everything here is np-safe at *any* process count — a shrink leaves a
+   non-power-of-two communicator behind, so the exchanges are ring
+   halos, never hypercubes ([rank lxor 2^k] can exceed a shrunk np). *)
+
+open Scalana_mlang
+open Scalana_runtime
+open Expr.Infix
+
+(* CG solver with a mid-run shrink: rank 1 fails at the iteration-6
+   boundary and the surviving communicator finishes the solve.  Same
+   skeleton as NPB CG, with the transpose exchange replaced by a ring
+   halo so the epoch after the shrink (np = nominal - 1, usually odd)
+   is still well-formed. *)
+let make_cg_shrink ?(optimized = false) () =
+  ignore optimized;
+  let b = Builder.create ~file:"cg_shrink.mmp" ~name:"cg-shrink" () in
+  Builder.param b "na" 40_000_000;
+  Builder.param b "nz" 640_000_000;
+  Builder.param b "iter_lo" 0;
+  Builder.param b "iter_hi" 12;
+  Builder.func b "conj_grad" (fun () ->
+      [
+        Builder.comp b ~label:"spmv" ~locality:0.86
+          ~flops:(i 2 * p "nz" / np)
+          ~mem:(i 3 * p "nz" / np)
+          ();
+      ]
+      @ Common.ring_halo b ~bytes:(i 8 * p "na" / np) ()
+      @ [
+          Builder.comp b ~label:"axpy" ~locality:0.94
+            ~flops:(i 6 * p "na" / np)
+            ~mem:(i 9 * p "na" / np)
+            ();
+          Builder.allreduce b ~bytes:(i 8);
+          Builder.comp b ~label:"p_update" ~locality:0.95
+            ~flops:(i 2 * p "na" / np)
+            ~mem:(i 3 * p "na" / np)
+            ();
+          Builder.allreduce b ~bytes:(i 8);
+        ]);
+  Builder.func b "main" (fun () ->
+      Common.setup_phase b ~name:"setup" ~work:(p "na" / np / i 4) ()
+      @ [
+          Builder.comp b ~label:"init" ~locality:0.8
+            ~flops:(p "na" / np)
+            ~mem:(i 2 * p "na" / np)
+            ();
+          Builder.bcast b ~bytes:(i 64) ();
+          Builder.loop b ~label:"cg_iter" ~var:"it"
+            ~count:(p "iter_hi" - p "iter_lo")
+            (fun () -> [ Builder.call b "conj_grad" ]);
+          Builder.allreduce b ~bytes:(i 8);
+        ]);
+  Builder.program b
+
+(* rank 1 dies entering iteration 6 of 12; its partition is
+   repartitioned over the survivors *)
+let cg_shrink_plan =
+  Elastic.plan ~total_iters:12 ~state_bytes:2_097_152
+    [ Elastic.shrink_at ~iter:6 ~rank:1 ]
+
+(* Halo stencil with a mid-run grow: two fresh ranks join at the
+   iteration-6 rebalance point, receive migrated slabs, and the stencil
+   continues on the enlarged ring.  The halo surface is constant per
+   rank while the interior shrinks with np — the classic
+   surface-to-volume scaling loss, now measured across two memberships. *)
+let make_halo_grow ?(optimized = false) () =
+  ignore optimized;
+  let b = Builder.create ~file:"halo_grow.mmp" ~name:"halo-grow" () in
+  Builder.param b "cells" 50_000_000;
+  Builder.param b "halo_bytes" 65_536;
+  Builder.param b "iter_lo" 0;
+  Builder.param b "iter_hi" 12;
+  Builder.func b "step" (fun () ->
+      [
+        Builder.comp b ~label:"stencil" ~locality:0.9
+          ~flops:(i 8 * p "cells" / np)
+          ~mem:(i 5 * p "cells" / np)
+          ();
+      ]
+      @ Common.nonblocking_halo b ~bytes:(p "halo_bytes") ()
+      @ [
+          Builder.comp b ~label:"boundary" ~locality:0.7
+            ~flops:(i 16 * p "halo_bytes")
+            ~mem:(i 4 * p "halo_bytes")
+            ();
+          Builder.allreduce b ~bytes:(i 8);
+        ]);
+  Builder.func b "main" (fun () ->
+      Common.setup_phase b ~name:"setup" ~work:(p "cells" / np / i 8) ()
+      @ [
+          Builder.bcast b ~bytes:(i 64) ();
+          Builder.loop b ~label:"time_step" ~var:"it"
+            ~count:(p "iter_hi" - p "iter_lo")
+            (fun () -> [ Builder.call b "step" ]);
+          Builder.allreduce b ~bytes:(i 8);
+        ]);
+  Builder.program b
+
+(* two ranks join at the iteration-6 rebalance point *)
+let halo_grow_plan =
+  Elastic.plan ~total_iters:12 ~state_bytes:1_048_576
+    [ Elastic.grow_at ~iter:6 ~ranks:2 ]

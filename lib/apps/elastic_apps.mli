@@ -1,0 +1,18 @@
+(** Elastic workloads: iteration-sliced programs ([iter_lo]/[iter_hi]
+    parameters) with their membership plans, for sessions where ranks
+    leave or join mid-run.  All exchanges are ring-shaped so any
+    post-shrink communicator size is well-formed. *)
+
+open Scalana_mlang
+open Scalana_runtime
+
+(** CG solver; rank 1 fails at the iteration-6 boundary. *)
+val make_cg_shrink : ?optimized:bool -> unit -> Ast.program
+
+val cg_shrink_plan : Elastic.plan
+
+(** Halo stencil; two fresh ranks join at the iteration-6 rebalance
+    point. *)
+val make_halo_grow : ?optimized:bool -> unit -> Ast.program
+
+val halo_grow_plan : Elastic.plan

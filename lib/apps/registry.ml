@@ -10,11 +10,12 @@ type entry = {
   cost : Costmodel.t;
   square_scales : bool;  (* BT/SP-style sqrt(np) process grids *)
   has_optimized : bool;
+  elastic_plan : Elastic.plan option;  (* membership plan, elastic apps *)
 }
 
 let entry ?(cost = Costmodel.default) ?(square_scales = false)
-    ?(has_optimized = false) name description make =
-  { name; description; make; cost; square_scales; has_optimized }
+    ?(has_optimized = false) ?elastic_plan name description make =
+  { name; description; make; cost; square_scales; has_optimized; elastic_plan }
 
 let all =
   [
@@ -55,9 +56,29 @@ let extreme =
 
 let extreme_names = List.map (fun e -> e.name) extreme
 
+(* Elastic entries: iteration-sliced programs paired with membership
+   plans (ranks leave / join mid-run).  Kept out of [all] for the same
+   reason as [extreme]: the Table II roster and the original golden
+   reports stay the paper's eleven programs. *)
+let elastic =
+  [
+    entry "cg-shrink"
+      "CG solver over a ring; rank 1 fails at the iteration-6 boundary"
+      Elastic_apps.make_cg_shrink
+      ~elastic_plan:Elastic_apps.cg_shrink_plan;
+    entry "halo-grow"
+      "halo stencil; two ranks join at the iteration-6 rebalance point"
+      Elastic_apps.make_halo_grow
+      ~elastic_plan:Elastic_apps.halo_grow_plan;
+  ]
+
+let elastic_names = List.map (fun e -> e.name) elastic
+
 let find name =
   match
-    List.find_opt (fun e -> String.equal e.name name) (all @ extreme)
+    List.find_opt
+      (fun e -> String.equal e.name name)
+      (all @ extreme @ elastic)
   with
   | Some e -> e
   | None ->

@@ -10,6 +10,10 @@ type entry = {
   cost : Costmodel.t;  (** recommended machine model *)
   square_scales : bool;  (** BT/SP-style sqrt(np) process grids *)
   has_optimized : bool;
+  elastic_plan : Elastic.plan option;
+      (** membership plan of an elastic app ([None] for fixed apps);
+          profiling tools run these sessions via
+          {!Scalana_runtime.Elastic} epochs *)
 }
 
 val all : entry list
@@ -22,8 +26,14 @@ val extreme : entry list
 
 val extreme_names : string list
 
-(** Searches [all] then [extreme]; raises [Invalid_argument] for unknown
-    names. *)
+(** Elastic entries (iteration-sliced programs with membership plans);
+    kept out of [all] like [extreme].  [find] resolves these too. *)
+val elastic : entry list
+
+val elastic_names : string list
+
+(** Searches [all], then [extreme], then [elastic]; raises
+    [Invalid_argument] for unknown names. *)
 val find : string -> entry
 
 (** Job scales within [min_np, max_np]: powers of two, or powers of four

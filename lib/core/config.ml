@@ -21,6 +21,9 @@ type t = {
   static_crosscheck : bool;
       (* cross-check non-scalable slopes against the symbolic
          communication model; off = reports byte-identical *)
+  elastic : bool;
+      (* render elastic membership/recovery sections for sessions whose
+         runs carried an elastic plan; off = reports byte-identical *)
 }
 
 let default =
@@ -39,6 +42,7 @@ let default =
     max_run_retries = 2;
     timeline_max_events = Scalana_profile.Timeline.default_config.max_events;
     static_crosscheck = false;
+    elastic = false;
   }
 
 let profiler_config t =

@@ -108,18 +108,28 @@ let render (pipe : Pipeline.t) =
     end;
     if q.Quality.run_issues <> [] then begin
       out "<table><tr><th>scale</th><th>killed ranks</th>\
-           <th>stranded ranks</th><th>attempts</th></tr>";
+           <th>stranded ranks</th><th>left</th><th>joined</th>\
+           <th>epochs</th><th>attempts</th><th>backoff</th></tr>";
       List.iter
         (fun (r : Quality.run_issue) ->
           let ranks = function
             | [] -> "—"
             | rs -> String.concat "," (List.map string_of_int rs)
           in
-          out "<tr><td>%d</td><td>%s</td><td>%s</td><td>%d</td></tr>"
+          out
+            "<tr><td>%d</td><td>%s</td><td>%s</td><td>%s</td><td>%s</td>\
+             <td>%s</td><td>%d</td><td>%s</td></tr>"
             r.Quality.ri_nprocs
             (esc (ranks r.Quality.ri_killed))
             (esc (ranks r.Quality.ri_stranded))
-            r.Quality.ri_attempts)
+            (esc (ranks r.Quality.ri_left))
+            (esc (ranks r.Quality.ri_joined))
+            (if r.Quality.ri_epochs > 0 then string_of_int r.Quality.ri_epochs
+             else "—")
+            r.Quality.ri_attempts
+            (if r.Quality.ri_backoff > 0.0 then
+               Printf.sprintf "%.3fs" r.Quality.ri_backoff
+             else "—"))
         q.Quality.run_issues;
       out "</table>"
     end;
@@ -343,6 +353,55 @@ let render (pipe : Pipeline.t) =
         out "<p class=\"meta\">timeline truncated: %d events dropped · \
              %.6fs unattributed</p>"
           ws.Waitstate.truncated ws.Waitstate.unattributed);
+
+  (* elastic membership timeline & recovery, only under --elastic *)
+  List.iter
+    (fun (np, (info : Scalana_runtime.Elastic.info)) ->
+      let module E = Scalana_runtime.Elastic in
+      let ranks = function
+        | [] -> "—"
+        | rs -> String.concat "," (List.map string_of_int rs)
+      in
+      out "<h2>Elastic membership timeline &amp; recovery (np=%d)</h2>" np;
+      out
+        "<p class=\"meta\">effective nprocs %.2f · %d epochs · %d ranks \
+         ever member · recovery protocol %.6fs</p>"
+        info.E.effective
+        (List.length info.E.epoch_infos)
+        info.E.n_ranks (E.recovery_seconds info);
+      out "<table><tr><th>epoch</th><th>iters</th><th>np</th>\
+           <th>members</th><th>span</th></tr>";
+      List.iteri
+        (fun i (e : E.epoch_info) ->
+          out
+            "<tr><td>%d</td><td>[%d,%d)</td><td>%d</td><td>%s</td>\
+             <td>[%.6fs, %.6fs)</td></tr>"
+            i e.E.ei_lo e.E.ei_hi e.E.ei_nprocs
+            (esc (E.compress_ranks e.E.ei_members))
+            e.E.ei_t0 e.E.ei_t1)
+        info.E.epoch_infos;
+      out "</table>";
+      if info.E.recoveries <> [] then begin
+        out "<table><tr><th>recovery at iter</th><th>left</th>\
+             <th>joined</th><th>detect</th><th>agree</th>\
+             <th>repartition</th><th>%s</th></tr>"
+          (esc (Waitstate.class_name Waitstate.Recovery_stall));
+        List.iter
+          (fun (r : E.recovery) ->
+            let stall =
+              List.fold_left (fun acc (_, s) -> acc +. s) 0.0 r.E.r_stalls
+            in
+            out
+              "<tr><td>%d</td><td>%s</td><td>%s</td><td>%.6fs</td>\
+               <td>%.6fs</td><td>%.6fs</td><td>%.6fs</td></tr>"
+              r.E.r_iter
+              (esc (ranks r.E.r_left))
+              (esc (ranks r.E.r_joined))
+              r.E.r_detect r.E.r_agree r.E.r_repartition stall)
+          info.E.recoveries;
+        out "</table>"
+      end)
+    pipe.analysis.Rootcause.elastic;
   out "</body></html>";
   Buffer.contents buf
 

@@ -81,12 +81,29 @@ let assemble_quality ~artifact_issues ~dropped_scales runs
         let killed = List.sort compare r.Prof.result.Exec.killed_ranks in
         let stranded = List.sort compare r.Prof.result.Exec.stranded_ranks in
         if killed <> [] || stranded <> [] || r.Prof.attempts > 1 then
+          let left, joined, epochs =
+            match r.Prof.elastic with
+            | None -> ([], [], 0)
+            | Some (i : Elastic.info) ->
+                ( List.concat_map
+                    (fun (rc : Elastic.recovery) -> rc.Elastic.r_left)
+                    i.Elastic.recoveries,
+                  List.concat_map
+                    (fun (rc : Elastic.recovery) -> rc.Elastic.r_joined)
+                    i.Elastic.recoveries,
+                  List.length i.Elastic.epoch_infos )
+          in
           Some
             {
               Quality.ri_nprocs = n;
               ri_killed = killed;
               ri_stranded = stranded;
               ri_attempts = r.Prof.attempts;
+              ri_left = List.sort compare left;
+              ri_joined = List.sort compare joined;
+              ri_epochs = epochs;
+              ri_backoff =
+                List.fold_left ( +. ) 0.0 r.Prof.retry_backoff;
             }
         else None)
       runs
@@ -151,6 +168,21 @@ let detect_with ?(config = Config.default) ?pool
               (Crosscheck.run ~psg:(Static.psg static)
                  ~program:static.Static.program ~scales
                  analysis.Rootcause.nonscalable);
+        }
+      else analysis
+    in
+    (* elastic membership/recovery summaries travel on the runs; attach
+       them only under --elastic, so default reports are unchanged even
+       for sessions that were profiled elastically *)
+    let analysis =
+      if config.Config.elastic then
+        {
+          analysis with
+          Rootcause.elastic =
+            List.filter_map
+              (fun (n, (r : Prof.run)) ->
+                Option.map (fun i -> (n, i)) r.Prof.elastic)
+              runs;
         }
       else analysis
     in
@@ -224,7 +256,7 @@ let runs_independent ~inject (program : Ast.program) =
 let run ?(config = Config.default) ?(cost = Costmodel.default)
     ?(net = Network.default) ?(inject = Inject.empty)
     ?(faults = Faults.empty) ?(params = []) ?(scales = [ 4; 8; 16; 32 ])
-    ?(timeline = false) (program : Ast.program) =
+    ?(timeline = false) ?elastic (program : Ast.program) =
   Scalana_obs.Obs.with_span
     ~args:[ ("program", program.Ast.pname) ]
     "pipeline.run"
@@ -240,8 +272,15 @@ let run ?(config = Config.default) ?(cost = Costmodel.default)
       in
       let one nprocs =
         ( nprocs,
-          Prof.run_with_retry ~retries:config.Config.max_run_retries ~config
-            ~cost ~net ~inject ~faults ~params static ~nprocs () )
+          match elastic with
+          | Some plan ->
+              (* an elastic session replaces the single fixed run;
+                 faults/injection act within each epoch's own draws *)
+              Prof.run_elastic ~config ~cost ~net ~params ~plan static
+                ~nprocs ()
+          | None ->
+              Prof.run_with_retry ~retries:config.Config.max_run_retries
+                ~config ~cost ~net ~inject ~faults ~params static ~nprocs () )
       in
       let runs =
         Scalana_obs.Obs.with_span

@@ -86,7 +86,11 @@ val detect_session :
     is analyzed over the surviving ranks.  [timeline] additionally
     captures a rank timeline at the largest kept scale and appends the
     wait-state section to the report (default [false]: the report stays
-    byte-identical to a build without the timeline layer). *)
+    byte-identical to a build without the timeline layer).  [elastic]
+    replaces each scale's fixed run with an elastic session driven by
+    the plan ({!Prof.run_elastic}); pair it with
+    [config.elastic = true] to render the membership-timeline and
+    recovery sections. *)
 val run :
   ?config:Config.t ->
   ?cost:Costmodel.t ->
@@ -96,6 +100,7 @@ val run :
   ?params:(string * int) list ->
   ?scales:int list ->
   ?timeline:bool ->
+  ?elastic:Elastic.plan ->
   Ast.program ->
   t
 

@@ -13,6 +13,11 @@ type run = {
   result : Exec.result;
   baseline_elapsed : float option;  (** same run without tools *)
   attempts : int;  (** profiling attempts consumed (>= 1) *)
+  retry_backoff : float list;
+      (** deterministic backoff waited out before each retry, in retry
+          order; empty when the first attempt stood *)
+  elastic : Elastic.info option;
+      (** membership/recovery summary when profiled by {!run_elastic} *)
 }
 
 (** Available when the run was made with [~measure_overhead:true]. *)
@@ -40,6 +45,11 @@ val run :
   unit ->
   run
 
+(** Deterministic exponential backoff before retry [attempt + 1]:
+    [0.05 * 2^(attempt-1)] seconds.  Simulated, never slept; recorded on
+    the run and observed as [prof.retry_backoff_seconds]. *)
+val backoff_delay : attempt:int -> float
+
 (** Like {!run}, retrying (with attempt numbers 2, 3, …) while the run is
     {!degraded}, up to [retries] extra attempts; the last attempt is
     returned even if still degraded. *)
@@ -53,6 +63,27 @@ val run_with_retry :
   ?params:(string * int) list ->
   ?measure_overhead:bool ->
   ?extra_tools:Instrument.t list ->
+  Static.t ->
+  nprocs:int ->
+  unit ->
+  run
+
+(** One elastic session at nominal scale [nprocs]: run the plan's
+    membership epochs as separate simulator slices (the program's
+    iteration range parameters select each slice), stitch them with the
+    recovery protocol, and merge the per-epoch profiles into one
+    per-global-rank artifact.  The result carries the time-weighted
+    effective process count for the log-log fits and the full
+    membership/recovery summary in [elastic]; ranks that left appear as
+    [killed_ranks], so the run is {!degraded} and the usual exit-code
+    and data-quality paths apply.  Deterministic: same (plan, nprocs) ⇒
+    byte-identical artifact. *)
+val run_elastic :
+  ?config:Config.t ->
+  ?cost:Costmodel.t ->
+  ?net:Network.t ->
+  ?params:(string * int) list ->
+  plan:Elastic.plan ->
   Static.t ->
   nprocs:int ->
   unit ->

@@ -28,6 +28,29 @@ let show ?(snippet_context = 2) (pipeline : Pipeline.t) =
    'M' MPI, 'w' MPI wait), with the per-rank blocked totals.  A poor
    man's Perfetto for terminals; the full detail lives in the Chrome
    trace written by [scalana-detect --rank-trace]. *)
+(* Membership annotation of one timeline row: ranks the run at this
+   scale stranded, and ranks an elastic session lost or gained.  Empty
+   for a clean fixed-membership run, keeping those rows byte-identical. *)
+let rank_annotation (pipeline : Pipeline.t) ~nprocs =
+  match List.assoc_opt nprocs pipeline.Pipeline.runs with
+  | None -> fun _ -> ""
+  | Some (r : Prof.run) ->
+      let stranded = r.Prof.result.Scalana_runtime.Exec.stranded_ranks in
+      let left, joined =
+        match r.Prof.elastic with
+        | None -> ([], [])
+        | Some (i : Scalana_runtime.Elastic.info) ->
+            let module E = Scalana_runtime.Elastic in
+            ( List.concat_map (fun (rc : E.recovery) -> rc.E.r_left)
+                i.E.recoveries,
+              List.concat_map (fun (rc : E.recovery) -> rc.E.r_joined)
+                i.E.recoveries )
+      in
+      fun rank ->
+        (if List.mem rank stranded then " [stranded]" else "")
+        ^ (if List.mem rank left then " [left]" else "")
+        ^ if List.mem rank joined then " [joined]" else ""
+
 let show_timeline ?(width = 64) (pipeline : Pipeline.t) =
   match pipeline.Pipeline.timeline with
   | None ->
@@ -87,11 +110,12 @@ let show_timeline ?(width = 64) (pipeline : Pipeline.t) =
               Buffer.add_char buf c)
             rows;
           Buffer.add_string buf
-            (Printf.sprintf "| blocked %.6fs%s\n" tl.T.blocked.(rank)
+            (Printf.sprintf "| blocked %.6fs%s%s\n" tl.T.blocked.(rank)
                (if tl.T.dropped.(rank) > 0 then
                   Printf.sprintf " (truncated: %d dropped)"
                     tl.T.dropped.(rank)
-                else "")))
+                else "")
+               (rank_annotation pipeline ~nprocs:tl.T.nprocs rank)))
         occ;
       Buffer.add_string buf
         (Printf.sprintf

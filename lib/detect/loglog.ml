@@ -5,12 +5,14 @@
 
 type fit = { intercept : float; slope : float; r2 : float; n : int }
 
-(* Points with non-positive T are dropped (a vertex absent at a scale). *)
-let fit points =
+(* Points with non-positive T or P are dropped (a vertex absent at a
+   scale).  The scale axis is a float so elastic sessions can fit
+   against their *effective* (time-weighted mean) process count; an
+   integer nominal scale goes through [fit] below bit-identically. *)
+let fit_scaled points =
   let pts =
     List.filter_map
-      (fun (p, t) ->
-        if t > 0.0 && p > 0 then Some (log (float_of_int p), log t) else None)
+      (fun (p, t) -> if t > 0.0 && p > 0.0 then Some (log p, log t) else None)
       points
   in
   let n = List.length pts in
@@ -41,6 +43,9 @@ let fit points =
       { intercept; slope; r2; n }
     end
   end
+
+let fit points =
+  fit_scaled (List.map (fun (p, t) -> (float_of_int p, t)) points)
 
 (* Predicted value at scale [p]. *)
 let predict f p = exp (f.intercept +. (f.slope *. log (float_of_int p)))

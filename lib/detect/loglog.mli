@@ -8,6 +8,11 @@ type fit = { intercept : float; slope : float; r2 : float; n : int }
     points yield a zero fit with [n < 2]. *)
 val fit : (int * float) list -> fit
 
+(** Same model with a real-valued scale axis — elastic sessions fit
+    against their effective (time-weighted mean) process count.
+    [fit] is [fit_scaled] over [float_of_int] scales, bit for bit. *)
+val fit_scaled : (float * float) list -> fit
+
 val predict : fit -> int -> float
 
 (** -1: time halves when the process count doubles. *)

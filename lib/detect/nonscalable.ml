@@ -80,7 +80,15 @@ let detect_result ?(config = default_config) ?pool (cs : Crossscale.t) =
     if fraction < config.min_fraction then (None, None, dropped)
     else begin
       Scalana_obs.Obs.Metrics.incr "loglog.fits";
-      let fit = Loglog.fit series in
+      (* fit against *effective* scales: an elastic run's time-weighted
+         mean membership replaces the nominal count on the P axis (for a
+         fixed-membership run the two coincide bit for bit) *)
+      let fit =
+        Loglog.fit_scaled
+          (List.map
+             (fun (n, t) -> (Crossscale.effective_scale cs ~nprocs:n, t))
+             series)
+      in
       if dropped > 0 && fit.Loglog.n < config.min_points then
         ( None,
           Some

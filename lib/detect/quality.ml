@@ -18,6 +18,10 @@ type run_issue = {
   ri_killed : int list;  (* ranks a fault terminated *)
   ri_stranded : int list;  (* ranks left blocked by a killed peer *)
   ri_attempts : int;  (* profiling attempts (retry-with-new-seed) *)
+  ri_left : int list;  (* ranks that left an elastic session *)
+  ri_joined : int list;  (* ranks that joined one *)
+  ri_epochs : int;  (* membership epochs (0 = not elastic) *)
+  ri_backoff : float;  (* total retry backoff the run waited out *)
 }
 
 type t = {
@@ -63,10 +67,25 @@ let pp ppf t =
     t.artifact_issues;
   List.iter
     (fun r ->
-      Fmt.pf ppf
-        "  degraded run: np=%d killed ranks=%a stranded=%a (%d attempt%s)@."
-        r.ri_nprocs pp_ranks r.ri_killed pp_ranks r.ri_stranded r.ri_attempts
-        (if r.ri_attempts = 1 then "" else "s"))
+      let backoff ppf =
+        if r.ri_backoff > 0.0 then Fmt.pf ppf ", %.3fs backoff" r.ri_backoff
+      in
+      if r.ri_left <> [] || r.ri_joined <> [] then
+        Fmt.pf ppf
+          "  elastic run: np=%d left=%a joined=%a stranded=%a (%d epoch%s, %d \
+           attempt%s%t)@."
+          r.ri_nprocs pp_ranks r.ri_left pp_ranks r.ri_joined pp_ranks
+          r.ri_stranded r.ri_epochs
+          (if r.ri_epochs = 1 then "" else "s")
+          r.ri_attempts
+          (if r.ri_attempts = 1 then "" else "s")
+          backoff
+      else
+        Fmt.pf ppf
+          "  degraded run: np=%d killed ranks=%a stranded=%a (%d attempt%s%t)@."
+          r.ri_nprocs pp_ranks r.ri_killed pp_ranks r.ri_stranded r.ri_attempts
+          (if r.ri_attempts = 1 then "" else "s")
+          backoff)
     t.run_issues;
   if t.dropped_scales <> [] then
     Fmt.pf ppf "  dropped scales: %s@."

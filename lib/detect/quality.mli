@@ -14,6 +14,10 @@ type run_issue = {
   ri_killed : int list;  (** ranks a fault terminated *)
   ri_stranded : int list;  (** ranks left blocked by a killed peer *)
   ri_attempts : int;  (** profiling attempts (retry-with-new-seed) *)
+  ri_left : int list;  (** ranks that left an elastic session *)
+  ri_joined : int list;  (** ranks that joined one *)
+  ri_epochs : int;  (** membership epochs (0 = not elastic) *)
+  ri_backoff : float;  (** total retry backoff the run waited out, seconds *)
 }
 
 type t = {

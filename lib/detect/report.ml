@@ -122,6 +122,55 @@ let pp_waitstate ~psg ?ppg (analysis : Rootcause.analysis) ppf
        left unattributed@."
       ws.Waitstate.truncated ws.Waitstate.unattributed
 
+(* Membership timeline and recovery costs of an elastic session;
+   rendered only when the pipeline attached elastic summaries (the
+   --elastic flag), so default reports are untouched.  Recovery stalls
+   are attributed in the wait-state taxonomy's vocabulary: the
+   [recovery-stall] class, blamed on the ranks that left or joined. *)
+let pp_elastic ppf (elastic : (int * Scalana_runtime.Elastic.info) list) =
+  let module E = Scalana_runtime.Elastic in
+  let ranks = function
+    | [] -> "none"
+    | rs -> "{" ^ String.concat "," (List.map string_of_int rs) ^ "}"
+  in
+  List.iter
+    (fun (np, (info : E.info)) ->
+      Fmt.pf ppf "@.-- elastic membership timeline & recovery (np=%d) --@." np;
+      Fmt.pf ppf
+        "  effective nprocs: %.2f over %d epoch%s (%d rank%s ever member)@."
+        info.E.effective
+        (List.length info.E.epoch_infos)
+        (if List.length info.E.epoch_infos = 1 then "" else "s")
+        info.E.n_ranks
+        (if info.E.n_ranks = 1 then "" else "s");
+      List.iteri
+        (fun i (e : E.epoch_info) ->
+          Fmt.pf ppf
+            "    epoch %d  iters [%d,%d)  np=%-3d  ranks %s  [%.6fs, %.6fs)@."
+            i e.E.ei_lo e.E.ei_hi e.E.ei_nprocs
+            (E.compress_ranks e.E.ei_members)
+            e.E.ei_t0 e.E.ei_t1)
+        info.E.epoch_infos;
+      List.iter
+        (fun (r : E.recovery) ->
+          Fmt.pf ppf "  recovery at iter %d: left=%s joined=%s@." r.E.r_iter
+            (ranks r.E.r_left) (ranks r.E.r_joined);
+          Fmt.pf ppf "    detect=%.6fs  agree=%.6fs  repartition=%.6fs@."
+            r.E.r_detect r.E.r_agree r.E.r_repartition;
+          let total =
+            List.fold_left (fun acc (_, s) -> acc +. s) 0.0 r.E.r_stalls
+          in
+          Fmt.pf ppf "    %s  %.6fs across %d survivor%s  blames ranks %s@."
+            (Waitstate.class_name Waitstate.Recovery_stall)
+            total
+            (List.length r.E.r_stalls)
+            (if List.length r.E.r_stalls = 1 then "" else "s")
+            (ranks (r.E.r_left @ r.E.r_joined)))
+        info.E.recoveries;
+      Fmt.pf ppf "  recovery protocol time: %.6fs total@."
+        (E.recovery_seconds info))
+    elastic
+
 (* The pipeline's own per-phase cost, from the self-observability layer;
    rendered only when tracing was on, so default reports are untouched. *)
 let pp_phase_costs ppf = function
@@ -185,6 +234,8 @@ let render ?program ?(predicted_locs = []) ?(quality = Quality.clean)
   Option.iter
     (pp_waitstate ~psg ?ppg analysis ppf)
     analysis.Rootcause.waitstate;
+  if analysis.Rootcause.elastic <> [] then
+    pp_elastic ppf analysis.Rootcause.elastic;
   pp_phase_costs ppf phase_costs;
   Fmt.flush ppf ();
   Buffer.contents buf

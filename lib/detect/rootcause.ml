@@ -30,6 +30,9 @@ type analysis = {
   crosscheck : Crosscheck.t option;
       (* static-model cross-check; attached by the pipeline when
          requested, None by default so reports are unchanged *)
+  elastic : (int * Scalana_runtime.Elastic.info) list;
+      (* per-nominal-scale elastic-session summaries; attached by the
+         pipeline under --elastic, [] by default *)
 }
 
 (* The root cause of a path: among the Comp/Loop vertices the walk
@@ -174,4 +177,5 @@ let analyze ?(ns_config = Nonscalable.default_config)
     causes;
     waitstate;
     crosscheck = None;
+    elastic = [];
   }

@@ -30,6 +30,10 @@ type analysis = {
       (** static-model cross-check of the non-scalable findings;
           attached by the pipeline when requested ([analyze] itself
           always leaves it [None], keeping default reports unchanged) *)
+  elastic : (int * Scalana_runtime.Elastic.info) list;
+      (** per-nominal-scale elastic-session summaries, sorted by scale;
+          attached by the pipeline under [--elastic] ([analyze] leaves
+          it empty, keeping default reports unchanged) *)
 }
 
 (** Deviation-weighted score of a path step as a root-cause candidate. *)

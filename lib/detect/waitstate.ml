@@ -14,14 +14,20 @@
 
 open Scalana_profile
 
-type clazz = Late_sender | Late_receiver | Collective_imbalance
+type clazz =
+  | Late_sender
+  | Late_receiver
+  | Collective_imbalance
+  | Recovery_stall
 
 let class_name = function
   | Late_sender -> "late-sender"
   | Late_receiver -> "late-receiver"
   | Collective_imbalance -> "collective-imbalance"
+  | Recovery_stall -> "recovery-stall"
 
-let all_classes = [ Late_sender; Late_receiver; Collective_imbalance ]
+let all_classes =
+  [ Late_sender; Late_receiver; Collective_imbalance; Recovery_stall ]
 
 type entry = {
   ws_vertex : int option;
@@ -130,6 +136,9 @@ let analyze ?(epsilon = default_epsilon) (tl : Timeline.t) =
       (fun cls ->
         (cls, Option.value ~default:0.0 (Hashtbl.find_opt class_total cls)))
       all_classes
+    (* recovery stalls come from the elastic protocol, not from replayed
+       MPI intervals; keep the line out of non-elastic breakdowns *)
+    |> List.filter (fun (cls, total) -> cls <> Recovery_stall || total > 0.0)
   in
   let rank_blocked = Array.copy tl.Timeline.blocked in
   let blocked_sum = Array.fold_left ( +. ) 0.0 rank_blocked in

@@ -13,7 +13,12 @@
       its destinations not being ready; the blame stays with the
       blocked rank resp. the send destinations;
     - {e collective imbalance} — a collective blocked waiting for the
-      last arriving rank, which takes the blame.
+      last arriving rank, which takes the blame;
+    - {e recovery stall} — a survivor of an elastic membership change
+      stalled in the recovery protocol (failure detection, agreement,
+      state repartitioning); the blame goes to the ranks that left or
+      joined.  Produced by the elastic layer, never by timeline replay,
+      so it is absent from non-elastic breakdowns.
 
     Attribution is exact with respect to the recorded intervals: each
     blocked interval's whole wait is assigned to exactly one class.
@@ -24,7 +29,11 @@
 
 open Scalana_profile
 
-type clazz = Late_sender | Late_receiver | Collective_imbalance
+type clazz =
+  | Late_sender
+  | Late_receiver
+  | Collective_imbalance
+  | Recovery_stall
 
 val class_name : clazz -> string
 
@@ -41,7 +50,8 @@ type entry = {
 type t = {
   ws_nprocs : int;
   entries : entry list;  (** sorted by [ws_time] descending *)
-  class_totals : (clazz * float) list;  (** every class, fixed order *)
+  class_totals : (clazz * float) list;
+      (** fixed order; [Recovery_stall] only when it has time *)
   rank_blocked : float array;  (** true blocked seconds (never truncated) *)
   rank_attributed : float array;
   unattributed : float;  (** blocked seconds with no surviving interval *)

@@ -31,6 +31,15 @@ let scales t = List.map fst t.runs
 let largest t = List.nth t.runs (List.length t.runs - 1)
 let ppg_at t ~nprocs = List.assoc_opt nprocs t.runs
 
+(* The effective process count of the run keyed by nominal scale
+   [nprocs] — what an elastic session actually averaged over its
+   membership epochs; the nominal value itself for a fixed run (or when
+   the scale is unknown, so fits never see a hole). *)
+let effective_scale t ~nprocs =
+  match ppg_at t ~nprocs with
+  | Some ppg -> ppg.Ppg.data.Profdata.effective_nprocs
+  | None -> float_of_int nprocs
+
 (* Per-rank times of [vertex] at every scale. *)
 let series t ~vertex =
   List.map (fun (n, ppg) -> (n, Ppg.times_across_ranks ppg ~vertex)) t.runs

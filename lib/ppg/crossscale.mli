@@ -23,6 +23,11 @@ val scales : t -> int list
 val largest : t -> int * Ppg.t
 val ppg_at : t -> nprocs:int -> Ppg.t option
 
+(** The effective process count behind the run at nominal scale
+    [nprocs]: an elastic session's time-weighted mean membership, the
+    nominal value itself otherwise.  Log-log fits use this axis. *)
+val effective_scale : t -> nprocs:int -> float
+
 (** Per-rank times of [vertex] at every scale. *)
 val series : t -> vertex:int -> (int * float array) list
 

@@ -83,6 +83,57 @@ let dominant_late_rank (r : coll_rec) =
 let n_p2p t = Hashtbl.length t.p2p
 let n_coll t = Hashtbl.length t.colls
 
+(* Merge [src] into [into] with ranks renumbered through [map] — an
+   elastic epoch's records, local ranks mapped to global ids.  Sources
+   are drained in sorted order so the destination's insertion order (and
+   hence every later fold over it) is a function of content alone. *)
+let merge_renumbered ~into ~map src =
+  Hashtbl.fold (fun _ e acc -> e :: acc) src.p2p []
+  |> List.sort (fun a b -> compare a.key b.key)
+  |> List.iter (fun e ->
+         let key =
+           {
+             e.key with
+             recv_rank = map e.key.recv_rank;
+             send_rank = map e.key.send_rank;
+           }
+         in
+         match Hashtbl.find_opt into.p2p key with
+         | Some d ->
+             d.hits <- d.hits + e.hits;
+             d.has_wait <- d.has_wait || e.has_wait;
+             d.max_wait <- Float.max d.max_wait e.max_wait
+         | None ->
+             Hashtbl.add into.p2p key
+               { key; has_wait = e.has_wait; hits = e.hits; max_wait = e.max_wait });
+  Hashtbl.fold (fun _ r acc -> r :: acc) src.colls []
+  |> List.sort (fun a b -> compare a.coll_vertex b.coll_vertex)
+  |> List.iter (fun r ->
+         let dst =
+           match Hashtbl.find_opt into.colls r.coll_vertex with
+           | Some d -> d
+           | None ->
+               let d =
+                 {
+                   coll_vertex = r.coll_vertex;
+                   instances = 0;
+                   last_arrivals = Hashtbl.create 8;
+                 }
+               in
+               Hashtbl.add into.colls r.coll_vertex d;
+               d
+         in
+         dst.instances <- dst.instances + r.instances;
+         Hashtbl.fold (fun rank n acc -> (rank, n) :: acc) r.last_arrivals []
+         |> List.sort compare
+         |> List.iter (fun (rank, n) ->
+                let g = map rank in
+                let cur =
+                  try Hashtbl.find dst.last_arrivals g with Not_found -> 0
+                in
+                Hashtbl.replace dst.last_arrivals g (cur + n)));
+  into.raw_records <- into.raw_records + src.raw_records
+
 (* Size model: a packed p2p record is 6 ints + flags = 28 B; a collective
    record is vertex + count + histogram entries of 8 B. *)
 let storage_bytes t =

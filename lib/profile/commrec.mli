@@ -42,5 +42,11 @@ val dominant_late_rank : coll_rec -> int
 
 val n_p2p : t -> int
 val n_coll : t -> int
+
+(** Merge [src] into [into] with every rank renumbered through [map] —
+    used to fold an elastic epoch's records (local ranks) into the
+    session-wide table (global rank ids).  Sources are drained in sorted
+    order, so the destination's layout depends on content alone. *)
+val merge_renumbered : into:t -> map:(int -> int) -> t -> unit
 val storage_bytes : t -> int
 val uncompressed_bytes : t -> int

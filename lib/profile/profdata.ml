@@ -14,6 +14,8 @@ type t = {
   mutable elapsed : float;
   mutable mpi_calls_seen : int;
   mutable records_taken : int;
+  mutable effective_nprocs : float;
+      (* time-weighted mean membership; = float nprocs unless elastic *)
 }
 
 let create ~nprocs =
@@ -27,6 +29,7 @@ let create ~nprocs =
     elapsed = 0.0;
     mpi_calls_seen = 0;
     records_taken = 0;
+    effective_nprocs = float_of_int nprocs;
   }
 
 let vector t ~rank ~vertex = Perfvec.find_or_add t.vectors.(rank) vertex
@@ -59,6 +62,30 @@ let coverage t ~vertex =
       0 t.vectors
   in
   if t.nprocs = 0 then 0.0 else float_of_int n /. float_of_int t.nprocs
+
+(* Fold one elastic epoch's profile (local ranks [0, src.nprocs)) into
+   the session-wide artifact, renumbering ranks through [map] — local
+   rank [l] of the epoch is global rank [map l].  Per-rank tables and
+   icalls are drained in sorted order so the destination layout depends
+   on content alone. *)
+let merge_renumbered ~into ~map (src : t) =
+  Array.iteri
+    (fun lrank tbl ->
+      let dst_tbl = into.vectors.(map lrank) in
+      Hashtbl.fold (fun vid v acc -> (vid, v) :: acc) tbl []
+      |> List.sort (fun (a, _) (b, _) -> compare a b)
+      |> List.iter (fun (vid, v) ->
+             Perfvec.merge_into ~dst:(Perfvec.find_or_add dst_tbl vid) v))
+    src.vectors;
+  Commrec.merge_renumbered ~into:into.comm ~map src.comm;
+  Hashtbl.fold (fun r () acc -> r :: acc) src.icalls []
+  |> List.sort compare
+  |> List.iter (fun r -> Hashtbl.replace into.icalls r ());
+  into.total_samples <- into.total_samples + src.total_samples;
+  into.unattributed_samples <- into.unattributed_samples + src.unattributed_samples;
+  into.elapsed <- Float.max into.elapsed src.elapsed;
+  into.mpi_calls_seen <- into.mpi_calls_seen + src.mpi_calls_seen;
+  into.records_taken <- into.records_taken + src.records_taken
 
 let storage_bytes t =
   let vec_bytes =

@@ -14,6 +14,10 @@ type t = {
   mutable elapsed : float;
   mutable mpi_calls_seen : int;
   mutable records_taken : int;
+  mutable effective_nprocs : float;
+      (** time-weighted mean membership of an elastic session; equals
+          [float_of_int nprocs] for a fixed-membership run, so fitting
+          against it is always sound *)
 }
 
 val create : nprocs:int -> t
@@ -30,5 +34,10 @@ val across_ranks : t -> vertex:int -> Perfvec.t option array
 
 (** Fraction of ranks reporting a vector at [vertex] (1.0 = all). *)
 val coverage : t -> vertex:int -> float
+
+(** Fold one elastic epoch's profile into the session-wide artifact:
+    epoch-local rank [l] lands on global rank [map l].  Counters add,
+    [elapsed] takes the max (epoch clocks are absolute). *)
+val merge_renumbered : into:t -> map:(int -> int) -> t -> unit
 
 val storage_bytes : t -> int

@@ -61,6 +61,15 @@ let comp_cost_into t ~rank ~flops ~mem ~ints ~locality ~counters =
   counters.(4) <- flops;
   seconds
 
+(* Cost of re-touching [bytes] of repartitioned state on [rank] after an
+   elastic membership change: a memory-bound pass at cache-line
+   granularity, served at the rank's own memory speed — so a slow core
+   stretches the whole recovery, exactly like it stretches a compute
+   block.  Used by the elastic recovery protocol (Elastic.recover). *)
+let repartition_cost t ~rank ~bytes =
+  let lines = float_of_int (max 0 bytes) /. 64.0 in
+  lines *. t.cache_miss_penalty *. t.core_speed rank /. (t.ghz *. 1e9)
+
 (* Evaluate a workload on [rank]: returns wall seconds and counters. *)
 let comp_cost t ~rank ~(env : Expr.env) (w : Ast.workload) =
   let flops = Expr.eval env w.flops in

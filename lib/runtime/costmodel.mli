@@ -18,6 +18,12 @@ val default : t
     only, so the loss grows with scale (the Nekbone case's shape). *)
 val heterogeneous : ?spread:float -> unit -> t
 
+(** Seconds [rank] spends re-touching [bytes] of repartitioned state
+    after an elastic membership change: a memory-bound pass at
+    cache-line granularity at the rank's own memory speed.  The
+    repartitioning-cost event of the elastic recovery protocol. *)
+val repartition_cost : t -> rank:int -> bytes:int -> float
+
 (** Allocation-free core of {!comp_cost} for callers that already
     evaluated the workload counts: returns wall seconds and writes the
     five PMU counters into [counters] (length >= 5, in [Pmu.t] field

@@ -41,13 +41,16 @@ type config = {
   faults : Faults.armed;
   tools : Instrument.t list;
   max_events : int;
+  clock0 : float;  (* absolute time the ranks start at (elastic epochs) *)
 }
 
 let config ?(params = []) ?(cost = Costmodel.default) ?(net = Network.default)
     ?(inject = Inject.empty) ?(faults = Faults.none) ?(tools = [])
-    ?(max_events = 500_000_000) ~nprocs () =
+    ?(max_events = 500_000_000) ?(clock0 = 0.0) ~nprocs () =
   if nprocs < 1 then invalid_arg "Exec.config: nprocs must be >= 1";
-  { nprocs; params; cost; net; inject; faults; tools; max_events }
+  if not (Float.is_finite clock0) || clock0 < 0.0 then
+    invalid_arg "Exec.config: clock0 must be finite and >= 0";
+  { nprocs; params; cost; net; inject; faults; tools; max_events; clock0 }
 
 type result = {
   elapsed : float;  (* latest rank finish time, tool overhead included *)
@@ -978,8 +981,8 @@ let run_body ~cfg (program : Ast.program) =
       comm;
       nprocs = n;
       net = cfg.net;
-      clock = Array.make n 0.0;
-      blocked_since = Array.make n 0.0;
+      clock = Array.make n cfg.clock0;
+      blocked_since = Array.make n cfg.clock0;
       comp_sec = Array.make n 0.0;
       mpi_sec = Array.make n 0.0;
       wait_sec = Array.make n 0.0;
@@ -1008,15 +1011,15 @@ let run_body ~cfg (program : Ast.program) =
   in
   Comm.set_on_complete comm (on_request_complete s);
   for rank = 0 to n - 1 do
-    Heap.push s.ready 0.0 rank
+    Heap.push s.ready cfg.clock0 rank
   done;
   drive s;
   let stuck = ref [] in
   for rank = n - 1 downto 0 do
     if s.status.(rank) <> st_finished then stuck := rank :: !stuck
   done;
-  let stuck = !stuck in
-  let killed_ranks = List.sort compare s.killed in
+  let stuck = List.sort_uniq compare !stuck in
+  let killed_ranks = List.sort_uniq compare s.killed in
   (* a genuine deadlock is still fatal; ranks blocked on a killed peer are
      the expected degraded outcome and are reported, not raised *)
   if stuck <> [] && killed_ranks = [] then

@@ -22,6 +22,9 @@ type config = {
   faults : Faults.armed;
   tools : Instrument.t list;
   max_events : int;
+  clock0 : float;
+      (** absolute simulated time the ranks start at; an elastic epoch
+          resumes where the recovery protocol left the previous one *)
 }
 
 val config :
@@ -32,6 +35,7 @@ val config :
   ?faults:Faults.armed ->
   ?tools:Instrument.t list ->
   ?max_events:int ->
+  ?clock0:float ->
   nprocs:int ->
   unit ->
   config
@@ -45,11 +49,11 @@ type result = {
   comp_pmu : Pmu.t array;
   events : int;
   messages : int;
-  killed_ranks : int list;  (** ranks an injected fault terminated *)
+  killed_ranks : int list;  (** ranks an injected fault terminated; sorted, unique *)
   stranded_ranks : int list;
-      (** ranks left blocked forever by a killed peer; their partial
-          measurements survive.  [Deadlock] is only raised when ranks are
-          stuck with no fault involved. *)
+      (** ranks left blocked forever by a killed peer, sorted and
+          deduplicated; their partial measurements survive.  [Deadlock] is
+          only raised when ranks are stuck with no fault involved. *)
 }
 
 val run : ?cfg:config -> Ast.program -> result

@@ -36,6 +36,12 @@ val drop_scale : int -> fault
 
 val drops_scale : plan -> nprocs:int -> bool
 
+(** A uniform draw in [0, 1) keyed by an integer tuple; the same key
+    yields the same draw on any platform.  Shared with the elastic
+    recovery layer ({!Elastic}), whose seeded detection jitter must come
+    from the same generator family as every other fault draw. *)
+val draw : int list -> float
+
 (** A plan armed for one concrete run: probabilistic faults drawn from
     (seed, nprocs, attempt). *)
 type armed

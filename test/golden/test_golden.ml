@@ -17,17 +17,37 @@
 
 let max_np = 16
 
-let report ?(timeline = false) ?(crosscheck = false) name =
+let pipeline ?(timeline = false) ?(crosscheck = false) ?(elastic = false) name
+    =
   let entry = Scalana_apps.Registry.find name in
   let scales = Scalana_apps.Registry.scales entry ~min_np:4 ~max_np in
   let config =
-    { Scalana.Config.default with static_crosscheck = crosscheck }
+    { Scalana.Config.default with static_crosscheck = crosscheck; elastic }
   in
-  let pipeline =
-    Scalana.Pipeline.run ~config ~cost:entry.cost ~scales ~timeline
-      (entry.make ())
+  let plan = if elastic then entry.elastic_plan else None in
+  Scalana.Pipeline.run ~config ~cost:entry.cost ~scales ~timeline ?elastic:plan
+    (entry.make ())
+
+let report ?timeline ?crosscheck ?elastic name =
+  (pipeline ?timeline ?crosscheck ?elastic name).Scalana.Pipeline.report
+
+(* The HTML meta line embeds the wall-clock detection cost — the one
+   nondeterministic byte sequence in an otherwise simulated-clock
+   rendering.  Pin it so the HTML snapshot diffs like the text ones. *)
+let normalize_detect_cost html =
+  let marker = "detection cost " in
+  let n = String.length html and m = String.length marker in
+  let rec find i =
+    if i + m > n then None
+    else if String.sub html i m = marker then Some i
+    else find (i + 1)
   in
-  pipeline.Scalana.Pipeline.report
+  match find 0 with
+  | None -> html
+  | Some i ->
+      let j = ref (i + m) in
+      while !j < n && html.[!j] <> 's' do incr j done;
+      String.sub html 0 (i + m) ^ "0.000" ^ String.sub html !j (n - !j)
 
 let () =
   match Sys.argv with
@@ -36,7 +56,13 @@ let () =
       print_string (report ~timeline:true name)
   | [| _; name; "--static-crosscheck" |] ->
       print_string (report ~crosscheck:true name)
+  | [| _; name; "--elastic" |] -> print_string (report ~elastic:true name)
+  | [| _; name; "--elastic-html" |] ->
+      print_string
+        (normalize_detect_cost
+           (Scalana.Htmlreport.render (pipeline ~elastic:true name)))
   | _ ->
       prerr_endline
-        "usage: test_golden.exe PROGRAM [--wait-states | --static-crosscheck]";
+        "usage: test_golden.exe PROGRAM [--wait-states | --static-crosscheck \
+         | --elastic | --elastic-html]";
       exit 2

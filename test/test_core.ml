@@ -575,6 +575,146 @@ let prop_artifact_roundtrip_bytes =
       Sys.remove b;
       ok)
 
+(* --- elastic sessions through the pipeline --- *)
+
+let contains needle hay =
+  try
+    ignore (Str.search_forward (Str.regexp_string needle) hay 0);
+    true
+  with Not_found -> false
+
+let elastic_config = { Scalana.Config.default with elastic = true }
+
+let test_pipeline_elastic_shrink_degraded () =
+  let entry = Scalana_apps.Registry.find "cg-shrink" in
+  let plan = Option.get entry.elastic_plan in
+  let pipe =
+    Scalana.Pipeline.run ~config:elastic_config ~cost:entry.cost
+      ~scales:[ 4; 8 ] ~elastic:plan (entry.make ())
+  in
+  (* a mid-run failure is a degraded verdict: CI must not read it clean *)
+  check_bool "degraded" true (Scalana.Pipeline.degraded pipe);
+  check_bool "membership section" true
+    (contains "elastic membership timeline" pipe.report);
+  check_bool "stall attribution" true (contains "recovery-stall" pipe.report);
+  check_bool "elastic evidence attached" true
+    (pipe.analysis.Scalana_detect.Rootcause.elastic <> []);
+  (* the fits see the time-weighted effective process count, strictly
+     below nominal once a rank has left *)
+  List.iter
+    (fun (np, info) ->
+      check_bool
+        (Printf.sprintf "effective < nominal at np=%d" np)
+        true
+        (info.Elastic.effective < float_of_int np))
+    pipe.analysis.Scalana_detect.Rootcause.elastic
+
+let test_pipeline_elastic_grow_not_degraded () =
+  let entry = Scalana_apps.Registry.find "halo-grow" in
+  let plan = Option.get entry.elastic_plan in
+  let pipe =
+    Scalana.Pipeline.run ~config:elastic_config ~cost:entry.cost
+      ~scales:[ 4; 8 ] ~elastic:plan (entry.make ())
+  in
+  (* a planned grow is not a failure: the session stays clean *)
+  check_bool "not degraded" false (Scalana.Pipeline.degraded pipe);
+  check_bool "membership section" true
+    (contains "elastic membership timeline" pipe.report);
+  List.iter
+    (fun (np, info) ->
+      check_bool
+        (Printf.sprintf "effective > nominal at np=%d" np)
+        true
+        (info.Elastic.effective > float_of_int np))
+    pipe.analysis.Scalana_detect.Rootcause.elastic
+
+let test_pipeline_elastic_flag_off_identical () =
+  (* config.elastic on a session with no membership changes must leave
+     the report byte-identical *)
+  let entry = Scalana_apps.Registry.find "cg" in
+  let report config =
+    (Scalana.Pipeline.run ~config ~cost:entry.cost ~scales:[ 4; 8 ]
+       (entry.make ()))
+      .Scalana.Pipeline.report
+  in
+  check_bool "byte-identical" true
+    (String.equal (report Scalana.Config.default) (report elastic_config))
+
+(* A tiny iteration-sliced ring so the seeded property below stays
+   cheap: same shape as the registry elastic apps, two orders of
+   magnitude less work. *)
+let elastic_ring () =
+  let open Expr.Infix in
+  let b = Builder.create ~file:"ering.mmp" ~name:"ering" () in
+  Builder.param b "w" 20_000;
+  Builder.param b "iter_lo" 0;
+  Builder.param b "iter_hi" 8;
+  Builder.func b "main" (fun () ->
+      [
+        Builder.loop b ~label:"iter" ~var:"it"
+          ~count:(p "iter_hi" - p "iter_lo")
+          (fun () ->
+            [
+              Builder.comp b ~label:"work" ~flops:(p "w") ~mem:(p "w") ();
+              Builder.sendrecv b
+                ~dest:((rank + i 1) % np)
+                ~sbytes:(i 2048)
+                ~src:((rank - i 1 + np) % np)
+                ~rbytes:(i 2048) ();
+            ]);
+        Builder.allreduce b ~bytes:(i 8);
+      ]);
+  Builder.program b
+
+let prop_elastic_same_seed_byte_identical =
+  let arb = Prop.pair (Prop.int_range 1 7) (Prop.int_range 0 3) in
+  Prop.test ~count:6 "same-seed elastic sessions render byte-identical" arb
+    (fun (iter, rank) ->
+      (* one shrink plus one (possibly out-of-range, then ignored) grow *)
+      let plan =
+        Elastic.plan ~total_iters:8
+          [
+            Elastic.shrink_at ~iter ~rank;
+            Elastic.grow_at ~iter:(iter + 2) ~ranks:1;
+          ]
+      in
+      let report () =
+        (Scalana.Pipeline.run ~config:elastic_config ~scales:[ 4 ]
+           ~elastic:plan (elastic_ring ()))
+          .Scalana.Pipeline.report
+      in
+      String.equal (report ()) (report ()))
+
+let test_retry_backoff () =
+  (* the ladder itself: deterministic, doubling *)
+  close "attempt 1" 0.05 (Scalana.Prof.backoff_delay ~attempt:1);
+  close "attempt 2" 0.1 (Scalana.Prof.backoff_delay ~attempt:2);
+  close "attempt 3" 0.2 (Scalana.Prof.backoff_delay ~attempt:3);
+  (* a persistent kill forces every retry: one recorded backoff per
+     extra attempt, in ladder order, surfaced in the quality section *)
+  let entry = Scalana_apps.Registry.find "zeusmp" in
+  let faults =
+    Scalana_runtime.Faults.plan
+      [ Scalana_runtime.Faults.kill_rank ~rank:1 ~after:0.01 () ]
+  in
+  let pipe =
+    Scalana.Pipeline.run ~cost:entry.cost ~faults ~scales:[ 4 ]
+      (entry.make ())
+  in
+  let _, run = List.hd pipe.runs in
+  check_bool "retried" true (run.Scalana.Prof.attempts > 1);
+  check_int "one backoff per retry"
+    (run.Scalana.Prof.attempts - 1)
+    (List.length run.Scalana.Prof.retry_backoff);
+  List.iteri
+    (fun idx d ->
+      close
+        (Printf.sprintf "ladder step %d" (idx + 1))
+        (Scalana.Prof.backoff_delay ~attempt:(idx + 1))
+        d)
+    run.Scalana.Prof.retry_backoff;
+  check_bool "quality mentions backoff" true (contains "backoff" pipe.report)
+
 let () =
   Alcotest.run "core"
     [
@@ -637,5 +777,16 @@ let () =
         [
           Alcotest.test_case "renders" `Quick test_viewer_renders;
           Alcotest.test_case "html report" `Quick test_html_report;
+        ] );
+      ( "elastic",
+        [
+          Alcotest.test_case "shrink degrades the verdict" `Quick
+            test_pipeline_elastic_shrink_degraded;
+          Alcotest.test_case "grow stays clean" `Quick
+            test_pipeline_elastic_grow_not_degraded;
+          Alcotest.test_case "flag off is byte-identical" `Quick
+            test_pipeline_elastic_flag_off_identical;
+          prop_elastic_same_seed_byte_identical;
+          Alcotest.test_case "retry backoff ladder" `Quick test_retry_backoff;
         ] );
     ]

@@ -734,6 +734,135 @@ let test_engine_reference_digests () =
         faulted_d (digest_result faulted))
     reference_digests
 
+(* --- elastic membership and recovery --- *)
+
+let test_elastic_membership_shrink () =
+  let plan =
+    Elastic.plan ~total_iters:12 [ Elastic.shrink_at ~iter:6 ~rank:1 ]
+  in
+  let epochs, n_ranks = Elastic.membership plan ~nprocs:4 in
+  check_int "distinct ranks" 4 n_ranks;
+  check_bool "not static" false (Elastic.is_static plan ~nprocs:4);
+  match epochs with
+  | [ e0; e1 ] ->
+      check_int "e0 lo" 0 e0.Elastic.e_lo;
+      check_int "e0 hi" 6 e0.Elastic.e_hi;
+      check_bool "e0 members" true (e0.Elastic.e_members = [| 0; 1; 2; 3 |]);
+      check_bool "e0 unchanged" true
+        (e0.Elastic.e_left = [] && e0.Elastic.e_joined = []);
+      check_int "e1 lo" 6 e1.Elastic.e_lo;
+      check_int "e1 hi" 12 e1.Elastic.e_hi;
+      check_bool "e1 members" true (e1.Elastic.e_members = [| 0; 2; 3 |]);
+      check_bool "e1 left" true (e1.Elastic.e_left = [ 1 ])
+  | es -> Alcotest.failf "expected 2 epochs, got %d" (List.length es)
+
+let test_elastic_membership_grow () =
+  let plan =
+    Elastic.plan ~total_iters:12 [ Elastic.grow_at ~iter:6 ~ranks:2 ]
+  in
+  let epochs, n_ranks = Elastic.membership plan ~nprocs:2 in
+  (* joiners get the fresh global ids nprocs, nprocs+1, ... *)
+  check_int "distinct ranks" 4 n_ranks;
+  check_int "total_ranks" 4 (Elastic.total_ranks plan ~nprocs:2);
+  match epochs with
+  | [ _; e1 ] ->
+      check_bool "e1 members" true (e1.Elastic.e_members = [| 0; 1; 2; 3 |]);
+      check_bool "e1 joined" true (e1.Elastic.e_joined = [ 2; 3 ])
+  | es -> Alcotest.failf "expected 2 epochs, got %d" (List.length es)
+
+let test_elastic_membership_noop_events () =
+  (* out-of-range boundaries and leaves of absent ranks fire nothing, so
+     one plan stays valid (and here: static) at every scale *)
+  let plan =
+    Elastic.plan ~total_iters:10
+      [
+        Elastic.shrink_at ~iter:5 ~rank:9;
+        Elastic.shrink_at ~iter:0 ~rank:0;
+        Elastic.shrink_at ~iter:10 ~rank:0;
+      ]
+  in
+  check_bool "static at np=4" true (Elastic.is_static plan ~nprocs:4);
+  let epochs, n_ranks = Elastic.membership plan ~nprocs:4 in
+  check_int "one epoch" 1 (List.length epochs);
+  check_int "distinct ranks" 4 n_ranks;
+  (* ...but the same plan does fire where the rank exists *)
+  check_bool "fires at np=16" false (Elastic.is_static plan ~nprocs:16)
+
+let test_elastic_recovery_semantics () =
+  let plan =
+    Elastic.plan ~total_iters:12 [ Elastic.shrink_at ~iter:6 ~rank:1 ]
+  in
+  let cost = Costmodel.default and net = Network.default in
+  let members = [| 0; 2; 3 |] in
+  let finish = [ (0, 1.0); (1, 1.1); (2, 1.2); (3, 0.9) ] in
+  let r =
+    Elastic.recover plan ~cost ~net ~nprocs:4 ~iter:6 ~left:[ 1 ] ~joined:[]
+      ~members ~finish
+  in
+  (* detection jitter is bounded: within [timeout, 2*timeout] *)
+  check_bool "detect window" true
+    (r.Elastic.r_detect >= plan.Elastic.detect_timeout
+    && r.Elastic.r_detect <= 2.0 *. plan.Elastic.detect_timeout);
+  check_bool "agree positive" true (r.Elastic.r_agree > 0.0);
+  check_bool "repartition positive" true (r.Elastic.r_repartition > 0.0);
+  (* every survivor stalls until the common r_end *)
+  check_int "three stalls" 3 (List.length r.Elastic.r_stalls);
+  List.iter
+    (fun (g, stall) ->
+      close
+        (Printf.sprintf "stall of rank %d" g)
+        (r.Elastic.r_end -. List.assoc g finish)
+        stall)
+    r.Elastic.r_stalls;
+  (* the departed rank never appears among the stalls *)
+  check_bool "no stall for departed" true
+    (not (List.mem_assoc 1 r.Elastic.r_stalls));
+  (* grows have no detection window *)
+  let g =
+    Elastic.recover plan ~cost ~net ~nprocs:4 ~iter:6 ~left:[]
+      ~joined:[ 4; 5 ]
+      ~members:[| 0; 1; 2; 3; 4; 5 |]
+      ~finish
+  in
+  check_float "grow detect" 0.0 g.Elastic.r_detect
+
+let test_elastic_recovery_deterministic () =
+  let plan =
+    Elastic.plan ~total_iters:12 [ Elastic.shrink_at ~iter:6 ~rank:1 ]
+  in
+  let cost = Costmodel.default and net = Network.default in
+  let run () =
+    Elastic.recover plan ~cost ~net ~nprocs:8 ~iter:6 ~left:[ 1 ] ~joined:[]
+      ~members:[| 0; 2; 3; 4; 5; 6; 7 |]
+      ~finish:(List.init 8 (fun g -> (g, 1.0 +. (0.01 *. float_of_int g))))
+  in
+  check_bool "same plan, same recovery" true
+    (Digest.string (Marshal.to_string (run ()) [])
+    = Digest.string (Marshal.to_string (run ()) []))
+
+let test_elastic_compress_ranks () =
+  check_string "empty" "none" (Elastic.compress_ranks [||]);
+  check_string "single" "3" (Elastic.compress_ranks [| 3 |]);
+  check_string "ranges" "0-3,5,7-8"
+    (Elastic.compress_ranks [| 0; 1; 2; 3; 5; 7; 8 |])
+
+(* clock0 offsets the whole simulation: every event of an epoch run at
+   clock0=c is the clock0=0 run shifted by exactly c *)
+let test_exec_clock0_shifts () =
+  let prog = ring_program ~niter:4 () in
+  let at c =
+    Exec.run ~cfg:(Exec.config ~nprocs:4 ~clock0:c ()) prog
+  in
+  let r0 = at 0.0 and r5 = at 5.0 in
+  close "elapsed shifted" (r0.Exec.elapsed +. 5.0) r5.Exec.elapsed;
+  (* per-rank derived totals (durations, not absolute clocks) match *)
+  Array.iteri
+    (fun i w -> close (Printf.sprintf "wait rank %d" i) w r5.Exec.wait_seconds.(i))
+    r0.Exec.wait_seconds;
+  Array.iteri
+    (fun i w -> close (Printf.sprintf "comp rank %d" i) w r5.Exec.comp_seconds.(i))
+    r0.Exec.comp_seconds
+
 let () =
   Alcotest.run "runtime"
     [
@@ -812,5 +941,22 @@ let () =
         [
           Alcotest.test_case "reference digests (full registry)" `Quick
             test_engine_reference_digests;
+        ] );
+      ( "elastic",
+        [
+          Alcotest.test_case "membership shrink" `Quick
+            test_elastic_membership_shrink;
+          Alcotest.test_case "membership grow" `Quick
+            test_elastic_membership_grow;
+          Alcotest.test_case "no-op events fire nothing" `Quick
+            test_elastic_membership_noop_events;
+          Alcotest.test_case "recovery semantics" `Quick
+            test_elastic_recovery_semantics;
+          Alcotest.test_case "recovery determinism" `Quick
+            test_elastic_recovery_deterministic;
+          Alcotest.test_case "compress ranks" `Quick
+            test_elastic_compress_ranks;
+          Alcotest.test_case "clock0 shifts the run" `Quick
+            test_exec_clock0_shifts;
         ] );
     ]
