@@ -30,6 +30,19 @@ let engine_baseline = function
   | 16384 -> 106_361.0
   | _ -> nan
 
+(* cg-weak scale points for the PPG memory sweep; np=65536 is the point
+   the columnar store exists for (ROADMAP "Columnar PPG" item) *)
+let ppg_scales = [ 4096; 16384; 65536 ]
+
+(* live words retained and build seconds of the boxed, Hashtbl-backed
+   pre-rework Ppg.build on the same cg-weak profiles — the floor the
+   columnar store is measured against (same machine class) *)
+let ppg_baseline = function
+  | 4096 -> (580_631, 0.020)
+  | 16384 -> (2_632_895, 0.143)
+  | 65536 -> (11_709_074, 1.089)
+  | _ -> (0, nan)
+
 let timed f =
   let t0 = Unix.gettimeofday () in
   let r = f () in
@@ -53,8 +66,28 @@ type speedup_data = {
 
 type engine_row = { np : int; events : int; wall_s : float }
 
+type ppg_row = {
+  mnp : int;  (* scale point *)
+  profile_s : float;  (* Prof.run wall at this scale *)
+  build_s : float;  (* Ppg.build wall *)
+  live_words : int;  (* GC live words retained by the store *)
+  ppg_bytes : int;  (* the store's own storage estimate *)
+  profile_live_words : int;  (* boxed profile the run ingested into *)
+  profdata_bytes : int;  (* its serialized-artifact size, for context *)
+}
+
+(* end-to-end profile -> detect pipeline at the largest scale *)
+type e2e_row = {
+  e_np : int;
+  e_scales : int list;
+  e_wall_s : float;
+  e_ppg_bytes : int;  (* columnar stores across all scales *)
+}
+
 let speedup_results : speedup_data option ref = ref None
 let engine_results : engine_row list ref = ref []
+let ppg_results : ppg_row list ref = ref []
+let e2e_result : e2e_row option ref = ref None
 
 let write_bench_json () =
   let oc = open_out "BENCH_pipeline.json" in
@@ -106,6 +139,39 @@ let write_bench_json () =
         \  \"program\": \"cg-weak\",\n\
         \  \"sweep\": [\n%s\n  ]\n  }"
         (String.concat ",\n" (List.map row rows)));
+  (match !ppg_results with
+  | [] -> ()
+  | rows ->
+      let row r =
+        let base_words, base_s = ppg_baseline r.mnp in
+        Printf.sprintf
+          "    { \"np\": %d, \"profile_seconds\": %.3f, \
+           \"build_seconds\": %.4f, \"live_words\": %d, \
+           \"ppg_bytes\": %d, \"profile_live_words\": %d, \
+           \"profdata_bytes\": %d, \
+           \"baseline_live_words\": %d, \"baseline_build_seconds\": %.4f }"
+          r.mnp r.profile_s r.build_s r.live_words r.ppg_bytes
+          r.profile_live_words r.profdata_bytes base_words base_s
+      in
+      let e2e =
+        match !e2e_result with
+        | None -> ""
+        | Some e ->
+            Printf.sprintf
+              ",\n\
+              \  \"analysis_np%d\": { \"scales\": [%s], \
+               \"wall_seconds\": %.3f, \"ppg_bytes\": %d }"
+              e.e_np
+              (String.concat ", " (List.map string_of_int e.e_scales))
+              e.e_wall_s e.e_ppg_bytes
+      in
+      add
+        "  \"ppg\": {\n\
+        \  \"bench\": \"ppg_memory\",\n\
+        \  \"program\": \"cg-weak\",\n\
+        \  \"sweep\": [\n%s\n  ]%s\n  }"
+        (String.concat ",\n" (List.map row rows))
+        e2e);
   Printf.fprintf oc "{\n%s\n}\n" (String.concat ",\n" (List.rev !sections));
   close_out oc
 
@@ -167,8 +233,78 @@ let engine_throughput () =
   Printf.printf "  wrote BENCH_pipeline.json (engine sweep, %d scales)\n%!"
     (List.length rows)
 
+(* Live words the process retains across [f] — both compacts are
+   essential: the first settles the pre-state, the second drops every
+   temporary [f] allocated, so the delta is what [f]'s result pins. *)
+let retained f =
+  Gc.compact ();
+  let before = (Gc.stat ()).Gc.live_words in
+  let r, wall = timed f in
+  Gc.compact ();
+  let after = (Gc.stat ()).Gc.live_words in
+  (r, wall, after - before)
+
+let ppg_memory () =
+  Util.section "PPG memory: cg-weak store footprint per scale";
+  let entry = Scalana_apps.Registry.find "cg-weak" in
+  let rows =
+    List.map
+      (fun np ->
+        let prog = entry.Scalana_apps.Registry.make () in
+        let static = Scalana.Static.analyze prog in
+        let r, profile_s, profile_live_words =
+          retained (fun () ->
+              Scalana.Prof.run ~cost:entry.cost static ~nprocs:np ())
+        in
+        let data = r.Scalana.Prof.data in
+        let ppg, build_s, live_words =
+          retained (fun () ->
+              Scalana_ppg.Ppg.build ~psg:(Scalana.Static.psg static) data)
+        in
+        let ppg_bytes = Scalana_ppg.Ppg.storage_bytes ppg in
+        let base_words, base_s = ppg_baseline np in
+        Printf.printf
+          "  np=%-6d profile %7.3fs  build %7.4fs  %9d live words  %8.1f MB \
+           store  (baseline %9d words, %.4fs)\n\
+           %!"
+          np profile_s build_s live_words
+          (float_of_int ppg_bytes /. 1e6)
+          base_words base_s;
+        ignore (Sys.opaque_identity ppg);
+        {
+          mnp = np;
+          profile_s;
+          build_s;
+          live_words;
+          ppg_bytes;
+          profile_live_words;
+          profdata_bytes = Scalana_profile.Profdata.storage_bytes data;
+        })
+      ppg_scales
+  in
+  ppg_results := rows;
+  (* end-to-end: the full profile -> detect pipeline with np=65536 as the
+     largest scale point, the run the ROADMAP item exists for *)
+  let e_np = List.fold_left max 0 ppg_scales in
+  let pipe, e_wall_s =
+    timed (fun () ->
+        Scalana.Pipeline.run ~cost:entry.cost ~scales:ppg_scales
+          (entry.Scalana_apps.Registry.make ()))
+  in
+  let e_ppg_bytes = Scalana.Pipeline.ppg_storage_bytes pipe in
+  Printf.printf
+    "  end-to-end analysis (scales %s): %8.3fs  %8.1f MB of PPG columns\n%!"
+    (String.concat "," (List.map string_of_int ppg_scales))
+    e_wall_s
+    (float_of_int e_ppg_bytes /. 1e6);
+  e2e_result := Some { e_np; e_scales = ppg_scales; e_wall_s; e_ppg_bytes };
+  write_bench_json ();
+  Printf.printf "  wrote BENCH_pipeline.json (ppg sweep, %d scales)\n%!"
+    (List.length rows)
+
 let all : (string * (unit -> unit)) list =
   [
     ("pipeline_parallel_speedup", pipeline_parallel);
     ("engine_throughput", engine_throughput);
+    ("ppg_memory", ppg_memory);
   ]

@@ -303,6 +303,14 @@ let run ?(config = Config.default) ?(cost = Costmodel.default)
 (* Did anything degrade this pipeline's inputs? *)
 let degraded t = not (Quality.is_clean t.quality)
 
+(* Bytes held by the columnar PPG stores across every profiled scale —
+   the analysis working set the detectors scan (the raw per-rank
+   profiles are only read once, at build time). *)
+let ppg_storage_bytes t =
+  List.fold_left
+    (fun acc (_, ppg) -> acc + Ppg.storage_bytes ppg)
+    0 t.crossscale.Crossscale.runs
+
 (* Locations of the reported root causes, best first. *)
 let root_cause_locs t =
   List.map (fun (c : Rootcause.cause) -> c.cause_loc) t.analysis.causes

@@ -107,5 +107,9 @@ val run :
 (** [not (Quality.is_clean t.quality)]. *)
 val degraded : t -> bool
 
+(** Bytes held by the columnar PPG stores across every profiled scale —
+    the analysis working set the detectors scan. *)
+val ppg_storage_bytes : t -> int
+
 val root_cause_locs : t -> Loc.t list
 val root_cause_labels : t -> string list

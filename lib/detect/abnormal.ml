@@ -23,48 +23,48 @@ type config = {
 
 let default_config = { abnorm_thd = 1.3; min_seconds = 1e-4 }
 
+(* One vertex, scanned in place over its column slice: no per-vertex
+   array materializes unless the vertex is actually reported on. *)
 let detect_vertex ?(config = default_config) ppg ~vertex =
-  let times = Ppg.times_across_ranks ppg ~vertex in
-  (* poisoned values are quarantined from the statistics; the deviation
-     scan below skips them naturally (NaN/negative never exceed a
-     positive threshold), so a faulted rank can't be flagged on garbage *)
-  let clean, _ = Aggregate.sanitize times in
-  let max_time = Array.fold_left Float.max 0.0 clean in
-  if max_time < config.min_seconds then None
-  else begin
-    let med = Aggregate.median times in
-    let threshold = config.abnorm_thd *. med in
-    let deviating =
-      if med > 0.0 then
-        Array.to_seq times
-        |> Seq.mapi (fun rank t -> (rank, t))
-        |> Seq.filter (fun (_, t) -> t > threshold)
-        |> Seq.map fst |> List.of_seq
-      else
-        (* median zero: executed by a minority -> those ranks deviate *)
-        Array.to_seq times
-        |> Seq.mapi (fun rank t -> (rank, t))
-        |> Seq.filter (fun (_, t) -> t > 0.0)
-        |> Seq.map fst |> List.of_seq
-    in
-    if deviating = [] then None
-    else
-      Some
-        {
-          vertex;
-          ranks = deviating;
-          max_time;
-          median_time = med;
-          ratio = (if med > 0.0 then max_time /. med else infinity);
-        }
-  end
+  match Ppg.row_offset ppg ~vertex with
+  | None -> None  (* untouched everywhere: an all-zero row, never abnormal *)
+  | Some off ->
+      let col = Ppg.times_col ppg in
+      let len = ppg.Ppg.nprocs in
+      (* poisoned values are quarantined from the statistics; the
+         deviation scan below skips them naturally (NaN/negative never
+         exceed a positive threshold), so a faulted rank can't be
+         flagged on garbage *)
+      let max_time = Aggregate.max_clean_slice col ~off ~len in
+      if max_time < config.min_seconds then None
+      else begin
+        let med = Aggregate.median_slice col ~off ~len in
+        let threshold =
+          if med > 0.0 then config.abnorm_thd *. med else 0.0
+        in
+        let deviating = ref [] in
+        for rank = len - 1 downto 0 do
+          if col.(off + rank) > threshold then deviating := rank :: !deviating
+        done;
+        let deviating = !deviating in
+        if deviating = [] then None
+        else
+          Some
+            {
+              vertex;
+              ranks = deviating;
+              max_time;
+              median_time = med;
+              ratio = (if med > 0.0 then max_time /. med else infinity);
+            }
+      end
 
 let detect ?(config = default_config) ppg =
   Scalana_obs.Obs.with_span "abnormal.detect" @@ fun () ->
   let findings =
     List.filter_map
       (fun vertex -> detect_vertex ~config ppg ~vertex)
-      (Scalana_profile.Profdata.touched_vertices ppg.Ppg.data)
+      (Ppg.touched_vertices ppg)
     |> List.sort (fun a b -> compare b.max_time a.max_time)
   in
   Scalana_obs.Obs.Metrics.incr ~by:(List.length findings) "abnormal.findings";

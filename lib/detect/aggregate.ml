@@ -104,6 +104,85 @@ let kmeans ~k a =
     Array.init k (fun c -> (centroids.(c), sizes.(c)))
   end
 
+(* --- slice variants ---
+
+   The same statistics computed directly over a columnar row slice
+   [off, off + len) without materializing the per-vertex array first.
+   Every scan visits cells in rank order, which is exactly the order the
+   array versions see after [sanitize] (survivors keep their relative
+   order), so each slice function is bit-identical to its array
+   counterpart on the copied row — the property the differential suite
+   and the golden reports pin. *)
+
+let quarantined_in_slice col ~off ~len =
+  let n = ref 0 in
+  for i = off to off + len - 1 do
+    if quarantined col.(i) then incr n
+  done;
+  !n
+
+(* Survivors gathered in rank order: the slice analogue of [sanitize],
+   always a fresh array. *)
+let sanitize_slice col ~off ~len =
+  let dropped = quarantined_in_slice col ~off ~len in
+  if dropped = 0 then (Array.sub col off len, 0)
+  else begin
+    let keep = Array.make (len - dropped) 0.0 in
+    let j = ref 0 in
+    for i = off to off + len - 1 do
+      if not (quarantined col.(i)) then begin
+        keep.(!j) <- col.(i);
+        incr j
+      end
+    done;
+    (keep, dropped)
+  end
+
+(* Sum of the surviving cells — [Array.fold_left (+.) 0.0] over the
+   sanitized row, without the row. *)
+let sum_clean_slice col ~off ~len =
+  let acc = ref 0.0 in
+  for i = off to off + len - 1 do
+    let x = col.(i) in
+    if not (quarantined x) then acc := !acc +. x
+  done;
+  !acc
+
+(* Largest surviving cell, 0.0 floor (the abnormal detector's scan). *)
+let max_clean_slice col ~off ~len =
+  let acc = ref 0.0 in
+  for i = off to off + len - 1 do
+    let x = col.(i) in
+    if not (quarantined x) then acc := Float.max !acc x
+  done;
+  !acc
+
+let mean_slice col ~off ~len =
+  let sum = ref 0.0 and n = ref 0 in
+  for i = off to off + len - 1 do
+    let x = col.(i) in
+    if not (quarantined x) then begin
+      sum := !sum +. x;
+      incr n
+    end
+  done;
+  if !n = 0 then 0.0 else !sum /. float_of_int !n
+
+let median_slice col ~off ~len =
+  median (fst (sanitize_slice col ~off ~len))
+
+let variance_slice col ~off ~len =
+  let m = mean_slice col ~off ~len in
+  let acc = ref 0.0 and n = ref 0 in
+  for i = off to off + len - 1 do
+    let x = col.(i) in
+    if not (quarantined x) then begin
+      acc := !acc +. ((x -. m) *. (x -. m));
+      incr n
+    end
+  done;
+  if !n = 0 then 0.0 else !acc /. float_of_int !n
+
 let apply strategy values =
   match strategy with
   | Single r ->
@@ -128,3 +207,18 @@ let apply strategy values =
       with
       | Some (c, _) -> c
       | None -> 0.0)
+
+(* [apply] over a columnar row slice, without the row copy.  For the
+   order-insensitive strategies the scan runs in place; Median and
+   Kmeans gather the survivors first (they need a sortable array), which
+   is still exactly what the array path hands them. *)
+let apply_slice strategy col ~off ~len =
+  match strategy with
+  | Single r ->
+      if r < len && not (quarantined col.(off + r)) then col.(off + r)
+      else 0.0
+  | Mean -> mean_slice col ~off ~len
+  | Median -> median_slice col ~off ~len
+  | Variance_weighted ->
+      mean_slice col ~off ~len +. sqrt (variance_slice col ~off ~len)
+  | Kmeans k -> apply (Kmeans k) (fst (sanitize_slice col ~off ~len))

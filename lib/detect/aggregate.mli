@@ -29,3 +29,27 @@ val stddev : float array -> float
 val kmeans : k:int -> float array -> (float * int) array
 
 val apply : strategy -> float array -> float
+
+(** {2 Slice variants}
+
+    The same statistics over a columnar row slice [off, off + len)
+    without materializing the per-vertex array first.  Cells are visited
+    in rank order — the order the array versions see after [sanitize] —
+    so each is bit-identical to its array counterpart on a copied row. *)
+
+(** Quarantined cells in the slice (what [sanitize] would drop). *)
+val quarantined_in_slice : float array -> off:int -> len:int -> int
+
+(** Surviving cells gathered in rank order; always a fresh array. *)
+val sanitize_slice : float array -> off:int -> len:int -> float array * int
+
+(** Sum of the surviving cells. *)
+val sum_clean_slice : float array -> off:int -> len:int -> float
+
+(** Largest surviving cell, floored at 0. *)
+val max_clean_slice : float array -> off:int -> len:int -> float
+
+val mean_slice : float array -> off:int -> len:int -> float
+val median_slice : float array -> off:int -> len:int -> float
+val variance_slice : float array -> off:int -> len:int -> float
+val apply_slice : strategy -> float array -> off:int -> len:int -> float

@@ -57,24 +57,40 @@ let detect_result ?(config = default_config) ?pool (cs : Crossscale.t) =
   Scalana_obs.Obs.with_span "nonscalable.detect" @@ fun () ->
   let _, largest_ppg = Crossscale.largest cs in
   let total = Ppg.total_time largest_ppg in
-  (* per-vertex work is pure (the PPG caches are frozen at build time),
+  (* per-vertex work is pure (the PPG columns are frozen at build time),
      so the aggregation + fit loop fans out across domains; parallel_map
-     preserves input order, keeping the ranking stable *)
+     preserves input order, keeping the ranking stable.  Each scale's
+     per-rank values are scanned in place over the vertex's column
+     slice — no per-(vertex, scale) array materializes. *)
   let eval vertex =
-    let per_scale = Crossscale.series cs ~vertex in
     let dropped =
       List.fold_left
-        (fun acc (_, per_rank) -> acc + snd (Aggregate.sanitize per_rank))
-        0 per_scale
+        (fun acc (_, ppg) ->
+          match Ppg.row_offset ppg ~vertex with
+          | Some off ->
+              acc
+              + Aggregate.quarantined_in_slice (Ppg.times_col ppg) ~off
+                  ~len:ppg.Ppg.nprocs
+          | None -> acc)
+        0 cs.Crossscale.runs
     in
     let series =
       List.map
-        (fun (n, per_rank) -> (n, Aggregate.apply config.strategy per_rank))
-        per_scale
+        (fun (n, ppg) ->
+          match Ppg.row_offset ppg ~vertex with
+          | Some off ->
+              ( n,
+                Aggregate.apply_slice config.strategy (Ppg.times_col ppg) ~off
+                  ~len:ppg.Ppg.nprocs )
+          | None -> (n, 0.0))
+        cs.Crossscale.runs
     in
     let at_largest =
-      Array.fold_left ( +. ) 0.0
-        (fst (Aggregate.sanitize (Ppg.times_across_ranks largest_ppg ~vertex)))
+      match Ppg.row_offset largest_ppg ~vertex with
+      | Some off ->
+          Aggregate.sum_clean_slice (Ppg.times_col largest_ppg) ~off
+            ~len:largest_ppg.Ppg.nprocs
+      | None -> 0.0
     in
     let fraction = if total > 0.0 then at_largest /. total else 0.0 in
     if fraction < config.min_fraction then (None, None, dropped)

@@ -3,8 +3,6 @@
    Non-scalable vertex detection compares the performance of the vertex
    (the PSG is scale-invariant, Section IV-A) across these runs. *)
 
-open Scalana_profile
-
 type t = {
   psg : Scalana_psg.Psg.t;
   runs : (int * Ppg.t) list;  (* sorted by nprocs ascending *)
@@ -34,10 +32,14 @@ let ppg_at t ~nprocs = List.assoc_opt nprocs t.runs
 (* The effective process count of the run keyed by nominal scale
    [nprocs] — what an elastic session actually averaged over its
    membership epochs; the nominal value itself for a fixed run (or when
-   the scale is unknown, so fits never see a hole). *)
+   the scale is unknown, so fits never see a hole).  A session whose
+   ranks were all lost can leave a NaN or zero behind; degrade to the
+   nominal scale rather than poison Loglog.fit_scaled's x-axis. *)
 let effective_scale t ~nprocs =
   match ppg_at t ~nprocs with
-  | Some ppg -> ppg.Ppg.data.Profdata.effective_nprocs
+  | Some ppg ->
+      let e = Ppg.effective_nprocs ppg in
+      if Float.is_finite e && e > 0.0 then e else float_of_int nprocs
   | None -> float_of_int nprocs
 
 (* Per-rank times of [vertex] at every scale. *)
@@ -51,6 +53,6 @@ let touched_vertices t =
     (fun (_, ppg) ->
       List.iter
         (fun vid -> Hashtbl.replace seen vid ())
-        (Profdata.touched_vertices ppg.Ppg.data))
+        (Ppg.touched_vertices ppg))
     t.runs;
   Hashtbl.fold (fun vid () acc -> vid :: acc) seen [] |> List.sort compare

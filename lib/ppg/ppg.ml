@@ -4,7 +4,20 @@
    contracted PSG structure, since SPMD processes share the code); the
    PPG adds per-(rank, vertex) performance vectors and the inter-process
    communication-dependence edges recorded at runtime.  Backtracking
-   (Scalana_detect.Backtrack) walks this structure. *)
+   (Scalana_detect.Backtrack) walks this structure.
+
+   The store is columnar: every perf-vector component lives in a flat
+   row-major column indexed by (row, rank) where a row is one touched
+   vertex, so a vertex's across-rank values are one contiguous slice and
+   the whole-graph scans the detectors run (aggregation, deviation
+   thresholds, log-log fit batches) touch dense float arrays instead of
+   chasing per-rank hash tables.  [build] fills the columns in a single
+   pass over the profile and drops every reference to the boxed
+   [Profdata] vectors afterwards; the accessor API reads the columns, so
+   callers see exactly the values the boxed store served.  Cells no rank
+   reported stay 0.0 (the historical absent-cell value) and poisoned
+   cells keep their NaN/negative payloads bit-for-bit; [present] tells
+   the two apart where it matters (coverage, [perf]). *)
 
 open Scalana_psg
 open Scalana_profile
@@ -20,25 +33,73 @@ type comm_edge = {
 type t = {
   psg : Psg.t;  (* contracted PSG, shared by all ranks *)
   nprocs : int;
-  data : Profdata.t;
+  effective_nprocs : float;  (* copied from the profile at build time *)
+  (* columnar store: rows are touched vertices in ascending id order,
+     cell (row, rank) lives at [row * nprocs + rank] in every column *)
+  vids : int array;  (* row -> vertex id, sorted *)
+  rows : (int, int) Hashtbl.t;  (* vertex id -> row *)
+  times : float array;
+  waits : float array;
+  samples : int array;
+  calls : int array;
+  (* PMU components, one column per counter *)
+  tot_ins : float array;
+  tot_lst_ins : float array;
+  tot_cyc : float array;
+  cache_miss : float array;
+  fp_ins : float array;
+  present : Bytes.t;  (* 1 where the rank reported a vector *)
+  row_present : int array;  (* row -> number of reporting ranks *)
+  total_time : float;  (* precomputed quarantine-aware whole-run total *)
   (* incoming communication dependence per (recv rank, recv vertex) *)
   incoming : (int * int, comm_edge list) Hashtbl.t;
   (* collective vertex -> dominant last-arrival rank *)
   coll_late : (int, int) Hashtbl.t;
-  (* per-vertex across-rank arrays, precomputed at build time: the
-     detectors query them in tight loops, and once frozen here they can
-     be read from several domains without synchronization *)
-  times_cache : (int, float array) Hashtbl.t;
-  waits_cache : (int, float array) Hashtbl.t;
 }
 
-let perf t ~rank ~vertex = Profdata.vector_opt t.data ~rank ~vertex
+let row t ~vertex = Hashtbl.find_opt t.rows vertex
+
+(* Element offset of [vertex]'s row in every column ([nprocs] wide). *)
+let row_offset t ~vertex =
+  match row t ~vertex with Some r -> Some (r * t.nprocs) | None -> None
+
+let times_col t = t.times
+let waits_col t = t.waits
 
 let time_of t ~rank ~vertex =
-  match perf t ~rank ~vertex with Some v -> v.Perfvec.time | None -> 0.0
+  match row t ~vertex with
+  | Some r when rank >= 0 && rank < t.nprocs -> t.times.((r * t.nprocs) + rank)
+  | _ -> 0.0
 
 let wait_of t ~rank ~vertex =
-  match perf t ~rank ~vertex with Some v -> v.Perfvec.wait | None -> 0.0
+  match row t ~vertex with
+  | Some r when rank >= 0 && rank < t.nprocs -> t.waits.((r * t.nprocs) + rank)
+  | _ -> 0.0
+
+(* Reconstructed boxed vector for one present cell — a convenience view
+   for callers outside the scan paths; the columns stay authoritative. *)
+let perf t ~rank ~vertex =
+  match row t ~vertex with
+  | Some r when rank >= 0 && rank < t.nprocs ->
+      let i = (r * t.nprocs) + rank in
+      if Bytes.get t.present i = '\000' then None
+      else
+        Some
+          {
+            Perfvec.time = t.times.(i);
+            samples = t.samples.(i);
+            pmu =
+              {
+                Scalana_runtime.Pmu.tot_ins = t.tot_ins.(i);
+                tot_lst_ins = t.tot_lst_ins.(i);
+                tot_cyc = t.tot_cyc.(i);
+                cache_miss = t.cache_miss.(i);
+                fp_ins = t.fp_ins.(i);
+              };
+            wait = t.waits.(i);
+            calls = t.calls.(i);
+          }
+  | _ -> None
 
 let build ~(psg : Psg.t) (data : Profdata.t) =
   Scalana_obs.Obs.with_span
@@ -72,18 +133,78 @@ let build ~(psg : Psg.t) (data : Profdata.t) =
     (Commrec.coll_records data.Profdata.comm);
   let touched = Profdata.touched_vertices data in
   let nprocs = data.Profdata.nprocs in
-  let times_cache = Hashtbl.create (max 16 (List.length touched)) in
-  let waits_cache = Hashtbl.create (max 16 (List.length touched)) in
-  let t = { psg; nprocs; data; incoming; coll_late; times_cache; waits_cache } in
-  List.iter
-    (fun vertex ->
-      Hashtbl.replace times_cache vertex
-        (Array.init nprocs (fun rank -> time_of t ~rank ~vertex));
-      Hashtbl.replace waits_cache vertex
-        (Array.init nprocs (fun rank -> wait_of t ~rank ~vertex)))
-    touched;
+  let vids = Array.of_list touched in
+  let nrows = Array.length vids in
+  let rows = Hashtbl.create (max 16 nrows) in
+  Array.iteri (fun r vid -> Hashtbl.replace rows vid r) vids;
+  let cells = nrows * nprocs in
+  let times = Array.make cells 0.0 in
+  let waits = Array.make cells 0.0 in
+  let samples = Array.make cells 0 in
+  let calls = Array.make cells 0 in
+  let tot_ins = Array.make cells 0.0 in
+  let tot_lst_ins = Array.make cells 0.0 in
+  let tot_cyc = Array.make cells 0.0 in
+  let cache_miss = Array.make cells 0.0 in
+  let fp_ins = Array.make cells 0.0 in
+  let present = Bytes.make cells '\000' in
+  let row_present = Array.make nrows 0 in
+  (* the single ingest pass: every (rank, vertex) vector lands in its
+     cell once, so table iteration order cannot matter *)
+  Profdata.iter_cells data (fun ~rank ~vertex (v : Perfvec.t) ->
+      match Hashtbl.find_opt rows vertex with
+      | None -> ()
+      | Some r ->
+          let i = (r * nprocs) + rank in
+          times.(i) <- v.Perfvec.time;
+          waits.(i) <- v.Perfvec.wait;
+          samples.(i) <- v.Perfvec.samples;
+          calls.(i) <- v.Perfvec.calls;
+          let p = v.Perfvec.pmu in
+          tot_ins.(i) <- p.Scalana_runtime.Pmu.tot_ins;
+          tot_lst_ins.(i) <- p.Scalana_runtime.Pmu.tot_lst_ins;
+          tot_cyc.(i) <- p.Scalana_runtime.Pmu.tot_cyc;
+          cache_miss.(i) <- p.Scalana_runtime.Pmu.cache_miss;
+          fp_ins.(i) <- p.Scalana_runtime.Pmu.fp_ins;
+          Bytes.set present i '\001';
+          row_present.(r) <- row_present.(r) + 1);
+  (* the whole-run total keeps the boxed store's exact summation order
+     (per-rank table fold, then across ranks), so reports that print it
+     stay byte-identical *)
+  let total_time =
+    Array.init nprocs (fun rank ->
+        Hashtbl.fold
+          (fun _ (v : Perfvec.t) acc ->
+            (* poisoned (NaN/negative) values are quarantined, not summed *)
+            if Float.is_nan v.time || v.time < 0.0 then acc else acc +. v.time)
+          data.Profdata.vectors.(rank) 0.0)
+    |> Array.fold_left ( +. ) 0.0
+  in
+  let t =
+    {
+      psg;
+      nprocs;
+      effective_nprocs = data.Profdata.effective_nprocs;
+      vids;
+      rows;
+      times;
+      waits;
+      samples;
+      calls;
+      tot_ins;
+      tot_lst_ins;
+      tot_cyc;
+      cache_miss;
+      fp_ins;
+      present;
+      row_present;
+      total_time;
+      incoming;
+      coll_late;
+    }
+  in
   Scalana_obs.Obs.Metrics.incr "ppg.builds";
-  Scalana_obs.Obs.Metrics.incr ~by:(List.length touched) "ppg.vertices";
+  Scalana_obs.Obs.Metrics.incr ~by:nrows "ppg.vertices";
   Scalana_obs.Obs.Metrics.incr ~by:(Hashtbl.length incoming) "ppg.comm_edges";
   t
 
@@ -109,33 +230,66 @@ let critical_edge t ~rank ~vertex =
 
 let coll_late_rank t ~vertex = Hashtbl.find_opt t.coll_late vertex
 
-(* Per-rank values of one vertex (0 when the rank never touched it).
-   Touched vertices hit the build-time cache; the returned array is
-   shared, so callers must not mutate it (the aggregators all copy
-   before sorting). *)
+(* Per-rank values of one vertex (0 where untouched): a fresh copy of
+   the row slice, so callers may sort or scale it freely. *)
 let times_across_ranks t ~vertex =
-  match Hashtbl.find_opt t.times_cache vertex with
-  | Some a -> a
-  | None -> Array.init t.nprocs (fun rank -> time_of t ~rank ~vertex)
+  match row t ~vertex with
+  | Some r ->
+      let off = r * t.nprocs in
+      Array.sub t.times off t.nprocs
+  | None -> Array.make t.nprocs 0.0
 
 let waits_across_ranks t ~vertex =
-  match Hashtbl.find_opt t.waits_cache vertex with
-  | Some a -> a
-  | None -> Array.init t.nprocs (fun rank -> wait_of t ~rank ~vertex)
+  match row t ~vertex with
+  | Some r ->
+      let off = r * t.nprocs in
+      Array.sub t.waits off t.nprocs
+  | None -> Array.make t.nprocs 0.0
 
 let total_wait t ~vertex =
-  Array.fold_left ( +. ) 0.0 (waits_across_ranks t ~vertex)
+  match row t ~vertex with
+  | Some r ->
+      let off = r * t.nprocs in
+      let acc = ref 0.0 in
+      for rank = 0 to t.nprocs - 1 do
+        acc := !acc +. t.waits.(off + rank)
+      done;
+      !acc
+  | None -> 0.0
 
-(* Fraction of ranks reporting at [vertex] (degraded-mode coverage). *)
-let coverage t ~vertex = Profdata.coverage t.data ~vertex
+(* Fraction of ranks reporting at [vertex] (degraded-mode coverage).
+   Always finite: an all-killed vertex degrades to 0.0, never NaN. *)
+let coverage t ~vertex =
+  if t.nprocs = 0 then 0.0
+  else
+    match row t ~vertex with
+    | Some r -> float_of_int t.row_present.(r) /. float_of_int t.nprocs
+    | None -> 0.0
 
-let total_time t =
-  Array.init t.nprocs (fun rank ->
-      Hashtbl.fold
-        (fun _ (v : Perfvec.t) acc ->
-          (* poisoned (NaN/negative) values are quarantined, not summed *)
-          if Float.is_nan v.time || v.time < 0.0 then acc else acc +. v.time)
-        t.data.Profdata.vectors.(rank) 0.0)
-  |> Array.fold_left ( +. ) 0.0
+(* Total sampled time across all ranks and vertices, quarantine-aware;
+   precomputed during the ingest pass. *)
+let total_time t = t.total_time
 
 let n_comm_edges t = Hashtbl.length t.incoming
+
+(* Bytes retained by the store itself, beyond the profile it was built
+   from: the columns plus the dependence tables.  Exact for the columns;
+   the memory bench cross-checks the total against a GC live-words
+   delta. *)
+let storage_bytes t =
+  let cells = Array.length t.times in
+  let float_cols = 7 and int_cols = 2 in
+  (cells * 8 * (float_cols + int_cols))
+  + Bytes.length t.present
+  + (8 * Array.length t.row_present)
+  + (8 * Array.length t.vids)
+  + Hashtbl.fold (fun _ l acc -> acc + (56 * List.length l)) t.incoming 0
+  + (24 * Hashtbl.length t.coll_late)
+
+(* Vertices any rank reported on, sorted — the detectors' iteration
+   domain. *)
+let touched_vertices t = Array.to_list t.vids
+
+(* Time-weighted mean membership of the producing session (differs from
+   [nprocs] only for elastic runs). *)
+let effective_nprocs t = t.effective_nprocs

@@ -1,6 +1,14 @@
 (** Program Performance Graph (Section III-C): the contracted PSG shared
     by all ranks, per-(rank, vertex) performance vectors, and the
-    inter-process communication-dependence edges recorded at runtime. *)
+    inter-process communication-dependence edges recorded at runtime.
+
+    The store is columnar: each perf-vector component is a flat
+    row-major column over (touched vertex, rank) cells, so across-rank
+    reads are contiguous slices and detector batches scan dense float
+    arrays.  Accessors serve exactly the values the pre-columnar boxed
+    store served (the differential suite in [test/test_ppg.ml] pins
+    this), including 0.0 for cells no rank reported and verbatim
+    NaN/negative payloads for poisoned cells. *)
 
 open Scalana_psg
 open Scalana_profile
@@ -16,12 +24,23 @@ type comm_edge = {
 type t = {
   psg : Psg.t;
   nprocs : int;
-  data : Profdata.t;
+  effective_nprocs : float;
+  vids : int array;  (** row -> vertex id, ascending *)
+  rows : (int, int) Hashtbl.t;  (** vertex id -> row *)
+  times : float array;  (** cell (row, rank) at [row * nprocs + rank] *)
+  waits : float array;
+  samples : int array;
+  calls : int array;
+  tot_ins : float array;
+  tot_lst_ins : float array;
+  tot_cyc : float array;
+  cache_miss : float array;
+  fp_ins : float array;
+  present : Bytes.t;  (** ['\001'] where the rank reported a vector *)
+  row_present : int array;
+  total_time : float;
   incoming : (int * int, comm_edge list) Hashtbl.t;
   coll_late : (int, int) Hashtbl.t;
-  times_cache : (int, float array) Hashtbl.t;
-      (** per-vertex across-rank times, frozen at build time *)
-  waits_cache : (int, float array) Hashtbl.t;
 }
 
 val build : psg:Psg.t -> Profdata.t -> t
@@ -42,9 +61,19 @@ val perf : t -> rank:int -> vertex:int -> Perfvec.t option
 val time_of : t -> rank:int -> vertex:int -> float
 val wait_of : t -> rank:int -> vertex:int -> float
 
-(** Per-rank times of one vertex (0 where untouched).  Served from the
-    build-time cache for touched vertices: the returned array is shared
-    and must not be mutated. *)
+(** Element offset of [vertex]'s row in every column ([nprocs] cells
+    wide), for allocation-free slice scans; [None] when no rank reported
+    at [vertex]. *)
+val row_offset : t -> vertex:int -> int option
+
+(** The raw columns behind [row_offset] slices.  Read-only by
+    convention: mutating them corrupts the store. *)
+val times_col : t -> float array
+
+val waits_col : t -> float array
+
+(** Per-rank times of one vertex (0 where untouched) — a fresh copy of
+    the row slice, free for the caller to reorder. *)
 val times_across_ranks : t -> vertex:int -> float array
 
 val waits_across_ranks : t -> vertex:int -> float array
@@ -54,7 +83,8 @@ val waits_across_ranks : t -> vertex:int -> float array
     against. *)
 val total_wait : t -> vertex:int -> float
 
-(** Fraction of ranks reporting at [vertex] (degraded-mode coverage). *)
+(** Fraction of ranks reporting at [vertex] (degraded-mode coverage).
+    Always finite: 0.0 when every rank was lost, never NaN. *)
 val coverage : t -> vertex:int -> float
 
 (** Total sampled time across all ranks and vertices; poisoned
@@ -62,3 +92,15 @@ val coverage : t -> vertex:int -> float
 val total_time : t -> float
 
 val n_comm_edges : t -> int
+
+(** Bytes retained by the store itself (the columns plus dependence
+    tables), beyond the profile it was built from. *)
+val storage_bytes : t -> int
+
+(** Vertices any rank reported on, sorted — the detectors' iteration
+    domain. *)
+val touched_vertices : t -> int list
+
+(** Time-weighted mean membership of the producing session (differs
+    from [nprocs] only for elastic runs). *)
+val effective_nprocs : t -> float

@@ -49,6 +49,15 @@ let touched_vertices t =
     t.vectors;
   Hashtbl.fold (fun vid () acc -> vid :: acc) seen [] |> List.sort compare
 
+(* Visit every recorded (rank, vertex, vector) cell.  Ranks ascend;
+   within a rank the table's iteration order is unspecified, so callers
+   must not depend on vertex order (the columnar PPG ingest writes each
+   cell exactly once, which is order-insensitive). *)
+let iter_cells t f =
+  Array.iteri
+    (fun rank tbl -> Hashtbl.iter (fun vid v -> f ~rank ~vertex:vid v) tbl)
+    t.vectors
+
 (* Values of one vertex across ranks (missing ranks yield None). *)
 let across_ranks t ~vertex =
   Array.map (fun tbl -> Hashtbl.find_opt tbl vertex) t.vectors

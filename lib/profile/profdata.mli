@@ -29,6 +29,11 @@ val icall_resolutions : t -> icall_resolution list
 (** Vertices with data on any rank, sorted. *)
 val touched_vertices : t -> int list
 
+(** Visit every recorded (rank, vertex, vector) cell.  Ranks ascend;
+    within a rank the vertex order is unspecified, so per-cell work must
+    be order-insensitive. *)
+val iter_cells : t -> (rank:int -> vertex:int -> Perfvec.t -> unit) -> unit
+
 (** One vertex's vectors across ranks ([None] where untouched). *)
 val across_ranks : t -> vertex:int -> Perfvec.t option array
 

@@ -1,0 +1,126 @@
+(* Frozen pre-columnar PPG builder, kept as the differential-test oracle.
+
+   This is the boxed, Hashtbl-backed implementation that lib/ppg carried
+   before the columnar-store rework: per-(rank, vertex) Perfvec lookups
+   against the profile's own tables, with per-vertex across-rank arrays
+   frozen into caches at build time.  The equivalence suite in
+   test_ppg.ml builds both this and the production store from the same
+   profile and asserts every accessor digest matches, over the full
+   registry at several scales, clean and faulted.  Do not "improve" this
+   module: its value is that it does not change. *)
+
+open Scalana_psg
+open Scalana_profile
+
+type comm_edge = {
+  send_rank : int;
+  send_vertex : int;
+  has_wait : bool;
+  max_wait : float;
+  hits : int;
+}
+
+type t = {
+  psg : Psg.t;
+  nprocs : int;
+  data : Profdata.t;
+  incoming : (int * int, comm_edge list) Hashtbl.t;
+  coll_late : (int, int) Hashtbl.t;
+  times_cache : (int, float array) Hashtbl.t;
+  waits_cache : (int, float array) Hashtbl.t;
+}
+
+let perf t ~rank ~vertex = Profdata.vector_opt t.data ~rank ~vertex
+
+let time_of t ~rank ~vertex =
+  match perf t ~rank ~vertex with Some v -> v.Perfvec.time | None -> 0.0
+
+let wait_of t ~rank ~vertex =
+  match perf t ~rank ~vertex with Some v -> v.Perfvec.wait | None -> 0.0
+
+let build ~(psg : Psg.t) (data : Profdata.t) =
+  let p2p = Commrec.p2p_edges data.Profdata.comm in
+  let incoming = Hashtbl.create (max 16 (List.length p2p)) in
+  List.iter
+    (fun (e : Commrec.p2p_edge) ->
+      let k = (e.key.recv_rank, e.key.recv_vertex) in
+      let edge =
+        {
+          send_rank = e.key.send_rank;
+          send_vertex = e.key.send_vertex;
+          has_wait = e.has_wait;
+          max_wait = e.max_wait;
+          hits = e.hits;
+        }
+      in
+      let existing =
+        match Hashtbl.find_opt incoming k with Some l -> l | None -> []
+      in
+      Hashtbl.replace incoming k (edge :: existing))
+    p2p;
+  let coll_late = Hashtbl.create 32 in
+  List.iter
+    (fun (r : Commrec.coll_rec) ->
+      let late = Commrec.dominant_late_rank r in
+      if late >= 0 then Hashtbl.replace coll_late r.coll_vertex late)
+    (Commrec.coll_records data.Profdata.comm);
+  let touched = Profdata.touched_vertices data in
+  let nprocs = data.Profdata.nprocs in
+  let times_cache = Hashtbl.create (max 16 (List.length touched)) in
+  let waits_cache = Hashtbl.create (max 16 (List.length touched)) in
+  let t = { psg; nprocs; data; incoming; coll_late; times_cache; waits_cache } in
+  List.iter
+    (fun vertex ->
+      Hashtbl.replace times_cache vertex
+        (Array.init nprocs (fun rank -> time_of t ~rank ~vertex));
+      Hashtbl.replace waits_cache vertex
+        (Array.init nprocs (fun rank -> wait_of t ~rank ~vertex)))
+    touched;
+  t
+
+let incoming_edges t ~rank ~vertex =
+  match Hashtbl.find_opt t.incoming (rank, vertex) with
+  | Some l -> l
+  | None -> []
+
+let waiting_edges t ~rank ~vertex =
+  List.filter (fun e -> e.has_wait) (incoming_edges t ~rank ~vertex)
+
+let critical_edge t ~rank ~vertex =
+  match waiting_edges t ~rank ~vertex with
+  | [] -> None
+  | l ->
+      Some
+        (List.fold_left
+           (fun best e -> if e.max_wait > best.max_wait then e else best)
+           (List.hd l) l)
+
+let coll_late_rank t ~vertex = Hashtbl.find_opt t.coll_late vertex
+
+let times_across_ranks t ~vertex =
+  match Hashtbl.find_opt t.times_cache vertex with
+  | Some a -> a
+  | None -> Array.init t.nprocs (fun rank -> time_of t ~rank ~vertex)
+
+let waits_across_ranks t ~vertex =
+  match Hashtbl.find_opt t.waits_cache vertex with
+  | Some a -> a
+  | None -> Array.init t.nprocs (fun rank -> wait_of t ~rank ~vertex)
+
+let total_wait t ~vertex =
+  Array.fold_left ( +. ) 0.0 (waits_across_ranks t ~vertex)
+
+let coverage t ~vertex = Profdata.coverage t.data ~vertex
+
+let total_time t =
+  Array.init t.nprocs (fun rank ->
+      Hashtbl.fold
+        (fun _ (v : Perfvec.t) acc ->
+          if Float.is_nan v.time || v.time < 0.0 then acc else acc +. v.time)
+        t.data.Profdata.vectors.(rank) 0.0)
+  |> Array.fold_left ( +. ) 0.0
+
+let n_comm_edges t = Hashtbl.length t.incoming
+
+let touched_vertices t = Profdata.touched_vertices t.data
+let effective_nprocs t = t.data.Profdata.effective_nprocs

@@ -104,7 +104,11 @@ let test_pipeline_accessors () =
   List.iter
     (fun loc ->
       check_string "locs point into the program" "zeusmp.mmp" (Loc.file loc))
-    locs
+    locs;
+  (* the columnar stores are live and accounted: every scale holds at
+     least one row of cells *)
+  check_bool "ppg storage accounted" true
+    (Scalana.Pipeline.ppg_storage_bytes pipe > 0)
 
 let test_param_override () =
   (* runtime parameter overrides shrink the run proportionally *)

@@ -103,6 +103,62 @@ let test_nonscalable_flags_waitall_and_bval () =
       check_bool "fraction floor" true (f.fraction >= 0.01))
     pipe.analysis.nonscalable
 
+(* Regression: a session whose ranks were *all* killed leaves behind a
+   nearly empty profile, and the elastic accounting of such a run can
+   leave NaN in [Profdata.effective_nprocs].  [Ppg.coverage] and
+   [Crossscale.effective_scale] must both degrade to finite values — the
+   effective scale falls back to the nominal count — so
+   [Loglog.fit_scaled] never sees NaN on either axis. *)
+let test_killed_all_ranks_finite () =
+  let entry = Scalana_apps.Registry.find "cg" in
+  let scales = [ 4; 8; 16 ] in
+  let runs =
+    List.map
+      (fun nprocs ->
+        let static =
+          Scalana.Static.analyze (entry.Scalana_apps.Registry.make ())
+        in
+        let faults =
+          Scalana_runtime.Faults.plan ~seed:11
+            (List.init nprocs (fun r ->
+                 Scalana_runtime.Faults.kill_rank ~rank:r ~after:1e-9 ()))
+        in
+        let r =
+          Scalana.Prof.run ~faults ~cost:entry.Scalana_apps.Registry.cost
+            static ~nprocs ()
+        in
+        (* simulate the accounting of a fully-lost session *)
+        r.Scalana.Prof.data.Scalana_profile.Profdata.effective_nprocs <-
+          Float.nan;
+        (Scalana.Static.psg static, nprocs, r.Scalana.Prof.data))
+      scales
+  in
+  let psg, _, _ = List.hd runs in
+  let cs = Crossscale.create ~psg (List.map (fun (_, n, d) -> (n, d)) runs) in
+  List.iter
+    (fun n ->
+      let e = Crossscale.effective_scale cs ~nprocs:n in
+      check_bool "effective scale finite" true (Float.is_finite e);
+      check_float "falls back to nominal" (float_of_int n) e)
+    scales;
+  let _, largest = Crossscale.largest cs in
+  (* coverage stays finite on every vertex, including ones nobody
+     survived long enough to report *)
+  List.iter
+    (fun v ->
+      let c = Ppg.coverage largest ~vertex:v in
+      check_bool "coverage finite" true (Float.is_finite c);
+      check_bool "coverage in range" true (c >= 0.0 && c <= 1.0))
+    (Ppg.touched_vertices largest);
+  check_float "absent vertex coverage" 0.0
+    (Ppg.coverage largest ~vertex:999_999);
+  let result = Nonscalable.detect_result cs in
+  List.iter
+    (fun (f : Nonscalable.finding) ->
+      check_bool "slope finite" true (Float.is_finite f.slope);
+      check_bool "score finite" true (Float.is_finite f.score))
+    result.Nonscalable.findings
+
 let test_nonscalable_ignores_scalable_compute () =
   let pipe = Lazy.force zeus_pipeline in
   let labels =
@@ -485,6 +541,8 @@ let () =
             test_nonscalable_flags_waitall_and_bval;
           Alcotest.test_case "ignores scalable compute" `Quick
             test_nonscalable_ignores_scalable_compute;
+          Alcotest.test_case "killed-all-ranks stays finite" `Quick
+            test_killed_all_ranks_finite;
         ] );
       ( "abnormal",
         [

@@ -1,4 +1,8 @@
-(* Tests for PPG construction and the cross-scale container. *)
+(* Tests for PPG construction and the cross-scale container, plus the
+   columnar store's safety net: a differential-equivalence suite that
+   rebuilds every registry profile with the frozen pre-columnar builder
+   (Ppg_reference) and asserts accessor-digest equality, and seeded
+   properties for sparse-coverage round-trips through the columns. *)
 
 open Scalana_mlang
 open Scalana_psg
@@ -142,6 +146,301 @@ let test_crossscale () =
     (fun (n, arr) -> check_int "array width" n (Array.length arr))
     series
 
+(* --- differential equivalence against the frozen pre-columnar builder ---
+
+   Every accessor of the production store, digested and compared against
+   Ppg_reference built from the *same* profile, over the full Table II
+   registry at np in {4, 16, 64}, clean and under a fault plan that
+   exercises every degraded shape the columns must carry: a killed rank
+   (absent cells), a skewed clock (asymmetric values), and poisoned
+   metrics (NaN and negative cells that must survive bit-for-bit).
+   Mirrors the 66-digest engine pin of the simulator rework. *)
+
+(* Everything observable about a PPG, as first-class accessors, so the
+   digest below is computed by one function for both implementations. *)
+type view = {
+  v_nprocs : int;
+  v_touched : int list;
+  v_effective : float;
+  v_total_time : float;
+  v_n_comm_edges : int;
+  v_time_of : rank:int -> vertex:int -> float;
+  v_wait_of : rank:int -> vertex:int -> float;
+  v_times : vertex:int -> float array;
+  v_waits : vertex:int -> float array;
+  v_coverage : vertex:int -> float;
+  v_total_wait : vertex:int -> float;
+  v_incoming : rank:int -> vertex:int -> (int * int * bool * float * int) list;
+  v_critical : rank:int -> vertex:int -> (int * int * bool * float * int) option;
+  v_coll_late : vertex:int -> int option;
+}
+
+let view_of_ppg (p : Ppg.t) =
+  let edge (e : Ppg.comm_edge) =
+    (e.Ppg.send_rank, e.Ppg.send_vertex, e.Ppg.has_wait, e.Ppg.max_wait, e.Ppg.hits)
+  in
+  {
+    v_nprocs = p.Ppg.nprocs;
+    v_touched = Ppg.touched_vertices p;
+    v_effective = Ppg.effective_nprocs p;
+    v_total_time = Ppg.total_time p;
+    v_n_comm_edges = Ppg.n_comm_edges p;
+    v_time_of = (fun ~rank ~vertex -> Ppg.time_of p ~rank ~vertex);
+    v_wait_of = (fun ~rank ~vertex -> Ppg.wait_of p ~rank ~vertex);
+    v_times = (fun ~vertex -> Ppg.times_across_ranks p ~vertex);
+    v_waits = (fun ~vertex -> Ppg.waits_across_ranks p ~vertex);
+    v_coverage = (fun ~vertex -> Ppg.coverage p ~vertex);
+    v_total_wait = (fun ~vertex -> Ppg.total_wait p ~vertex);
+    v_incoming =
+      (fun ~rank ~vertex ->
+        List.map edge (Ppg.incoming_edges p ~rank ~vertex));
+    v_critical =
+      (fun ~rank ~vertex ->
+        Option.map edge (Ppg.critical_edge p ~rank ~vertex));
+    v_coll_late = (fun ~vertex -> Ppg.coll_late_rank p ~vertex);
+  }
+
+let view_of_reference (p : Ppg_reference.t) =
+  let edge (e : Ppg_reference.comm_edge) =
+    ( e.Ppg_reference.send_rank,
+      e.Ppg_reference.send_vertex,
+      e.Ppg_reference.has_wait,
+      e.Ppg_reference.max_wait,
+      e.Ppg_reference.hits )
+  in
+  {
+    v_nprocs = p.Ppg_reference.nprocs;
+    v_touched = Ppg_reference.touched_vertices p;
+    v_effective = Ppg_reference.effective_nprocs p;
+    v_total_time = Ppg_reference.total_time p;
+    v_n_comm_edges = Ppg_reference.n_comm_edges p;
+    v_time_of = (fun ~rank ~vertex -> Ppg_reference.time_of p ~rank ~vertex);
+    v_wait_of = (fun ~rank ~vertex -> Ppg_reference.wait_of p ~rank ~vertex);
+    v_times = (fun ~vertex -> Ppg_reference.times_across_ranks p ~vertex);
+    v_waits = (fun ~vertex -> Ppg_reference.waits_across_ranks p ~vertex);
+    v_coverage = (fun ~vertex -> Ppg_reference.coverage p ~vertex);
+    v_total_wait = (fun ~vertex -> Ppg_reference.total_wait p ~vertex);
+    v_incoming =
+      (fun ~rank ~vertex ->
+        List.map edge (Ppg_reference.incoming_edges p ~rank ~vertex));
+    v_critical =
+      (fun ~rank ~vertex ->
+        Option.map edge (Ppg_reference.critical_edge p ~rank ~vertex));
+    v_coll_late = (fun ~vertex -> Ppg_reference.coll_late_rank p ~vertex);
+  }
+
+(* Digest every accessor over every (vertex, rank) cell, one digest per
+   accessor so a mismatch names the diverging component.  Marshal keeps
+   float bit patterns (NaN included), so the digests pin values to the
+   last bit, not to a print precision. *)
+let component_digests v =
+  (* No_sharing: the boxed reference store can return the same physical
+     float box (the static 0.0) for many cells, which sharing-aware
+     marshaling encodes as back-references; the digest must depend on
+     values alone *)
+  let d x =
+    Digest.to_hex (Digest.string (Marshal.to_string x [ Marshal.No_sharing ]))
+  in
+  let per_vertex f = List.map (fun vertex -> f ~vertex) v.v_touched in
+  let per_cell f =
+    per_vertex (fun ~vertex ->
+        List.init v.v_nprocs (fun rank -> f ~rank ~vertex))
+  in
+  [
+    ( "header",
+      d
+        ( v.v_nprocs,
+          v.v_touched,
+          v.v_effective,
+          v.v_total_time,
+          v.v_n_comm_edges ) );
+    ("times_across_ranks", d (per_vertex v.v_times));
+    ("waits_across_ranks", d (per_vertex v.v_waits));
+    ("coverage", d (per_vertex v.v_coverage));
+    ("total_wait", d (per_vertex v.v_total_wait));
+    ("coll_late_rank", d (per_vertex v.v_coll_late));
+    ("time_of", d (per_cell v.v_time_of));
+    ("wait_of", d (per_cell v.v_wait_of));
+    ("incoming_edges", d (per_cell v.v_incoming));
+    ("critical_edge", d (per_cell v.v_critical));
+  ]
+
+(* Kill + skew + poison: one absent-cell shape, one asymmetric-value
+   shape, and NaN/negative cells the columns must preserve verbatim. *)
+let diff_fault_plan =
+  Faults.plan ~seed:7
+    [
+      Faults.kill_rank ~rank:1 ~after:1e-5 ();
+      Faults.clock_skew ~rank:0 ~factor:1.7;
+      Faults.poison_metric ~prob:0.15 `Nan;
+      Faults.poison_metric ~prob:0.1 `Negative;
+    ]
+
+let profile_entry ?faults (entry : Scalana_apps.Registry.entry) ~nprocs =
+  let prog = entry.Scalana_apps.Registry.make () in
+  let static = Scalana.Static.analyze prog in
+  let r =
+    Scalana.Prof.run ?faults ~cost:entry.Scalana_apps.Registry.cost static
+      ~nprocs ()
+  in
+  (Scalana.Static.psg static, r.Scalana.Prof.data)
+
+let test_differential_registry () =
+  let checked = ref 0 in
+  List.iter
+    (fun (entry : Scalana_apps.Registry.entry) ->
+      List.iter
+        (fun nprocs ->
+          List.iter
+            (fun (mode, faults) ->
+              let psg, data = profile_entry ?faults entry ~nprocs in
+              let columnar = component_digests (view_of_ppg (Ppg.build ~psg data)) in
+              let reference =
+                component_digests
+                  (view_of_reference (Ppg_reference.build ~psg data))
+              in
+              List.iter2
+                (fun (name, r) (name', c) ->
+                  assert (String.equal name name');
+                  check_string
+                    (Printf.sprintf "%s np=%d %s: %s"
+                       entry.Scalana_apps.Registry.name nprocs mode name)
+                    r c)
+                reference columnar;
+              incr checked)
+            [ ("clean", None); ("faulted", Some diff_fault_plan) ])
+        [ 4; 16; 64 ])
+    Scalana_apps.Registry.all;
+  (* the full pin: 11 apps x 3 scales x clean+faulted *)
+  check_int "66 digests compared" 66 !checked
+
+(* --- seeded properties for the columnar store --- *)
+
+(* A hand-filled profile: an arbitrary sparse pattern of (rank, vertex)
+   cells, some carrying NaN/negative poison, fed straight into the
+   build.  The model is a plain association of what was written where. *)
+type cell = { c_rank : int; c_vid : int; c_time : float; c_wait : float }
+
+let prop_nprocs = 8
+
+let cell_arb =
+  let open Prop in
+  let raw =
+    pair (int_range 0 (prop_nprocs - 1))
+      (pair (int_range 0 24) (pair (int_range 0 11) (float_range 0.001 5.0)))
+  in
+  map
+    (fun (r, (vid, (shape, x))) ->
+      let time =
+        match shape with
+        | 0 -> Float.nan  (* poisoned counter *)
+        | 1 -> -.x  (* negative garbage *)
+        | _ -> x
+      in
+      { c_rank = r; c_vid = vid; c_time = time; c_wait = x /. 2.0 })
+    ~show:(fun c ->
+      Printf.sprintf "r%d v%d t=%h w=%h" c.c_rank c.c_vid c.c_time c.c_wait)
+    raw
+
+let cells_arb = Prop.list_of ~max_len:48 cell_arb
+
+(* The PSG handed to the hand-built profiles; the store never reads it
+   for cell queries, so any graph works. *)
+let prop_psg = lazy (fst (profile (chain_program ())))
+
+let build_sparse cells =
+  let data = Profdata.create ~nprocs:prop_nprocs in
+  List.iter
+    (fun c ->
+      let v = Profdata.vector data ~rank:c.c_rank ~vertex:c.c_vid in
+      Perfvec.add_sampled v ~time:c.c_time ~samples:1 ~pmu:Pmu.zero;
+      Perfvec.add_wait v ~wait:c.c_wait)
+    cells;
+  (data, Ppg.build ~psg:(Lazy.force prop_psg) data)
+
+let bits = Int64.bits_of_float
+let same_float a b = bits a = bits b
+
+(* Expected cell values: accumulated sums per (rank, vid), as add_sampled
+   and add_wait leave them. *)
+let model cells =
+  let m = Hashtbl.create 64 in
+  List.iter
+    (fun c ->
+      let t0, w0, n0 =
+        match Hashtbl.find_opt m (c.c_rank, c.c_vid) with
+        | Some x -> x
+        | None -> (0.0, 0.0, 0)
+      in
+      Hashtbl.replace m (c.c_rank, c.c_vid)
+        (t0 +. c.c_time, w0 +. c.c_wait, n0 + 1))
+    cells;
+  m
+
+let prop_sparse_round_trip cells =
+  let _, ppg = build_sparse cells in
+  let m = model cells in
+  (* present cells come back bit-for-bit (NaN and negatives included) *)
+  Hashtbl.iter
+    (fun (rank, vid) (t, w, _) ->
+      if not (same_float t (Ppg.time_of ppg ~rank ~vertex:vid)) then
+        failwith "present time mismatch";
+      if not (same_float w (Ppg.wait_of ppg ~rank ~vertex:vid)) then
+        failwith "present wait mismatch")
+    m;
+  (* absent cells are NaN-safe zeros, never garbage *)
+  for vid = 0 to 24 do
+    for rank = 0 to prop_nprocs - 1 do
+      if not (Hashtbl.mem m (rank, vid)) then begin
+        let t = Ppg.time_of ppg ~rank ~vertex:vid in
+        let w = Ppg.wait_of ppg ~rank ~vertex:vid in
+        if not (same_float t 0.0 && same_float w 0.0) then
+          failwith "absent cell not a clean zero"
+      end
+    done;
+    (* coverage counts exactly the present ranks and stays finite *)
+    let present = ref 0 in
+    for rank = 0 to prop_nprocs - 1 do
+      if Hashtbl.mem m (rank, vid) then incr present
+    done;
+    let cov = Ppg.coverage ppg ~vertex:vid in
+    if Float.is_nan cov then failwith "coverage NaN";
+    if abs_float (cov -. (float_of_int !present /. float_of_int prop_nprocs))
+       > 1e-12
+    then failwith "coverage count wrong"
+  done;
+  true
+
+let prop_row_gather_equals_cells cells =
+  let _, ppg = build_sparse cells in
+  List.for_all
+    (fun vid ->
+      let times = Ppg.times_across_ranks ppg ~vertex:vid in
+      let waits = Ppg.waits_across_ranks ppg ~vertex:vid in
+      Array.length times = prop_nprocs
+      && Array.length waits = prop_nprocs
+      && List.for_all
+           (fun rank ->
+             same_float times.(rank) (Ppg.time_of ppg ~rank ~vertex:vid)
+             && same_float waits.(rank) (Ppg.wait_of ppg ~rank ~vertex:vid))
+           (List.init prop_nprocs Fun.id))
+    (Ppg.touched_vertices ppg)
+
+(* Sanitize over column rows: idempotent, and physically the same array
+   when the input is already clean. *)
+let prop_sanitize_idempotent cells =
+  let _, ppg = build_sparse cells in
+  List.for_all
+    (fun vid ->
+      let row = Ppg.times_across_ranks ppg ~vertex:vid in
+      let clean1, dropped1 = Scalana_detect.Aggregate.sanitize row in
+      let clean2, dropped2 = Scalana_detect.Aggregate.sanitize clean1 in
+      dropped2 = 0
+      && clean2 == clean1
+      && (dropped1 > 0 || clean1 == row)
+      && Array.for_all (fun x -> not (Float.is_nan x || x < 0.0)) clean1)
+    (Ppg.touched_vertices ppg)
+
 let () =
   Alcotest.run "ppg"
     [
@@ -155,4 +454,18 @@ let () =
           Alcotest.test_case "per-rank times" `Quick test_ppg_times;
         ] );
       ("crossscale", [ Alcotest.test_case "container" `Quick test_crossscale ]);
+      ( "differential",
+        [
+          Alcotest.test_case "registry x scales x clean+faulted" `Quick
+            test_differential_registry;
+        ] );
+      ( "columnar-props",
+        [
+          Prop.test ~count:60 "sparse coverage round-trips" cells_arb
+            prop_sparse_round_trip;
+          Prop.test ~count:60 "row gather equals cell reads" cells_arb
+            prop_row_gather_equals_cells;
+          Prop.test ~count:60 "sanitize idempotent over rows" cells_arb
+            prop_sanitize_idempotent;
+        ] );
     ]
