@@ -84,10 +84,19 @@ type e2e_row = {
   e_ppg_bytes : int;  (* columnar stores across all scales *)
 }
 
+(* ledger append + load + self-diff walls over an n-entry history *)
+type history_data = {
+  hist_entries : int;
+  append_s : float;  (* total wall of the n appends *)
+  load_s : float;  (* one load of the full ledger *)
+  hdiff_s : float;  (* one compare_summaries over the cg summary *)
+}
+
 let speedup_results : speedup_data option ref = ref None
 let engine_results : engine_row list ref = ref []
 let ppg_results : ppg_row list ref = ref []
 let e2e_result : e2e_row option ref = ref None
+let history_results : history_data option ref = ref None
 
 let write_bench_json () =
   let oc = open_out "BENCH_pipeline.json" in
@@ -172,6 +181,21 @@ let write_bench_json () =
         \  \"sweep\": [\n%s\n  ]%s\n  }"
         (String.concat ",\n" (List.map row rows))
         e2e);
+  (match !history_results with
+  | None -> ()
+  | Some h ->
+      add
+        "  \"history\": {\n\
+        \  \"bench\": \"history_ledger\",\n\
+        \  \"program\": \"cg\",\n\
+        \  \"entries\": %d,\n\
+        \  \"append_seconds\": %.6f,\n\
+        \  \"append_seconds_per_entry\": %.9f,\n\
+        \  \"load_seconds\": %.6f,\n\
+        \  \"diff_seconds\": %.6f\n  }"
+        h.hist_entries h.append_s
+        (h.append_s /. float_of_int h.hist_entries)
+        h.load_s h.hdiff_s);
   Printf.fprintf oc "{\n%s\n}\n" (String.concat ",\n" (List.rev !sections));
   close_out oc
 
@@ -302,9 +326,55 @@ let ppg_memory () =
   Printf.printf "  wrote BENCH_pipeline.json (ppg sweep, %d scales)\n%!"
     (List.length rows)
 
+let history_ledger () =
+  Util.section "History ledger: append/load/diff walls (cg, 50 entries)";
+  let entry = Scalana_apps.Registry.find "cg" in
+  let pipe, analyze_s =
+    timed (fun () ->
+        Scalana.Pipeline.run ~cost:entry.cost ~scales:[ 4; 8; 16 ]
+          (entry.make ()))
+  in
+  Printf.printf "  pipeline (analysis input):        %8.3fs\n%!" analyze_s;
+  let n = 50 in
+  let path = Filename.temp_file "scalana_bench_history" ".jsonl" in
+  Sys.remove path;
+  let row =
+    Scalana.Pipeline.history_entry ~commit:"bench000" ~label:"bench" pipe
+  in
+  let (), append_s =
+    timed (fun () ->
+        for i = 0 to n - 1 do
+          (* distinct timestamps, as a real ledger would accumulate *)
+          Scalana_obs.History.append ~path
+            { row with Scalana_obs.History.h_time = float_of_int i }
+        done)
+  in
+  let loaded, load_s = timed (fun () -> Scalana_obs.History.load ~path) in
+  assert (List.length loaded.Scalana_obs.History.entries = n);
+  assert (loaded.Scalana_obs.History.dropped = 0);
+  let summary = Scalana.Pipeline.diff_summary ~label:"bench" pipe in
+  let diff, hdiff_s =
+    timed (fun () ->
+        Scalana_detect.Diff.compare_summaries ~base:summary ~cand:summary ())
+  in
+  assert (not (Scalana_detect.Diff.has_regressions diff));
+  Sys.remove path;
+  Printf.printf
+    "  append x%-3d %8.3fs total (%7.1f us/entry)\n\
+    \  load        %8.3fs (%d rows, 0 dropped)\n\
+    \  self-diff   %8.3fs (%d vertices aligned)\n\
+     %!"
+    n append_s
+    (append_s /. float_of_int n *. 1e6)
+    load_s n hdiff_s diff.Scalana_detect.Diff.n_unchanged;
+  history_results := Some { hist_entries = n; append_s; load_s; hdiff_s };
+  write_bench_json ();
+  Printf.printf "  wrote BENCH_pipeline.json (history ledger)\n%!"
+
 let all : (string * (unit -> unit)) list =
   [
     ("pipeline_parallel_speedup", pipeline_parallel);
     ("engine_throughput", engine_throughput);
     ("ppg_memory", ppg_memory);
+    ("history", history_ledger);
   ]

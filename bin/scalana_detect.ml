@@ -8,11 +8,28 @@
 open Cmdliner
 
 let run session abnorm_thd domains follow_def_use static_crosscheck elastic
-    trace metrics_out wait_states rank_trace timeline_np =
+    trace metrics_out wait_states rank_trace timeline_np history history_label
+    history_file =
   Cli_common.run_cli @@ fun () ->
   (* observability on before the session loads, so artifact salvage work
      is on the trace too; the report then carries a pipeline-cost section *)
   if trace <> None || metrics_out <> None then Scalana_obs.Obs.enable ();
+  let history_on = history || history_label <> None in
+  (* prior ledger entries load before detection so the report can render
+     its trend section; this run's own row is appended afterwards *)
+  let prior =
+    if history_on then begin
+      let loaded = Scalana_obs.History.load ~path:history_file in
+      if loaded.Scalana_obs.History.dropped > 0 then
+        Printf.eprintf
+          "scalana: warning: %d damaged history line%s skipped in %s\n%!"
+          loaded.Scalana_obs.History.dropped
+          (if loaded.Scalana_obs.History.dropped = 1 then "" else "s")
+          history_file;
+      loaded.Scalana_obs.History.entries
+    end
+    else []
+  in
   let s = Scalana.Artifact.load_session session in
   List.iter
     (fun i ->
@@ -45,11 +62,22 @@ let run session abnorm_thd domains follow_def_use static_crosscheck elastic
     end
     else None
   in
-  let pipeline = Scalana.Pipeline.detect_session ~config ?timeline s in
+  let pipeline =
+    Scalana.Pipeline.detect_session ~config ?timeline ~history:prior s
+  in
   print_string pipeline.report;
   Printf.printf "\npost-mortem detection cost: %.3fs (%d domain%s)\n"
     pipeline.detect_seconds domains
     (if domains = 1 then "" else "s");
+  if history_on then begin
+    let entry =
+      Scalana.Pipeline.history_entry ?label:history_label pipeline
+    in
+    Scalana_obs.History.append ~path:history_file entry;
+    Printf.eprintf "scalana: history entry appended to %s (%d entries)\n%!"
+      history_file
+      (List.length prior + 1)
+  end;
   (match trace with
   | Some path ->
       Scalana_obs.Obs.export_trace ~path;
@@ -59,8 +87,16 @@ let run session abnorm_thd domains follow_def_use static_crosscheck elastic
   | None -> ());
   (match metrics_out with
   | Some path ->
-      Scalana_obs.Obs.export_metrics ~path;
-      Printf.eprintf "scalana: metrics written to %s\n%!" path
+      (* .prom selects the scrapeable OpenMetrics text format; anything
+         else keeps the JSON dump *)
+      if Filename.check_suffix path ".prom" then begin
+        Scalana_obs.Obs.export_openmetrics ~path;
+        Printf.eprintf "scalana: OpenMetrics written to %s\n%!" path
+      end
+      else begin
+        Scalana_obs.Obs.export_metrics ~path;
+        Printf.eprintf "scalana: metrics written to %s\n%!" path
+      end
   | None -> ());
   (match (rank_trace, timeline) with
   | Some path, Some tl ->
@@ -128,7 +164,32 @@ let metrics_out_arg =
     & info [ "metrics-out" ] ~docv:"FILE"
         ~doc:
           "Write the pipeline's self-metrics (counters, gauges, duration \
-           histograms, per-phase totals) as JSON to $(docv).")
+           histograms, per-phase totals) to $(docv): OpenMetrics/Prometheus \
+           text when $(docv) ends in $(b,.prom), JSON otherwise.")
+
+let history_arg =
+  Arg.(
+    value & flag
+    & info [ "history" ]
+        ~doc:
+          "Append a commit-stamped summary row of this detect run (label, \
+           scales, top-k vertex slopes, wait totals, quality flags) to the \
+           history ledger, and render a trend section over the prior \
+           entries when there are any.")
+
+let history_label_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "history-label" ] ~docv:"LABEL"
+        ~doc:"Label stored with the history row (implies --history).")
+
+let history_file_arg =
+  Arg.(
+    value
+    & opt string Scalana_obs.History.default_path
+    & info [ "history-file" ] ~docv:"FILE"
+        ~doc:"History ledger path (JSONL, one CRC-guarded row per line).")
 
 let wait_states_arg =
   Arg.(
@@ -170,6 +231,7 @@ let cmd =
       const run $ Cli_common.session_arg $ Cli_common.abnorm_thd_arg
       $ Cli_common.domains_arg $ follow_def_use_arg $ static_crosscheck_arg
       $ elastic_arg $ trace_arg $ metrics_out_arg $ wait_states_arg
-      $ rank_trace_arg $ timeline_np_arg)
+      $ rank_trace_arg $ timeline_np_arg $ history_arg $ history_label_arg
+      $ history_file_arg)
 
 let () = exit (Cmd.eval' cmd)

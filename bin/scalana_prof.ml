@@ -4,11 +4,27 @@
 
 open Cmdliner
 
-let run session nprocs freq measure_overhead =
+let run session nprocs freq measure_overhead inject_delay inject_ranks
+    inject_every =
   Cli_common.run_cli @@ fun () ->
   let static = Scalana.Artifact.load_static session in
   let entry_cost = Cli_common.registry_cost static.Scalana.Static.program in
   let config = { Scalana.Config.default with sampling_freq = freq } in
+  (* deterministic perturbation of this one run: every computation (on
+     the selected ranks) takes [--inject-delay] extra seconds, so a
+     session profiled with it regresses reproducibly against a clean
+     one — the seeded-fault half of a scalana-diff regression gate *)
+  let inject =
+    match inject_delay with
+    | None -> Scalana_runtime.Inject.empty
+    | Some d ->
+        if d < 0.0 then failwith "--inject-delay must be non-negative";
+        let ranks =
+          match inject_ranks with [] -> None | ranks -> Some ranks
+        in
+        Scalana_runtime.Inject.create
+          [ Scalana_runtime.Inject.delay ?ranks ~every:inject_every d ]
+  in
   let run =
     (* elastic built-ins run the epoch driver: ranks leave/join per the
        registry plan and the stored profile carries the membership
@@ -18,8 +34,8 @@ let run session nprocs freq measure_overhead =
         Scalana.Prof.run_elastic ~config ~cost:entry_cost ~plan static ~nprocs
           ()
     | None ->
-        Scalana.Prof.run ~config ~cost:entry_cost ~measure_overhead static
-          ~nprocs ()
+        Scalana.Prof.run ~config ~cost:entry_cost ~inject ~measure_overhead
+          static ~nprocs ()
   in
   Scalana.Artifact.save_run session run;
   (* re-save the static artifact: indirect-call refinement mutates it *)
@@ -49,11 +65,37 @@ let overhead_arg =
     & info [ "measure-overhead" ]
         ~doc:"Also run uninstrumented and report the overhead percentage.")
 
+let inject_delay_arg =
+  Arg.(
+    value
+    & opt (some float) None
+    & info [ "inject-delay" ] ~docv:"SEC"
+        ~doc:
+          "Deterministically delay every computation by $(docv) seconds \
+           during this profiling run (on the --inject-ranks ranks, every \
+           --inject-every executions).  The stored profile regresses \
+           reproducibly against a clean session — the seeded-fault input \
+           of a $(b,scalana-diff) regression gate.")
+
+let inject_ranks_arg =
+  Arg.(
+    value
+    & opt (list int) []
+    & info [ "inject-ranks" ] ~docv:"R,S,..."
+        ~doc:"Ranks --inject-delay applies to (default: all).")
+
+let inject_every_arg =
+  Arg.(
+    value & opt int 1
+    & info [ "inject-every" ] ~docv:"K"
+        ~doc:"Apply --inject-delay on every $(docv)-th execution.")
+
 let cmd =
   Cmd.v
     (Cmd.info "scalana-prof" ~exits:Cli_common.exits
        ~doc:"Sampling-based profiling run (runtime)")
     Term.(
-      const run $ Cli_common.session_arg $ np_arg $ freq_arg $ overhead_arg)
+      const run $ Cli_common.session_arg $ np_arg $ freq_arg $ overhead_arg
+      $ inject_delay_arg $ inject_ranks_arg $ inject_every_arg)
 
 let () = exit (Cmd.eval' cmd)

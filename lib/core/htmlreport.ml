@@ -402,6 +402,38 @@ let render (pipe : Pipeline.t) =
         out "</table>"
       end)
     pipe.analysis.Rootcause.elastic;
+
+  (* cross-session trend, only when a history ledger was loaded *)
+  (match pipe.Pipeline.history with
+  | [] -> ()
+  | entries ->
+      let module H = Scalana_obs.History in
+      out "<h2>Trend (history ledger, %d entries)</h2>"
+        (List.length entries);
+      let first = List.hd entries in
+      let latest = List.nth entries (List.length entries - 1) in
+      out
+        "<p class=\"meta\">commits %s .. %s · sparkline is the fitted \
+         log-log slope per tracked vertex, oldest entry first</p>"
+        (esc first.H.h_commit) (esc latest.H.h_commit);
+      out "<table><tr><th>vertex</th><th>slope trend</th>\
+           <th>latest slope</th></tr>";
+      List.iter
+        (fun key ->
+          let series = H.slope_trend entries ~key in
+          let latest_slope =
+            List.fold_left
+              (fun acc v -> match v with Some _ -> v | None -> acc)
+              None series
+          in
+          out "<tr><td>%s</td><td><code>%s</code></td><td>%s</td></tr>"
+            (esc key)
+            (esc (H.sparkline series))
+            (match latest_slope with
+            | Some v -> Printf.sprintf "%+.2f" v
+            | None -> "—"))
+        (H.tracked_vertices entries);
+      out "</table>");
   out "</body></html>";
   Buffer.contents buf
 

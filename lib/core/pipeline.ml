@@ -30,6 +30,9 @@ type t = {
       (* per-phase self-observability summary; [] unless tracing is on *)
   timeline : Scalana_profile.Timeline.t option;
       (* per-rank timeline at the largest scale; None unless requested *)
+  history : Scalana_obs.History.entry list;
+      (* prior ledger entries behind the report's trend section; []
+         unless the caller loaded a ledger (--history) *)
   report : string;
 }
 
@@ -133,7 +136,7 @@ let assemble_quality ~artifact_issues ~dropped_scales runs
    and per-vertex fits out over [pool]. *)
 let detect_with ?(config = Config.default) ?pool
     ?(artifact_issues : Quality.artifact_issue list = [])
-    ?(dropped_scales = []) ?timeline (static : Static.t)
+    ?(dropped_scales = []) ?timeline ?(history = []) (static : Static.t)
     (runs : (int * Prof.run) list) =
   let t0 = Unix.gettimeofday () in
   let crossscale, analysis =
@@ -203,7 +206,7 @@ let detect_with ?(config = Config.default) ?pool
     Scalana_obs.Obs.with_span "report.render" @@ fun () ->
     Report.render ~program:static.Static.program
       ~predicted_locs:(List.map (fun (f : Lint.finding) -> f.Lint.loc) lint)
-      ~quality ~phase_costs
+      ~quality ~phase_costs ~history
       ~ppg:(snd (Crossscale.largest crossscale))
       ~psg:(Static.psg static) analysis
   in
@@ -217,18 +220,19 @@ let detect_with ?(config = Config.default) ?pool
     detect_seconds;
     phase_costs;
     timeline;
+    history;
     report;
   }
 
 let detect ?(config = Config.default) ?artifact_issues ?dropped_scales
-    ?timeline (static : Static.t) (runs : (int * Prof.run) list) =
+    ?timeline ?history (static : Static.t) (runs : (int * Prof.run) list) =
   Pool.with_pool ~size:config.Config.analysis_domains (fun pool ->
       detect_with ~config ?pool ?artifact_issues ?dropped_scales ?timeline
-        static runs)
+        ?history static runs)
 
 (* Detection over a loaded session: salvage issues found by the artifact
    reader become data-quality entries. *)
-let detect_session ?config ?timeline (session : Artifact.session) =
+let detect_session ?config ?timeline ?history (session : Artifact.session) =
   Scalana_obs.Obs.with_span "pipeline.detect_session" @@ fun () ->
   let artifact_issues =
     List.map
@@ -240,7 +244,7 @@ let detect_session ?config ?timeline (session : Artifact.session) =
         })
       session.Artifact.issues
   in
-  detect ?config ~artifact_issues ?timeline session.Artifact.static
+  detect ?config ~artifact_issues ?timeline ?history session.Artifact.static
     session.Artifact.runs
 
 (* The per-scale profiled runs are independent — and may therefore fan
@@ -310,6 +314,60 @@ let ppg_storage_bytes t =
   List.fold_left
     (fun acc (_, ppg) -> acc + Ppg.storage_bytes ppg)
     0 t.crossscale.Crossscale.runs
+
+(* The session summarised for cross-session diffing: per-vertex slopes,
+   times, waits and coverage, self-contained (no session access needed
+   to compare two of them).  [strategy] defaults to the detector's
+   default aggregation. *)
+let diff_summary ?label ?strategy t =
+  Diff.summarize ?label ?strategy ~psg:(Static.psg t.static)
+    ~crossscale:t.crossscale ~quality:t.quality
+    ?waitstate:t.analysis.Rootcause.waitstate
+    ~program:t.static.Static.program.Ast.pname ()
+
+(* One commit-stamped ledger row for this detect run: the top-k
+   non-scalable slopes keyed the way Diff aligns vertices, wait-class
+   totals when a timeline replay ran (the summed sampled wait
+   otherwise), and the quality flags.  [time]/[commit] default to now /
+   the checked-out commit; tests pass both for determinism. *)
+let history_entry ?time ?commit ?(label = "") t =
+  let module H = Scalana_obs.History in
+  let psg = Static.psg t.static in
+  let slopes =
+    List.map
+      (fun (f : Nonscalable.finding) ->
+        ( Diff.key_string (Diff.key_of_vertex psg f.Nonscalable.vertex),
+          f.Nonscalable.slope ))
+      t.analysis.Rootcause.nonscalable
+  in
+  let waits =
+    match t.analysis.Rootcause.waitstate with
+    | Some ws ->
+        List.map
+          (fun (c, total) -> (Waitstate.class_name c, total))
+          ws.Waitstate.class_totals
+    | None ->
+        let _, largest = Crossscale.largest t.crossscale in
+        let total =
+          List.fold_left
+            (fun acc v -> acc +. Ppg.total_wait largest ~vertex:v)
+            0.0
+            (Ppg.touched_vertices largest)
+        in
+        [ ("sampled", total) ]
+  in
+  {
+    H.h_time = (match time with Some v -> v | None -> Unix.gettimeofday ());
+    h_commit = (match commit with Some c -> c | None -> H.current_commit ());
+    h_label = label;
+    h_program = t.static.Static.program.Ast.pname;
+    h_scales = Crossscale.scales t.crossscale;
+    h_slopes = slopes;
+    h_waits = waits;
+    h_degraded = degraded t;
+    h_coverage = t.quality.Quality.rank_coverage;
+    h_detect_seconds = t.detect_seconds;
+  }
 
 (* Locations of the reported root causes, best first. *)
 let root_cause_locs t =

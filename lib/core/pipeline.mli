@@ -36,6 +36,10 @@ type t = {
           [None] unless requested (e.g. [run ~timeline:true] or
           [scalana-detect --wait-states]), and then the report carries a
           wait-state section *)
+  history : Scalana_obs.History.entry list;
+      (** prior ledger entries behind the report's trend section —
+          loaded by the caller (e.g. [scalana-detect --history]); [[]]
+          (the default) leaves the report byte-identical *)
   report : string;
 }
 
@@ -59,12 +63,14 @@ val rank_timeline :
     (damage found while loading) and [dropped_scales] (scales that never
     ran) flow into [quality].  [timeline] attaches a captured rank
     timeline: its wait-state replay feeds the analysis (per-cause
-    evidence) and the report. *)
+    evidence) and the report.  [history] (prior ledger entries) adds
+    the trend section to the report. *)
 val detect :
   ?config:Config.t ->
   ?artifact_issues:Quality.artifact_issue list ->
   ?dropped_scales:int list ->
   ?timeline:Scalana_profile.Timeline.t ->
+  ?history:Scalana_obs.History.entry list ->
   Static.t ->
   (int * Prof.run) list ->
   t
@@ -73,6 +79,7 @@ val detect :
     {!Artifact.load_session} become data-quality entries. *)
 val detect_session :
   ?config:Config.t -> ?timeline:Scalana_profile.Timeline.t ->
+  ?history:Scalana_obs.History.entry list ->
   Artifact.session -> t
 
 (** End to end: static analysis, one profiled run per scale, detection.
@@ -110,6 +117,27 @@ val degraded : t -> bool
 (** Bytes held by the columnar PPG stores across every profiled scale —
     the analysis working set the detectors scan. *)
 val ppg_storage_bytes : t -> int
+
+(** The analysed session summarised for cross-session diffing
+    ({!Scalana_detect.Diff}): per-vertex slopes recomputed for every
+    touched vertex, plus times, waits and coverage — self-contained,
+    so two summaries compare without re-opening the sessions.
+    [strategy] defaults to the detector's default aggregation. *)
+val diff_summary :
+  ?label:string -> ?strategy:Aggregate.strategy -> t -> Diff.summary
+
+(** One commit-stamped ledger row for this detect run: label, scales,
+    the top-k non-scalable slopes (keyed as {!Scalana_detect.Diff}
+    aligns vertices), wait-class totals (the summed sampled wait when
+    no timeline replay ran) and quality flags.  [time] and [commit]
+    default to now and the checked-out commit — pass both for
+    deterministic output. *)
+val history_entry :
+  ?time:float ->
+  ?commit:string ->
+  ?label:string ->
+  t ->
+  Scalana_obs.History.entry
 
 val root_cause_locs : t -> Loc.t list
 val root_cause_labels : t -> string list

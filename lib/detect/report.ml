@@ -171,6 +171,35 @@ let pp_elastic ppf (elastic : (int * Scalana_runtime.Elastic.info) list) =
         (E.recovery_seconds info))
     elastic
 
+(* Cross-session trend from the history ledger; rendered only when the
+   caller loaded prior entries (--history), so default reports are
+   untouched.  One sparkline per tracked vertex, oldest entry first —
+   a vertex a given entry does not track leaves a gap. *)
+let pp_trend ppf = function
+  | [] -> ()
+  | entries ->
+      let module H = Scalana_obs.History in
+      let n = List.length entries in
+      Fmt.pf ppf "@.-- trend (history ledger, %d entr%s) --@." n
+        (if n = 1 then "y" else "ies");
+      let first = List.hd entries in
+      let latest_entry = List.nth entries (n - 1) in
+      Fmt.pf ppf "  commits %s .. %s@." first.H.h_commit
+        latest_entry.H.h_commit;
+      List.iter
+        (fun key ->
+          let series = H.slope_trend entries ~key in
+          let latest =
+            List.fold_left
+              (fun acc v -> match v with Some _ -> v | None -> acc)
+              None series
+          in
+          Fmt.pf ppf "  %-40s %s%s@." key (H.sparkline series)
+            (match latest with
+            | Some v -> Printf.sprintf "  latest %+.2f" v
+            | None -> ""))
+        (H.tracked_vertices entries)
+
 (* The pipeline's own per-phase cost, from the self-observability layer;
    rendered only when tracing was on, so default reports are untouched. *)
 let pp_phase_costs ppf = function
@@ -184,7 +213,8 @@ let pp_phase_costs ppf = function
         phases
 
 let render ?program ?(predicted_locs = []) ?(quality = Quality.clean)
-    ?(phase_costs = []) ?ppg (analysis : Rootcause.analysis) ~psg =
+    ?(phase_costs = []) ?ppg ?(history = []) (analysis : Rootcause.analysis)
+    ~psg =
   let buf = Buffer.create 2048 in
   let ppf = Fmt.with_buffer buf in
   Fmt.pf ppf "=== ScalAna scaling-loss report ===@.";
@@ -236,6 +266,7 @@ let render ?program ?(predicted_locs = []) ?(quality = Quality.clean)
     analysis.Rootcause.waitstate;
   if analysis.Rootcause.elastic <> [] then
     pp_elastic ppf analysis.Rootcause.elastic;
+  pp_trend ppf history;
   pp_phase_costs ppf phase_costs;
   Fmt.flush ppf ();
   Buffer.contents buf

@@ -14,6 +14,18 @@ val pp_cause :
 val predicted :
   psg:Scalana_psg.Psg.t -> locs:Scalana_mlang.Loc.t list -> int -> bool
 
+(** The "-- trend --" section: one ASCII sparkline of the fitted slope
+    per vertex tracked in the given ledger entries (oldest first).
+    Prints nothing on [[]]. *)
+val pp_trend :
+  Format.formatter -> Scalana_obs.History.entry list -> unit
+
+(** The "-- pipeline cost --" section over [(phase, calls, total
+    seconds)] rows; prints nothing on [[]].  Exposed so [scalana-diff]
+    can render its own cost with the same layout. *)
+val pp_phase_costs :
+  Format.formatter -> (string * int * float) list -> unit
+
 (** [render analysis ~psg] — with [predicted_locs] (static-lint hit
     locations), non-scalable vertices the linter anticipated are marked
     ["[predicted statically]"].  A non-clean [quality] prepends a data
@@ -32,13 +44,16 @@ val predicted :
     annotation, a cross-check section (with model-mismatch rows)
     follows the ranking, and causes whose backtracking path the model
     confirms gain a raised-confidence line; [None] (the default) leaves
-    the report byte-identical. *)
+    the report byte-identical.  A non-empty [history] (prior ledger
+    entries, oldest first) appends the trend section; the default [[]]
+    leaves the report byte-identical. *)
 val render :
   ?program:Scalana_mlang.Ast.program ->
   ?predicted_locs:Scalana_mlang.Loc.t list ->
   ?quality:Quality.t ->
   ?phase_costs:(string * int * float) list ->
   ?ppg:Scalana_ppg.Ppg.t ->
+  ?history:Scalana_obs.History.entry list ->
   Rootcause.analysis ->
   psg:Scalana_psg.Psg.t ->
   string

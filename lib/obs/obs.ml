@@ -622,7 +622,10 @@ let trace_json () =
             [
               ( "args",
                 Json.Obj
-                  (List.map (fun (k, v) -> (k, Json.Str v)) sp.sp_args) );
+                  (List.map
+                     (fun (k, v) -> (k, Json.Str v))
+                     (List.sort (fun (a, _) (b, _) -> compare a b) sp.sp_args))
+              );
             ]))
       sps
   in
@@ -682,6 +685,8 @@ let metrics_json () =
         Json.Obj (List.map (fun (k, h) -> (k, histo h)) snap.Metrics.histograms)
       );
       ( "phases",
+        (* The report sorts phases by cost; the exported file sorts them
+           by name so two runs of the same pipeline diff cleanly. *)
         Json.Arr
           (List.map
              (fun (name, calls, total) ->
@@ -691,7 +696,9 @@ let metrics_json () =
                    ("calls", Json.Num (float_of_int calls));
                    ("total_seconds", Json.Num total);
                  ])
-             (phase_summary ())) );
+             (List.sort
+                (fun (an, _, _) (bn, _, _) -> compare an bn)
+                (phase_summary ()))) );
     ]
 
 let write_file path contents =
@@ -704,3 +711,97 @@ let write_file path contents =
 
 let export_trace ~path = write_file path (Json.to_string (trace_json ()))
 let export_metrics ~path = write_file path (Json.to_string (metrics_json ()))
+
+(* --- OpenMetrics / Prometheus text exposition --- *)
+
+(* Registry names use dots ("waitstate.late_sender_seconds"); Prometheus
+   names may not.  Map every character outside [a-zA-Z0-9_:] to '_' and
+   prefix the application namespace. *)
+let om_name name =
+  let buf = Buffer.create (String.length name + 8) in
+  Buffer.add_string buf "scalana_";
+  String.iter
+    (fun c ->
+      match c with
+      | 'a' .. 'z' | 'A' .. 'Z' | '0' .. '9' | '_' | ':' ->
+          Buffer.add_char buf c
+      | _ -> Buffer.add_char buf '_')
+    name;
+  Buffer.contents buf
+
+let om_float v =
+  if Float.is_integer v && Float.abs v < 1e15 then Printf.sprintf "%.0f" v
+  else Printf.sprintf "%.12g" v
+
+(* Label values: escape backslash, double quote and newline per the
+   exposition-format grammar. *)
+let om_label_value s =
+  let buf = Buffer.create (String.length s) in
+  String.iter
+    (fun c ->
+      match c with
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\n' -> Buffer.add_string buf "\\n"
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+let openmetrics_string () =
+  let snap = Metrics.snapshot () in
+  let buf = Buffer.create 4096 in
+  let line fmt = Printf.ksprintf (fun s -> Buffer.add_string buf s) fmt in
+  List.iter
+    (fun (name, v) ->
+      let n = om_name name in
+      line "# TYPE %s counter\n" n;
+      line "%s_total %d\n" n v)
+    snap.Metrics.counters;
+  List.iter
+    (fun (name, v) ->
+      let n = om_name name in
+      line "# TYPE %s gauge\n" n;
+      line "%s %s\n" n (om_float v))
+    snap.Metrics.gauges;
+  List.iter
+    (fun (name, (h : Metrics.histo)) ->
+      let n = om_name name in
+      line "# TYPE %s histogram\n" n;
+      let cumulative = ref 0 in
+      Array.iteri
+        (fun i bound ->
+          cumulative := !cumulative + h.h_buckets.(i);
+          line "%s_bucket{le=\"%g\"} %d\n" n bound !cumulative)
+        Metrics.bucket_bounds;
+      line "%s_bucket{le=\"+Inf\"} %d\n" n h.h_count;
+      line "%s_sum %s\n" n (om_float h.h_sum);
+      line "%s_count %d\n" n h.h_count)
+    snap.Metrics.histograms;
+  let phases =
+    List.sort (fun (an, _, _) (bn, _, _) -> compare an bn) (phase_summary ())
+  in
+  if phases <> [] then begin
+    line "# TYPE scalana_phase_seconds counter\n";
+    List.iter
+      (fun (name, _, total) ->
+        line "scalana_phase_seconds_total{phase=\"%s\"} %s\n"
+          (om_label_value name) (om_float total))
+      phases;
+    line "# TYPE scalana_phase_calls counter\n";
+    List.iter
+      (fun (name, calls, _) ->
+        line "scalana_phase_calls_total{phase=\"%s\"} %d\n"
+          (om_label_value name) calls)
+      phases
+  end;
+  (* every exposition line, the EOF marker included, ends in \n *)
+  Buffer.add_string buf "# EOF\n";
+  Buffer.contents buf
+
+(* not [write_file]: the exposition already ends in \n, and a blank line
+   after # EOF is invalid OpenMetrics *)
+let export_openmetrics ~path =
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () -> output_string oc (openmetrics_string ()))

@@ -180,8 +180,23 @@ val phase_summary : unit -> (string * int * float) list
     naming one track per domain.  Loads in Perfetto / about:tracing. *)
 val trace_json : unit -> Json.t
 
-(** Flat metrics document: counters, gauges and histograms by name. *)
+(** Flat metrics document: counters, gauges and histograms by name.
+    Object keys and the ["phases"] array are sorted by name, so two
+    exports of the same pipeline diff cleanly. *)
 val metrics_json : unit -> Json.t
+
+(** The metrics registry in OpenMetrics / Prometheus text exposition
+    format: counters as [<name>_total], gauges plain, histograms as
+    cumulative [_bucket{le="..."}] series over {!Metrics.bucket_bounds}
+    plus [_sum]/[_count], and the {!phase_summary} rows as
+    [scalana_phase_seconds_total{phase="..."}] /
+    [scalana_phase_calls_total{phase="..."}].  Registry names are
+    prefixed with [scalana_] and characters outside the Prometheus
+    grammar are mapped to ['_'].  Ends with the [# EOF] terminator. *)
+val openmetrics_string : unit -> string
 
 val export_trace : path:string -> unit
 val export_metrics : path:string -> unit
+
+(** Write {!openmetrics_string} to [path] (conventionally [*.prom]). *)
+val export_openmetrics : path:string -> unit

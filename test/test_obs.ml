@@ -429,6 +429,124 @@ let test_waitstate_metrics () =
     "other classes report zero" 0.0
     (num (get "waitstate.collective-imbalance_seconds" (get "gauges" doc)))
 
+(* --- OpenMetrics exposition --- *)
+
+let contains needle s =
+  try
+    ignore (Str.search_forward (Str.regexp_string needle) s 0);
+    true
+  with Not_found -> false
+
+let test_openmetrics_format () =
+  with_obs @@ fun () ->
+  Obs.Metrics.incr ~by:3 "ppg.builds";
+  Obs.Metrics.set_gauge "waitstate.late-sender_seconds" 0.5;
+  Obs.Metrics.observe "fit" 0.25;
+  Obs.Metrics.observe "fit" 2.0;
+  Obs.with_span "detect" (fun () -> ());
+  let text = Obs.openmetrics_string () in
+  let lines = String.split_on_char '\n' text in
+  (* counters get the _total suffix and a TYPE declaration *)
+  check_bool "counter TYPE line" true
+    (List.mem "# TYPE scalana_ppg_builds counter" lines);
+  check_bool "counter sample" true
+    (List.mem "scalana_ppg_builds_total 3" lines);
+  (* gauge names are sanitized into the scalana_ namespace *)
+  check_bool "gauge sample" true
+    (List.mem "scalana_waitstate_late_sender_seconds 0.5" lines);
+  (* histograms are cumulative with a closing +Inf bucket *)
+  check_bool "histogram TYPE line" true
+    (List.mem "# TYPE scalana_fit histogram" lines);
+  let buckets =
+    List.filter (fun l -> contains "scalana_fit_bucket{le=" l) lines
+  in
+  check_int "one bucket per bound plus +Inf"
+    (Array.length Obs.Metrics.bucket_bounds + 1)
+    (List.length buckets);
+  check_bool "+Inf bucket closes the histogram" true
+    (List.mem "scalana_fit_bucket{le=\"+Inf\"} 2" lines);
+  let cumulative =
+    List.filter_map
+      (fun l ->
+        match String.rindex_opt l ' ' with
+        | Some i when contains "scalana_fit_bucket" l ->
+            int_of_string_opt
+              (String.sub l (i + 1) (String.length l - i - 1))
+        | _ -> None)
+      lines
+  in
+  check_bool "bucket counts are nondecreasing" true
+    (let rec ok = function
+       | a :: (b :: _ as rest) -> a <= b && ok rest
+       | _ -> true
+     in
+     ok cumulative);
+  check_bool "histogram count" true (List.mem "scalana_fit_count 2" lines);
+  (* phases appear as labelled totals *)
+  check_bool "phase seconds" true
+    (List.exists
+       (fun l -> contains "scalana_phase_seconds_total{phase=\"detect\"}" l)
+       lines);
+  check_bool "phase calls" true
+    (List.mem "scalana_phase_calls_total{phase=\"detect\"} 1" lines);
+  (* the exposition terminates with the mandatory EOF marker *)
+  check_string "EOF terminator" "# EOF"
+    (List.nth lines (List.length lines - 2));
+  (* export writes the same text *)
+  let path = Filename.temp_file "scalana_om" ".prom" in
+  Obs.export_openmetrics ~path;
+  let written = In_channel.with_open_bin path In_channel.input_all in
+  Sys.remove path;
+  check_string "file matches string" text written
+
+let test_openmetrics_name_sanitization () =
+  with_obs @@ fun () ->
+  Obs.Metrics.incr "weird metric-name.v2";
+  let text = Obs.openmetrics_string () in
+  check_bool "invalid chars replaced" true
+    (contains "scalana_weird_metric_name_v2_total 1" text)
+
+(* --- deterministic exporter key order --- *)
+
+let test_exporters_sorted () =
+  with_obs @@ fun () ->
+  (* args recorded out of order come back sorted in the trace *)
+  Obs.with_span ~args:[ ("zeta", "1"); ("alpha", "2") ] "s" (fun () -> ());
+  let doc =
+    match Obs.Json.of_string (Obs.Json.to_string (Obs.trace_json ())) with
+    | Ok d -> d
+    | Error e -> Alcotest.failf "trace JSON does not parse: %s" e
+  in
+  let events =
+    match get "traceEvents" doc with
+    | Obs.Json.Arr l -> l
+    | _ -> Alcotest.fail "traceEvents not an array"
+  in
+  let x = List.find (fun e -> str (get "ph" e) = "X") events in
+  (match get "args" x with
+  | Obs.Json.Obj kvs ->
+      Alcotest.(check (list string))
+        "span args sorted" [ "alpha"; "zeta" ] (List.map fst kvs)
+  | _ -> Alcotest.fail "args not an object");
+  (* phases in the metrics document are sorted by name, not by cost *)
+  Obs.with_span "zz" (fun () -> Unix.sleepf 0.002);
+  Obs.with_span "aa" (fun () -> ());
+  let doc =
+    match Obs.Json.of_string (Obs.Json.to_string (Obs.metrics_json ())) with
+    | Ok d -> d
+    | Error e -> Alcotest.failf "metrics JSON does not parse: %s" e
+  in
+  match get "phases" doc with
+  | Obs.Json.Arr phases ->
+      let names =
+        List.map (fun ph -> str (get "name" ph)) phases
+      in
+      Alcotest.(check (list string))
+        "phases sorted by name" (List.sort compare names) names;
+      check_bool "expensive phase not first despite cost" true
+        (names = List.sort compare names)
+  | _ -> Alcotest.fail "phases not an array"
+
 (* JSON corner cases the exporters rely on. *)
 let test_json_roundtrip () =
   let open Obs.Json in
@@ -473,6 +591,12 @@ let () =
           Alcotest.test_case "trace matches span tree" `Quick
             test_trace_export_matches;
           Alcotest.test_case "json corner cases" `Quick test_json_roundtrip;
+          Alcotest.test_case "openmetrics format" `Quick
+            test_openmetrics_format;
+          Alcotest.test_case "openmetrics name sanitization" `Quick
+            test_openmetrics_name_sanitization;
+          Alcotest.test_case "deterministic key order" `Quick
+            test_exporters_sorted;
         ] );
       ( "flows",
         [
